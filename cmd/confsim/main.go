@@ -1,0 +1,151 @@
+// Command confsim runs one confidence experiment from the registry and
+// prints the regenerated artefact (figure reference points or table rows).
+//
+// Usage:
+//
+//	confsim -list
+//	confsim -exp fig5 [-branches 1000000] [-plot] [-json out.json] [-dat out/]
+//
+// With -dat, each series is also written as a gnuplot-ready .dat file of
+// (cumulative %branches, cumulative %mispredictions) points; with -json,
+// the whole artefact is written in machine-readable form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/exp"
+)
+
+func main() {
+	if err := appMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "confsim:", err)
+		os.Exit(1)
+	}
+}
+
+// appMain is the testable entry point: it parses args and writes all
+// output to w.
+func appMain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("confsim", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		expID    = fs.String("exp", "", "experiment to run (see -list)")
+		branches = fs.Uint64("branches", 0, "dynamic branches per benchmark (0 = benchmark default)")
+		datDir   = fs.String("dat", "", "directory to write per-series .dat curve files")
+		jsonPath = fs.String("json", "", "file to write the artefact as JSON ('-' for stdout)")
+		plot     = fs.Bool("plot", false, "render the figure as an ASCII plot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(w, "%-20s %s\n%-20s paper: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("no experiment selected; use -exp <id> or -list")
+	}
+	e, err := exp.ByID(*expID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "running %s: %s\n(paper: %s)\n\n", e.ID, e.Title, e.Paper)
+	out, err := e.Run(exp.Config{Branches: *branches})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, out.Text)
+	if *plot && len(out.Series) > 0 {
+		fmt.Fprintln(w, analysis.Plot(out.Series, analysis.DefaultPlot()))
+	}
+	if len(out.Scalars) > 0 {
+		fmt.Fprintln(w, "scalars:")
+		keys := make([]string, 0, len(out.Scalars))
+		for k := range out.Scalars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // stable order for scripts diffing the output
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-28s %10.4f\n", k, out.Scalars[k])
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, out, w); err != nil {
+			return err
+		}
+	}
+	if *datDir != "" {
+		if err := writeDats(*datDir, out, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJSON writes the artefact to path ('-' meaning the main writer).
+func writeJSON(path string, out *exp.Output, w io.Writer) error {
+	if path == "-" {
+		return out.WriteJSON(w, 0)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = out.WriteJSON(f, 0.1)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Fprintln(w, "wrote", path)
+	return nil
+}
+
+// writeDats writes each series as <dir>/<exp>-<label>.dat.
+func writeDats(dir string, out *exp.Output, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range out.Series {
+		name := fmt.Sprintf("%s-%s.dat", out.ID, sanitize(s.Label))
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		// Thin like the paper's plots to keep files readable.
+		err = s.Curve.Thin(0.5).WriteDat(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Fprintln(w, "wrote", path)
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig2", "fig5", "table1", "ctxswitch"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Fatalf("list missing %s", id)
+		}
+	}
+}
+
+func TestNoExperimentSelected(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain(nil, &sb); err == nil {
+		t.Fatal("no args accepted")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain([]string{"-exp", "fig99"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig2WithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fig2.json")
+	var sb strings.Builder
+	err := appMain([]string{
+		"-exp", "fig2", "-branches", "30000",
+		"-plot", "-json", jsonPath, "-dat", dir,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "scalars:") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "% of dynamic branches") {
+		t.Fatal("plot missing")
+	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Fatalf("json file: %v", err)
+	}
+	dat := filepath.Join(dir, "fig2-static.dat")
+	data, err := os.ReadFile(dat)
+	if err != nil {
+		t.Fatalf("dat file: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty dat file")
+	}
+	first := strings.SplitN(string(data), "\n", 2)[0]
+	if len(strings.Fields(first)) != 2 {
+		t.Fatalf("dat line %q not two columns", first)
+	}
+}
+
+func TestJSONToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain([]string{"-exp", "table1", "-branches", "30000", "-json", "-"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"rows\"") {
+		t.Fatal("stdout JSON missing rows")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("BHRxorPC (ideal)"); got != "BHRxorPC__ideal_" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Command paperrepro regenerates every table and figure from the paper's
+// evaluation in one run and writes a consolidated report, the data behind
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations] [-only fig5,table1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := appMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+// appMain is the testable entry point; progress goes to errW, the report
+// to -o or stdout.
+func appMain(args []string, stdout, errW io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		branches      = fs.Uint64("branches", 0, "dynamic branches per benchmark (0 = benchmark default)")
+		out           = fs.String("o", "", "write the report to this file instead of stdout")
+		skipAblations = fs.Bool("skip-ablations", false, "run only the paper's own artefacts")
+		only          = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var filter map[string]bool
+	if *only != "" {
+		filter = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			filter[strings.TrimSpace(id)] = true
+		}
+	}
+	return writeReport(w, errW, reportConfig{
+		branches:      *branches,
+		skipAblations: *skipAblations,
+		filter:        filter,
+		progress:      *out != "",
+	})
+}
+
+func budget(n uint64) string {
+	if n == 0 {
+		return "benchmark default (1,000,000)"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func ensureNewline(s string) string {
+	if s == "" || strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}
+
+// sortedKeys returns the map's keys sorted.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// now is stubbed in tests for stable timing output.
+var now = time.Now

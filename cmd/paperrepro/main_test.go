@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportSubset(t *testing.T) {
+	var out, errW strings.Builder
+	err := appMain([]string{"-branches", "30000", "-only", "fig2,table1"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "## fig2") || !strings.Contains(report, "## table1") {
+		t.Fatalf("report missing sections:\n%s", report[:200])
+	}
+	if strings.Contains(report, "## fig5") {
+		t.Fatal("filter leaked fig5")
+	}
+	if !strings.Contains(report, "| metric | value |") {
+		t.Fatal("scalar tables missing")
+	}
+	if !strings.Contains(report, "Paper:") {
+		t.Fatal("paper reference lines missing")
+	}
+}
+
+func TestReportEmptyFilter(t *testing.T) {
+	var out, errW strings.Builder
+	if err := appMain([]string{"-only", "nonesuch"}, &out, &errW); err == nil {
+		t.Fatal("empty filter accepted")
+	}
+}
+
+func TestReportToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.md"
+	var out, errW strings.Builder
+	err := appMain([]string{"-branches", "30000", "-only", "fig2", "-o", path}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errW.String(), "fig2") {
+		t.Fatal("no progress output with -o")
+	}
+}
+
+func TestSkipAblations(t *testing.T) {
+	var out, errW strings.Builder
+	err := appMain([]string{"-branches", "30000", "-only", "ablation-index", "-skip-ablations"}, &out, &errW)
+	if err == nil {
+		t.Fatal("skip-ablations plus ablation-only filter should match nothing")
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	if budget(0) != "benchmark default (1,000,000)" {
+		t.Fatalf("budget(0) = %q", budget(0))
+	}
+	if budget(42) != "42" {
+		t.Fatalf("budget(42) = %q", budget(42))
+	}
+}
+
+func TestEnsureNewline(t *testing.T) {
+	if ensureNewline("x") != "x\n" || ensureNewline("x\n") != "x\n" || ensureNewline("") != "" {
+		t.Fatal("ensureNewline broken")
+	}
+}

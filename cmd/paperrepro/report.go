@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"branchconf/internal/exp"
+)
+
+// reportConfig controls which experiments run and how output is produced.
+type reportConfig struct {
+	branches      uint64
+	skipAblations bool
+	filter        map[string]bool // nil = all
+	progress      bool            // emit per-experiment progress to errW
+}
+
+// writeReport runs the selected experiments and renders the consolidated
+// markdown report.
+func writeReport(w, errW io.Writer, cfg reportConfig) error {
+	runCfg := exp.Config{Branches: cfg.branches}
+	fmt.Fprintf(w, "# Paper reproduction report\n\n")
+	fmt.Fprintf(w, "Per-benchmark branch budget: %s\n\n", budget(cfg.branches))
+	ran := 0
+	for _, e := range exp.All() {
+		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
+			continue
+		}
+		if cfg.filter != nil && !cfg.filter[e.ID] {
+			continue
+		}
+		start := now()
+		o, err := e.Run(runCfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ran++
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "Paper: %s\n\n", e.Paper)
+		fmt.Fprintf(w, "```\n%s```\n", ensureNewline(o.Text))
+		if len(o.Scalars) > 0 {
+			fmt.Fprintf(w, "\n| metric | value |\n|---|---|\n")
+			for _, k := range sortedKeys(o.Scalars) {
+				fmt.Fprintf(w, "| %s | %.3f |\n", k, o.Scalars[k])
+			}
+		}
+		elapsed := now().Sub(start).Seconds()
+		fmt.Fprintf(w, "\n_(ran in %.1fs)_\n\n", elapsed)
+		if cfg.progress {
+			fmt.Fprintf(errW, "%-20s done in %.1fs\n", e.ID, elapsed)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched the filter")
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command tracegen writes synthetic benchmark traces to disk in the BCT1
+// binary format, so experiments can be replayed from files instead of
+// regenerating workloads on the fly.
+//
+// Usage:
+//
+//	tracegen -bench real_gcc -n 1000000 -o real_gcc.bct
+//	tracegen -all -n 1000000 -dir traces/
+//	tracegen -describe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+func main() {
+	if err := appMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// appMain is the testable entry point.
+func appMain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		bench    = fs.String("bench", "", "benchmark to trace (see workload suite)")
+		all      = fs.Bool("all", false, "trace every benchmark in the suite")
+		n        = fs.Uint64("n", 0, "dynamic branches to emit (0 = benchmark default)")
+		out      = fs.String("o", "", "output file (single benchmark)")
+		dir      = fs.String("dir", ".", "output directory (with -all)")
+		describe = fs.Bool("describe", false, "print per-benchmark structure and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *describe:
+		return describeSuite(w)
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		for _, spec := range workload.Suite() {
+			path := filepath.Join(*dir, spec.Name+".bct")
+			if err := writeTrace(spec, *n, path, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *bench != "":
+		spec, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		path := *out
+		if path == "" {
+			path = spec.Name + ".bct"
+		}
+		return writeTrace(spec, *n, path, w)
+	default:
+		return fmt.Errorf("select -bench <name>, -all or -describe (benchmarks: %v)", workload.Names())
+	}
+}
+
+// describeSuite prints the static structure and a short dynamic summary of
+// each benchmark.
+func describeSuite(w io.Writer) error {
+	fmt.Fprintf(w, "%-12s %9s %9s %10s %10s  %s\n",
+		"benchmark", "routines", "sites", "taken%", "backward%", "site classes (biased/periodic/corr/phase/random/loop)")
+	for _, spec := range workload.Suite() {
+		prog, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		src, err := spec.FiniteSource(100_000)
+		if err != nil {
+			return err
+		}
+		st, err := trace.Measure(src)
+		if err != nil {
+			return err
+		}
+		c := prog.Census()
+		fmt.Fprintf(w, "%-12s %9d %9d %9.1f%% %9.1f%%  %d/%d/%d/%d/%d/%d\n",
+			spec.Name, prog.Routines(), prog.StaticBranches(),
+			100*st.TakenRate(), 100*float64(st.Backward)/float64(st.Branches),
+			c.Biased, c.Periodic, c.Correlated, c.Phase, c.Random, c.LoopBranch)
+	}
+	return nil
+}
+
+func writeTrace(spec workload.Spec, n uint64, path string, w io.Writer) error {
+	src, err := spec.FiniteSource(n)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	count, err := tw.WriteAll(src)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d branches, %d bytes (%.2f bytes/branch)\n",
+		path, count, info.Size(), float64(info.Size())/float64(count))
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+func TestWriteSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bct")
+	var sb strings.Builder
+	if err := appMain([]string{"-bench", "groff", "-n", "5000", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 5000 {
+		t.Fatalf("trace has %d records", len(tr))
+	}
+	if !strings.Contains(sb.String(), "5000 branches") {
+		t.Fatalf("summary missing: %s", sb.String())
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := appMain([]string{"-all", "-n", "500", "-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("%d trace files, want 9", len(entries))
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain([]string{"-describe"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"groff", "real_gcc", "jpeg_play"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("describe missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "routines") {
+		t.Fatal("describe missing header")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain([]string{"-bench", "nonesuch"}, &sb); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNoModeSelected(t *testing.T) {
+	var sb strings.Builder
+	if err := appMain(nil, &sb); err == nil {
+		t.Fatal("no mode accepted")
+	}
+}

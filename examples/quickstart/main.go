@@ -1,0 +1,71 @@
+// Quickstart: pair a branch predictor with the paper's recommended
+// confidence estimator (resetting counters, PC xor BHR) and watch it
+// isolate mispredictions into a small low-confidence set.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/workload"
+)
+
+func main() {
+	// A synthetic benchmark standing in for the paper's IBS traces.
+	spec, err := workload.ByName("groff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := spec.FiniteSource(500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's main predictor (gshare, 2^16 two-bit counters) and its
+	// recommended confidence estimator: a 2^16-entry table of resetting
+	// counters; counter < 16 means "low confidence".
+	pred := predictor.Gshare64K()
+	conf := core.PaperEstimator(16)
+
+	var branches, misses, low, lowMisses uint64
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		confident := conf.Confident(r) // read the signal before training
+		incorrect := pred.Predict(r) != r.Taken
+		pred.Update(r)
+		conf.Update(r, incorrect)
+
+		branches++
+		if !confident {
+			low++
+		}
+		if incorrect {
+			misses++
+			if !confident {
+				lowMisses++
+			}
+		}
+	}
+
+	fmt.Printf("benchmark       %s\n", spec.Name)
+	fmt.Printf("branches        %d\n", branches)
+	fmt.Printf("mispredictions  %d (%.2f%%)\n", misses, 100*float64(misses)/float64(branches))
+	fmt.Printf("low-confidence  %.1f%% of branches\n", 100*float64(low)/float64(branches))
+	fmt.Printf("coverage        %.1f%% of mispredictions land in the low set\n",
+		100*float64(lowMisses)/float64(misses))
+	fmt.Printf("enrichment      low set misprediction rate %.1f%% vs %.2f%% overall\n",
+		100*float64(lowMisses)/float64(low), 100*float64(misses)/float64(branches))
+}

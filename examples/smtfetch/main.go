@@ -1,0 +1,61 @@
+// SMT fetch-gating example (paper §1, application 2): four hardware
+// threads share a fetch unit; the confidence-gated policy deprioritises
+// threads whose next prediction is low-confidence, reducing squashed
+// fetches.
+//
+// Run with:
+//
+//	go run ./examples/smtfetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchconf/internal/apps"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/workload"
+)
+
+const perThread = 400_000
+
+func buildThreads() []*apps.SMTThread {
+	names := []string{"groff", "real_gcc", "jpeg_play", "sdet"}
+	threads := make([]*apps.SMTThread, 0, len(names))
+	for _, name := range names {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := spec.FiniteSource(perThread)
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads = append(threads, &apps.SMTThread{
+			Name: name,
+			Src:  src,
+			Pred: predictor.Gshare4K(),
+			Est:  core.PaperEstimator(16),
+		})
+	}
+	return threads
+}
+
+func main() {
+	for _, gated := range []bool{false, true} {
+		cfg := apps.SMTConfig{ResolveSlots: 6, Gated: gated}
+		res, err := apps.RunSMT(buildThreads(), cfg, 4*perThread)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policy := "round-robin       "
+		if gated {
+			policy = "confidence-gated  "
+		}
+		fmt.Printf("%s useful %9d  wasted %8d  efficiency %.2f%%  (skips %d)\n",
+			policy, res.Useful, res.Wasted, 100*res.Efficiency(), res.GatedSkips)
+	}
+	fmt.Println("\nGating steers fetch slots away from threads about to mispredict,")
+	fmt.Println("recovering part of the bandwidth the baseline burns on wrong paths.")
+}

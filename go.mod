@@ -1,0 +1,3 @@
+module branchconf
+
+go 1.22

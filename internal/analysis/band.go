@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Band summarises per-benchmark variation of a confidence method: for each
+// reference X (cumulative % of dynamic branches) it holds the minimum,
+// equal-weight mean, and maximum captured-misprediction percentage across
+// the per-benchmark curves. Figure 9 shows the paper's two extremes; a
+// Band quantifies the whole spread.
+type Band struct {
+	Xs             []float64
+	Min, Mean, Max []float64
+	// ArgMin and ArgMax name the benchmark attaining the extreme at each X.
+	ArgMin, ArgMax []int
+}
+
+// BuildBand evaluates each per-benchmark curve at xs.
+func BuildBand(curves []Curve, xs []float64) Band {
+	b := Band{
+		Xs:     append([]float64(nil), xs...),
+		Min:    make([]float64, len(xs)),
+		Mean:   make([]float64, len(xs)),
+		Max:    make([]float64, len(xs)),
+		ArgMin: make([]int, len(xs)),
+		ArgMax: make([]int, len(xs)),
+	}
+	if len(curves) == 0 {
+		return b
+	}
+	for i, x := range xs {
+		lo, hi, sum := 1e18, -1e18, 0.0
+		for ci, c := range curves {
+			y := c.MispredsAt(x)
+			sum += y
+			if y < lo {
+				lo, b.ArgMin[i] = y, ci
+			}
+			if y > hi {
+				hi, b.ArgMax[i] = y, ci
+			}
+		}
+		b.Min[i], b.Max[i] = lo, hi
+		b.Mean[i] = sum / float64(len(curves))
+	}
+	return b
+}
+
+// Spread returns max-min at the reference X closest to x.
+func (b Band) Spread(x float64) float64 {
+	if len(b.Xs) == 0 {
+		return 0
+	}
+	best, dist := 0, 1e18
+	for i, xi := range b.Xs {
+		d := xi - x
+		if d < 0 {
+			d = -d
+		}
+		if d < dist {
+			best, dist = i, d
+		}
+	}
+	return b.Max[best] - b.Min[best]
+}
+
+// Format renders the band with benchmark names resolving ArgMin/ArgMax.
+func (b Band) Format(names []string) string {
+	var sb strings.Builder
+	sb.WriteString("   %branches      min     mean      max   (min / max benchmark)\n")
+	for i, x := range b.Xs {
+		lo, hi := "?", "?"
+		if b.ArgMin[i] < len(names) {
+			lo = names[b.ArgMin[i]]
+		}
+		if b.ArgMax[i] < len(names) {
+			hi = names[b.ArgMax[i]]
+		}
+		fmt.Fprintf(&sb, "%12.0f %8.1f %8.1f %8.1f   (%s / %s)\n",
+			x, b.Min[i], b.Mean[i], b.Max[i], lo, hi)
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is the 2x2 joint outcome table of a confidence estimator run:
+// predictions split by (confidence signal, prediction correctness). These
+// are the standard follow-on metrics for confidence estimation (used by
+// the later literature to compare estimators at an operating point):
+//
+//	SENS — sensitivity: fraction of mispredictions flagged low confidence
+//	SPEC — specificity: fraction of correct predictions flagged high
+//	PVP  — predictive value of a positive (high-confidence) signal
+//	PVN  — predictive value of a negative (low-confidence) signal
+type Confusion struct {
+	HighCorrect   uint64 // confident and correct
+	HighIncorrect uint64 // confident but mispredicted (escapes)
+	LowCorrect    uint64 // flagged low but correct (false alarms)
+	LowIncorrect  uint64 // flagged low and mispredicted (captures)
+}
+
+// Total returns all classified predictions.
+func (c Confusion) Total() uint64 {
+	return c.HighCorrect + c.HighIncorrect + c.LowCorrect + c.LowIncorrect
+}
+
+// Misses returns the total mispredictions.
+func (c Confusion) Misses() uint64 { return c.HighIncorrect + c.LowIncorrect }
+
+// Add records one prediction outcome.
+func (c *Confusion) Add(confident, incorrect bool) {
+	switch {
+	case confident && !incorrect:
+		c.HighCorrect++
+	case confident && incorrect:
+		c.HighIncorrect++
+	case !confident && !incorrect:
+		c.LowCorrect++
+	default:
+		c.LowIncorrect++
+	}
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Sens returns the sensitivity: captured mispredictions over all
+// mispredictions (the paper's coverage metric).
+func (c Confusion) Sens() float64 { return ratio(c.LowIncorrect, c.Misses()) }
+
+// Spec returns the specificity: correct predictions kept high-confidence.
+func (c Confusion) Spec() float64 {
+	return ratio(c.HighCorrect, c.HighCorrect+c.LowCorrect)
+}
+
+// PVP returns the accuracy within the high-confidence set.
+func (c Confusion) PVP() float64 {
+	return ratio(c.HighCorrect, c.HighCorrect+c.HighIncorrect)
+}
+
+// PVN returns the misprediction rate within the low-confidence set — must
+// exceed 50% for a profitable prediction reverser (§1, application 4).
+func (c Confusion) PVN() float64 {
+	return ratio(c.LowIncorrect, c.LowCorrect+c.LowIncorrect)
+}
+
+// LowFrac returns the fraction of predictions flagged low confidence.
+func (c Confusion) LowFrac() float64 {
+	return ratio(c.LowCorrect+c.LowIncorrect, c.Total())
+}
+
+// String renders the quadrant and derived metrics.
+func (c Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "           correct  incorrect\n")
+	fmt.Fprintf(&b, "high  %12d %10d\n", c.HighCorrect, c.HighIncorrect)
+	fmt.Fprintf(&b, "low   %12d %10d\n", c.LowCorrect, c.LowIncorrect)
+	fmt.Fprintf(&b, "SENS %.4f  SPEC %.4f  PVP %.4f  PVN %.4f  low %.4f",
+		c.Sens(), c.Spec(), c.PVP(), c.PVN(), c.LowFrac())
+	return b.String()
+}

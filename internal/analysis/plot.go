@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII rendering of cumulative-misprediction curves, so `confsim -plot`
+// can show the paper's figures directly in a terminal. The plot carries
+// the same axes as the paper's graphs: X = cumulative % of dynamic
+// branches, Y = cumulative % of mispredictions, both 0-100.
+
+// PlotConfig sizes the ASCII canvas.
+type PlotConfig struct {
+	// Width and Height are the interior plot dimensions in characters.
+	Width, Height int
+}
+
+// DefaultPlot returns a terminal-friendly canvas size.
+func DefaultPlot() PlotConfig { return PlotConfig{Width: 72, Height: 24} }
+
+// seriesMarks assigns one mark per series, cycling if there are many.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series onto one ASCII canvas with a legend. Curves are
+// drawn as staircase paths through their cumulative points; later series
+// overdraw earlier ones where they collide.
+func Plot(series []Series, cfg PlotConfig) string {
+	if cfg.Width < 10 || cfg.Height < 5 {
+		cfg = DefaultPlot()
+	}
+	w, h := cfg.Width, cfg.Height
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", w))
+	}
+	// row maps y∈[0,100] to a canvas row (row 0 is the top = 100%).
+	row := func(y float64) int {
+		r := (h - 1) - int(math.Round(y/100*float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Sample the curve at every column for a continuous staircase.
+		for c := 0; c < w; c++ {
+			x := float64(c) / float64(w-1) * 100
+			y := s.Curve.MispredsAt(x)
+			grid[row(y)][c] = mark
+		}
+	}
+	var b strings.Builder
+	b.WriteString("100 ┤")
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for y := 1; y < h; y++ {
+		label := "    "
+		switch y {
+		case row(75):
+			label = " 75 "
+		case row(50):
+			label = " 50 "
+		case row(25):
+			label = " 25 "
+		case h - 1:
+			label = "  0 "
+		}
+		b.WriteString(label)
+		b.WriteString("┤")
+		b.Write(grid[y])
+		b.WriteByte('\n')
+	}
+	b.WriteString("    └")
+	b.WriteString(strings.Repeat("─", w))
+	b.WriteByte('\n')
+	b.WriteString("     0")
+	pad := w - 10
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", pad/2))
+	b.WriteString("% of dynamic branches")
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotCurve() Curve {
+	bs := make(BucketStats)
+	// Hot bucket: 10% of events, 70% of misses.
+	for i := 0; i < 100; i++ {
+		bs.Add(0, i < 70)
+	}
+	for i := 0; i < 900; i++ {
+		bs.Add(1, i < 30)
+	}
+	return BuildCurve(Single(bs))
+}
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot([]Series{{Label: "alpha", Curve: plotCurve()}}, DefaultPlot())
+	if !strings.Contains(out, "alpha") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "100 ┤") || !strings.Contains(out, "    └") {
+		t.Fatal("axes missing")
+	}
+	if !strings.Contains(out, "% of dynamic branches") {
+		t.Fatal("x label missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no curve marks drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height grid rows + bottom axis + x label + 1 legend line
+	if len(lines) != DefaultPlot().Height+3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestPlotMultipleSeries(t *testing.T) {
+	out := Plot([]Series{
+		{Label: "a", Curve: plotCurve()},
+		{Label: "b", Curve: plotCurve()},
+	}, PlotConfig{Width: 40, Height: 12})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("legend entries missing")
+	}
+	// Second series mark '+' must be present (it overdraws '*').
+	if !strings.Contains(out, "+") {
+		t.Fatal("second series mark missing")
+	}
+}
+
+func TestPlotTinyConfigFallsBack(t *testing.T) {
+	out := Plot([]Series{{Label: "x", Curve: plotCurve()}}, PlotConfig{Width: 1, Height: 1})
+	if len(out) == 0 {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestPlotCurveTopRight(t *testing.T) {
+	// Every curve ends at (100,100): the top-right cell must be drawn.
+	out := Plot([]Series{{Label: "x", Curve: plotCurve()}}, PlotConfig{Width: 30, Height: 10})
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.HasSuffix(first, "*") {
+		t.Fatalf("top row does not reach the right edge: %q", first)
+	}
+}
+
+func TestConfusionAccounting(t *testing.T) {
+	var c Confusion
+	c.Add(true, false)  // high correct
+	c.Add(true, false)  // high correct
+	c.Add(true, true)   // escape
+	c.Add(false, false) // false alarm
+	c.Add(false, true)  // capture
+	c.Add(false, true)  // capture
+	if c.Total() != 6 || c.Misses() != 3 {
+		t.Fatalf("totals %d/%d", c.Total(), c.Misses())
+	}
+	if got := c.Sens(); got < 0.66 || got > 0.67 {
+		t.Fatalf("Sens %v", got)
+	}
+	if got := c.Spec(); got < 0.66 || got > 0.67 {
+		t.Fatalf("Spec %v", got)
+	}
+	if got := c.PVP(); got < 0.66 || got > 0.67 {
+		t.Fatalf("PVP %v", got)
+	}
+	if got := c.PVN(); got < 0.66 || got > 0.67 {
+		t.Fatalf("PVN %v", got)
+	}
+	if got := c.LowFrac(); got != 0.5 {
+		t.Fatalf("LowFrac %v", got)
+	}
+	if !strings.Contains(c.String(), "SENS") {
+		t.Fatal("String missing metrics")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Sens() != 0 || c.Spec() != 0 || c.PVP() != 0 || c.PVN() != 0 || c.LowFrac() != 0 {
+		t.Fatal("empty confusion nonzero metrics")
+	}
+}

@@ -1,0 +1,214 @@
+// Package analysis turns raw per-bucket confidence statistics into the
+// paper's artefacts: sorted cumulative-misprediction curves (Figures 2 and
+// 5-11), threshold tables (Table 1), and low-confidence bucket sets for
+// deriving ideal reduction functions.
+//
+// The method, following Sections 2 and 4: collect (events, mispredictions)
+// per bucket — a static branch PC, a CIR pattern, or a counter value —
+// weight benchmarks so each contributes the same number of dynamic
+// branches, sort buckets by misprediction rate (highest first), and plot
+// cumulative mispredictions against cumulative dynamic branches.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tally counts dynamic branches and mispredictions for one bucket.
+type Tally struct {
+	Events uint64
+	Misses uint64
+}
+
+// Rate returns the bucket's misprediction rate.
+func (t Tally) Rate() float64 {
+	if t.Events == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Events)
+}
+
+// BucketStats accumulates per-bucket tallies over one simulation run.
+type BucketStats map[uint64]*Tally
+
+// Add records one dynamic branch landing in bucket, with its prediction
+// correctness.
+func (bs BucketStats) Add(bucket uint64, incorrect bool) {
+	t := bs[bucket]
+	if t == nil {
+		t = &Tally{}
+		bs[bucket] = t
+	}
+	t.Events++
+	if incorrect {
+		t.Misses++
+	}
+}
+
+// Totals returns the run's total events and mispredictions.
+func (bs BucketStats) Totals() (events, misses uint64) {
+	for _, t := range bs {
+		events += t.Events
+		misses += t.Misses
+	}
+	return events, misses
+}
+
+// MissRate returns the run's overall misprediction rate.
+func (bs BucketStats) MissRate() float64 {
+	e, m := bs.Totals()
+	if e == 0 {
+		return 0
+	}
+	return float64(m) / float64(e)
+}
+
+// Key identifies a bucket within a composite: Run disambiguates buckets
+// from different benchmarks when their identities must stay distinct (the
+// static method, where PC spaces overlap across benchmarks); pooled
+// composites use Run == 0 for every bucket.
+type Key struct {
+	Run    int
+	Bucket uint64
+}
+
+// WTally is a weighted tally: fractional events and misses after
+// equal-weight benchmark compositing.
+type WTally struct {
+	Events float64
+	Misses float64
+}
+
+// Rate returns the weighted misprediction rate.
+func (t WTally) Rate() float64 {
+	if t.Events == 0 {
+		return 0
+	}
+	return t.Misses / t.Events
+}
+
+// WeightedStats is a composite of per-benchmark bucket statistics.
+type WeightedStats map[Key]*WTally
+
+// compositeWeight returns the per-event weight that makes run bs contribute
+// exactly 1.0 total event mass.
+func compositeWeight(bs BucketStats) float64 {
+	events, _ := bs.Totals()
+	if events == 0 {
+		return 0
+	}
+	return 1 / float64(events)
+}
+
+// CompositePooled combines runs with equal dynamic-branch weight, pooling
+// identical buckets across runs — the paper's treatment of dynamic
+// mechanisms, where a CIR pattern means the same thing in every benchmark
+// (§1.2, §4).
+func CompositePooled(runs []BucketStats) WeightedStats {
+	ws := make(WeightedStats)
+	for _, bs := range runs {
+		w := compositeWeight(bs)
+		for b, t := range bs {
+			k := Key{Bucket: b}
+			wt := ws[k]
+			if wt == nil {
+				wt = &WTally{}
+				ws[k] = wt
+			}
+			wt.Events += w * float64(t.Events)
+			wt.Misses += w * float64(t.Misses)
+		}
+	}
+	return ws
+}
+
+// CompositeDistinct combines runs with equal weight while keeping each
+// run's buckets distinct — required for the static method, where bucket
+// identity is a branch address private to one benchmark (§2).
+func CompositeDistinct(runs []BucketStats) WeightedStats {
+	ws := make(WeightedStats, len(runs)*16)
+	for i, bs := range runs {
+		w := compositeWeight(bs)
+		for b, t := range bs {
+			ws[Key{Run: i, Bucket: b}] = &WTally{
+				Events: w * float64(t.Events),
+				Misses: w * float64(t.Misses),
+			}
+		}
+	}
+	return ws
+}
+
+// Single wraps one run as a WeightedStats without reweighting, for
+// per-benchmark curves (Figure 9).
+func Single(bs BucketStats) WeightedStats {
+	ws := make(WeightedStats, len(bs))
+	for b, t := range bs {
+		ws[Key{Bucket: b}] = &WTally{Events: float64(t.Events), Misses: float64(t.Misses)}
+	}
+	return ws
+}
+
+// sortedKeys returns the composite's keys in canonical order. Floating
+// point addition is not associative, so every float accumulation over a
+// WeightedStats must run in this order to keep experiment outputs
+// byte-reproducible across runs (Go randomises map iteration).
+func (ws WeightedStats) sortedKeys() []Key {
+	keys := make([]Key, 0, len(ws))
+	for k := range ws {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Run != keys[j].Run {
+			return keys[i].Run < keys[j].Run
+		}
+		return keys[i].Bucket < keys[j].Bucket
+	})
+	return keys
+}
+
+// MergeBuckets rewrites bucket identities through fn, merging tallies that
+// map to the same value. Because a reduction function is a pure function
+// of the bucket, this derives a reduced mechanism's statistics from the
+// full-CIR run — e.g. fn = popcount turns per-pattern statistics into
+// ones-count statistics (§5.1) without re-simulating.
+func (ws WeightedStats) MergeBuckets(fn func(uint64) uint64) WeightedStats {
+	out := make(WeightedStats)
+	for _, k := range ws.sortedKeys() {
+		t := ws[k]
+		nk := Key{Run: k.Run, Bucket: fn(k.Bucket)}
+		wt := out[nk]
+		if wt == nil {
+			wt = &WTally{}
+			out[nk] = wt
+		}
+		wt.Events += t.Events
+		wt.Misses += t.Misses
+	}
+	return out
+}
+
+// Totals returns the composite's total weighted events and misses.
+func (ws WeightedStats) Totals() (events, misses float64) {
+	for _, k := range ws.sortedKeys() {
+		events += ws[k].Events
+		misses += ws[k].Misses
+	}
+	return events, misses
+}
+
+// MissRate returns the composite's overall misprediction rate.
+func (ws WeightedStats) MissRate() float64 {
+	e, m := ws.Totals()
+	if e == 0 {
+		return 0
+	}
+	return m / e
+}
+
+// String summarises the composite.
+func (ws WeightedStats) String() string {
+	e, m := ws.Totals()
+	return fmt.Sprintf("%d buckets, %.3f events, miss rate %.4f", len(ws), e, m/e)
+}

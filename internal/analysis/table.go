@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableRow is one row of the paper's Table 1: statistics for a single
+// counter value of a resetting- (or saturating-) counter confidence table.
+// Rows run from count 0 (most recently mispredicted, lowest confidence) to
+// the saturation ceiling; cumulative columns accumulate from count 0 down,
+// matching the table's "from the top" convention.
+type TableRow struct {
+	Count        int     // counter value
+	MissRate     float64 // misprediction rate at this counter value
+	RefsPct      float64 // percent of dynamic branches seeing this value
+	MissesPct    float64 // percent of mispredictions at this value
+	CumRefsPct   float64 // cumulative percent of branches, counts 0..Count
+	CumMissesPct float64 // cumulative percent of mispredictions
+}
+
+// CounterRows builds Table 1 from a composite of counter-valued bucket
+// statistics with values in [0, max]. Buckets outside the range are
+// ignored (there are none for a well-formed counter mechanism).
+func CounterRows(ws WeightedStats, max int) []TableRow {
+	totalE, totalM := ws.Totals()
+	rows := make([]TableRow, max+1)
+	var cumE, cumM float64
+	for v := 0; v <= max; v++ {
+		t := ws[Key{Bucket: uint64(v)}]
+		if t == nil {
+			t = &WTally{}
+		}
+		cumE += t.Events
+		cumM += t.Misses
+		row := TableRow{Count: v, MissRate: t.Rate()}
+		if totalE > 0 {
+			row.RefsPct = 100 * t.Events / totalE
+			row.CumRefsPct = 100 * cumE / totalE
+		}
+		if totalM > 0 {
+			row.MissesPct = 100 * t.Misses / totalM
+			row.CumMissesPct = 100 * cumM / totalM
+		}
+		rows[v] = row
+	}
+	return rows
+}
+
+// FormatCounterTable renders rows in the layout of the paper's Table 1.
+func FormatCounterTable(rows []TableRow) string {
+	var b strings.Builder
+	b.WriteString("Count  Mis%pred.  %Refs  %Mispreds  Cum.%Refs  Cum.%Mispreds\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d  %9.3f  %5.2f  %9.2f  %9.2f  %13.1f\n",
+			r.Count, 100*r.MissRate, r.RefsPct, r.MissesPct, r.CumRefsPct, r.CumMissesPct)
+	}
+	return b.String()
+}
+
+// Series is a named curve, the unit figures are assembled from.
+type Series struct {
+	Label string
+	Curve Curve
+}
+
+// FormatFigure renders a set of series as aligned reference points — the
+// textual equivalent of one of the paper's figures. The xs are cumulative
+// dynamic-branch percentages; each cell is the percentage of mispredictions
+// captured there.
+func FormatFigure(title string, series []Series, xs []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-34s", "series \\ %branches")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%8.0f", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-34s", s.Label)
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%8.1f", s.Curve.MispredsAt(x))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"fmt"
+	"io"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+// Pipeline gating: the best-known follow-on use of this paper's
+// confidence estimators (Manne, Klauser & Grunwald, ISCA '98). When
+// several unresolved low-confidence branches are in flight, the
+// probability that fetch is already on a wrong path is high, so the
+// front-end stalls ("gates") instead of fetching instructions that will
+// likely be squashed. The trade-off: gating saves wrong-path work
+// (energy) at a small performance cost from stalling on paths that turn
+// out correct.
+//
+// The model advances branch by branch. Every fetched branch carries
+// Gap+1 instructions. Instructions fetched while a mispredicted branch is
+// unresolved are wrong-path work; instructions not fetched because the
+// gate was closed are stall slots. Branches resolve a fixed number of
+// branch-fetches after they enter the window.
+
+// GateConfig configures the pipeline-gating model.
+type GateConfig struct {
+	// ResolveDistance is how many subsequent branch fetches pass before a
+	// branch resolves (mispredictions squash; gates reopen).
+	ResolveDistance int
+	// Threshold is the number of in-flight low-confidence branches at
+	// which fetch gates. 0 disables gating (the baseline machine).
+	Threshold int
+}
+
+// GateResult summarises one gating run.
+type GateResult struct {
+	Branches uint64
+	Misses   uint64
+	Useful   uint64 // instructions fetched on the correct path
+	Wasted   uint64 // wrong-path instructions fetched (squashed work)
+	Stalled  uint64 // instructions whose fetch the gate deferred
+}
+
+// WastedFrac returns wrong-path work as a fraction of all fetched work.
+func (r GateResult) WastedFrac() float64 {
+	total := r.Useful + r.Wasted
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Wasted) / float64(total)
+}
+
+// StallFrac returns deferred fetch as a fraction of all fetch demand.
+func (r GateResult) StallFrac() float64 {
+	total := r.Useful + r.Wasted + r.Stalled
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stalled) / float64(total)
+}
+
+// pendingBranch tracks one unresolved branch in the model's window.
+type pendingBranch struct {
+	remaining int
+	lowConf   bool
+	mispred   bool
+}
+
+// RunGating replays src through pred and est under the gating policy.
+func RunGating(src trace.Source, pred predictor.Predictor, est *core.Estimator, cfg GateConfig) (GateResult, error) {
+	if cfg.ResolveDistance < 1 {
+		return GateResult{}, fmt.Errorf("apps: ResolveDistance must be >= 1, got %d", cfg.ResolveDistance)
+	}
+	if cfg.Threshold < 0 {
+		return GateResult{}, fmt.Errorf("apps: Threshold must be >= 0, got %d", cfg.Threshold)
+	}
+	var res GateResult
+	var window []pendingBranch
+	lowInFlight, wrongPathDepth := 0, 0
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		// Resolve aged branches.
+		kept := window[:0]
+		for _, p := range window {
+			p.remaining--
+			if p.remaining <= 0 {
+				if p.lowConf {
+					lowInFlight--
+				}
+				if p.mispred {
+					wrongPathDepth--
+				}
+				continue
+			}
+			kept = append(kept, p)
+		}
+		window = kept
+
+		confident := est.Confident(r)
+		incorrect := pred.Predict(r) != r.Taken
+		pred.Update(r)
+		est.Update(r, incorrect)
+
+		work := uint64(r.Gap) + 1
+		gated := cfg.Threshold > 0 && lowInFlight >= cfg.Threshold
+		switch {
+		case gated:
+			// Fetch deferred: neither useful nor wasted work this slot.
+			res.Stalled += work
+		case wrongPathDepth > 0:
+			// Fetching past an unresolved misprediction: squashed later.
+			res.Wasted += work
+		default:
+			res.Useful += work
+		}
+
+		res.Branches++
+		if incorrect {
+			res.Misses++
+		}
+		p := pendingBranch{remaining: cfg.ResolveDistance, lowConf: !confident, mispred: incorrect && !gated}
+		if p.lowConf {
+			lowInFlight++
+		}
+		if p.mispred {
+			wrongPathDepth++
+		}
+		window = append(window, p)
+	}
+}

@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"testing"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+)
+
+func TestGatingBaselineHasNoStalls(t *testing.T) {
+	src := benchSource(t, "real_gcc", 100000)
+	res, err := RunGating(src, predictor.Gshare4K(), core.PaperEstimator(8), GateConfig{ResolveDistance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled != 0 {
+		t.Fatalf("ungated run stalled %d", res.Stalled)
+	}
+	if res.Wasted == 0 {
+		t.Fatal("ungated run wasted nothing; wrong-path model inert")
+	}
+	if res.Branches != 100000 {
+		t.Fatalf("branches %d", res.Branches)
+	}
+}
+
+func TestGatingReducesWrongPathWork(t *testing.T) {
+	base, err := RunGating(benchSource(t, "real_gcc", 200000), predictor.Gshare4K(), core.PaperEstimator(8),
+		GateConfig{ResolveDistance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := RunGating(benchSource(t, "real_gcc", 200000), predictor.Gshare4K(), core.PaperEstimator(8),
+		GateConfig{ResolveDistance: 4, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Wasted >= base.Wasted {
+		t.Fatalf("gating did not cut wrong-path work: %d vs %d", gated.Wasted, base.Wasted)
+	}
+	if gated.Stalled == 0 {
+		t.Fatal("gated run never stalled")
+	}
+	// The performance cost must stay well below the work saved for this
+	// configuration (the pipeline-gating selling point).
+	saved := base.Wasted - gated.Wasted
+	if gated.Stalled > 6*saved {
+		t.Fatalf("stall cost %d dwarfs saved work %d", gated.Stalled, saved)
+	}
+}
+
+func TestGatingThresholdMonotone(t *testing.T) {
+	// Lower thresholds gate more aggressively: stalls grow, waste shrinks.
+	prevStall, prevWaste := uint64(0), ^uint64(0)
+	for _, thr := range []int{4, 2, 1} {
+		res, err := RunGating(benchSource(t, "real_gcc", 150000), predictor.Gshare4K(), core.PaperEstimator(8),
+			GateConfig{ResolveDistance: 4, Threshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stalled < prevStall {
+			t.Fatalf("threshold %d stalled less (%d) than looser threshold (%d)", thr, res.Stalled, prevStall)
+		}
+		if res.Wasted > prevWaste {
+			t.Fatalf("threshold %d wasted more (%d) than looser threshold (%d)", thr, res.Wasted, prevWaste)
+		}
+		prevStall, prevWaste = res.Stalled, res.Wasted
+	}
+}
+
+func TestGatingRejectsBadConfig(t *testing.T) {
+	if _, err := RunGating(benchSource(t, "groff", 10), predictor.Gshare4K(), core.PaperEstimator(8),
+		GateConfig{}); err == nil {
+		t.Fatal("zero ResolveDistance accepted")
+	}
+	if _, err := RunGating(benchSource(t, "groff", 10), predictor.Gshare4K(), core.PaperEstimator(8),
+		GateConfig{ResolveDistance: 4, Threshold: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestGateResultFractions(t *testing.T) {
+	r := GateResult{Useful: 80, Wasted: 20, Stalled: 10}
+	if got := r.WastedFrac(); got != 0.2 {
+		t.Fatalf("WastedFrac %v", got)
+	}
+	if got := r.StallFrac(); got < 0.09 || got > 0.091 {
+		t.Fatalf("StallFrac %v", got)
+	}
+	if (GateResult{}).WastedFrac() != 0 || (GateResult{}).StallFrac() != 0 {
+		t.Fatal("empty result fractions nonzero")
+	}
+}

@@ -1,0 +1,106 @@
+package bitvec
+
+import "fmt"
+
+// SatCounter is an n-state saturating up/down counter in [0, Max]. It is
+// the workhorse of both the bimodal/gshare prediction tables (2-bit
+// counters) and the saturating-count reduction function of Section 5.1
+// (0..16 counters). The zero value counts in [0,0]; construct with
+// NewSatCounter.
+type SatCounter struct {
+	value uint8
+	max   uint8
+}
+
+// NewSatCounter returns a counter saturating at max, initialised to init.
+// It panics if init > max: counter geometry is fixed configuration.
+func NewSatCounter(max, init uint8) SatCounter {
+	if init > max {
+		panic(fmt.Sprintf("bitvec: counter init %d exceeds max %d", init, max))
+	}
+	return SatCounter{value: init, max: max}
+}
+
+// Value returns the current count.
+func (c SatCounter) Value() uint8 { return c.value }
+
+// Max returns the saturation ceiling.
+func (c SatCounter) Max() uint8 { return c.max }
+
+// Inc increments, saturating at Max.
+func (c SatCounter) Inc() SatCounter {
+	if c.value < c.max {
+		c.value++
+	}
+	return c
+}
+
+// Dec decrements, saturating at 0.
+func (c SatCounter) Dec() SatCounter {
+	if c.value > 0 {
+		c.value--
+	}
+	return c
+}
+
+// Reset returns the counter forced to zero.
+func (c SatCounter) Reset() SatCounter {
+	c.value = 0
+	return c
+}
+
+// Saturated reports whether the counter sits at its ceiling.
+func (c SatCounter) Saturated() bool { return c.value == c.max }
+
+// TwoBit returns a 2-bit prediction counter (states 0..3) initialised to
+// the given state. State >= 2 predicts taken; the paper initialises
+// predictor tables to "weakly taken" (state 2).
+func TwoBit(init uint8) SatCounter { return NewSatCounter(3, init) }
+
+// WeaklyTaken is the canonical initial state for 2-bit predictor counters.
+const WeaklyTaken = 2
+
+// PredictTaken interprets a 2-bit (or wider) counter as a taken/not-taken
+// prediction: the upper half of the range predicts taken.
+func (c SatCounter) PredictTaken() bool { return uint16(c.value)*2 > uint16(c.max) }
+
+// ResettingCounter implements the paper's Section 5.1 resetting counter:
+// it increments (saturating at max) on every correct prediction and resets
+// to zero on any misprediction. It tracks only the distance to the most
+// recent misprediction, which the paper found captures most of the
+// information in a full CIR at logarithmic storage cost.
+type ResettingCounter struct {
+	value uint8
+	max   uint8
+}
+
+// NewResettingCounter returns a resetting counter saturating at max,
+// initialised to init. The paper's configuration counts 0..16 so that its
+// buckets align with the 17 possible ones-counts of a 16-bit CIR.
+func NewResettingCounter(max, init uint8) ResettingCounter {
+	if init > max {
+		panic(fmt.Sprintf("bitvec: resetting counter init %d exceeds max %d", init, max))
+	}
+	return ResettingCounter{value: init, max: max}
+}
+
+// Value returns the current count: the number of consecutive correct
+// predictions observed (saturating).
+func (c ResettingCounter) Value() uint8 { return c.value }
+
+// Max returns the saturation ceiling.
+func (c ResettingCounter) Max() uint8 { return c.max }
+
+// Update records one prediction outcome.
+func (c ResettingCounter) Update(incorrect bool) ResettingCounter {
+	if incorrect {
+		c.value = 0
+	} else if c.value < c.max {
+		c.value++
+	}
+	return c
+}
+
+// Saturated reports whether the counter has seen at least max consecutive
+// correct predictions (the resetting-counter analogue of the zero bucket).
+func (c ResettingCounter) Saturated() bool { return c.value == c.max }

@@ -1,0 +1,178 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSatCounterBounds(t *testing.T) {
+	c := NewSatCounter(3, 0)
+	for i := 0; i < 10; i++ {
+		c = c.Dec()
+	}
+	if c.Value() != 0 {
+		t.Fatalf("Dec past floor: %d", c.Value())
+	}
+	for i := 0; i < 10; i++ {
+		c = c.Inc()
+	}
+	if c.Value() != 3 {
+		t.Fatalf("Inc past ceiling: %d", c.Value())
+	}
+	if !c.Saturated() {
+		t.Fatal("counter at max not Saturated")
+	}
+}
+
+func TestSatCounterIncDecInverse(t *testing.T) {
+	// Away from the rails, Inc then Dec is identity.
+	check := func(maxSeed, initSeed uint8) bool {
+		max := maxSeed%30 + 2
+		init := initSeed % (max - 1)
+		if init == 0 {
+			init = 1
+		}
+		c := NewSatCounter(max, init)
+		return c.Inc().Dec().Value() == c.Value() && c.Dec().Inc().Value() == c.Value()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatCounterNeverLeavesRange(t *testing.T) {
+	check := func(maxSeed uint8, ops uint64) bool {
+		max := maxSeed%31 + 1
+		c := NewSatCounter(max, max/2)
+		for i := 0; i < 64; i++ {
+			if ops>>uint(i)&1 == 1 {
+				c = c.Inc()
+			} else {
+				c = c.Dec()
+			}
+			if c.Value() > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatCounterPanicsOnBadInit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("init > max did not panic")
+		}
+	}()
+	NewSatCounter(3, 4)
+}
+
+func TestTwoBitPrediction(t *testing.T) {
+	// 2-bit counter: states 0,1 predict not-taken; 2,3 predict taken.
+	for state, want := range map[uint8]bool{0: false, 1: false, 2: true, 3: true} {
+		c := TwoBit(state)
+		if c.PredictTaken() != want {
+			t.Fatalf("state %d predicts %v, want %v", state, c.PredictTaken(), want)
+		}
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	// From strongly-taken, one not-taken outcome must not flip the
+	// prediction; two must.
+	c := TwoBit(3)
+	c = c.Dec()
+	if !c.PredictTaken() {
+		t.Fatal("single contrary outcome flipped strong counter")
+	}
+	c = c.Dec()
+	if c.PredictTaken() {
+		t.Fatal("two contrary outcomes did not flip counter")
+	}
+}
+
+func TestResettingCounterBasics(t *testing.T) {
+	c := NewResettingCounter(16, 0)
+	for i := 1; i <= 20; i++ {
+		c = c.Update(false)
+		want := uint8(i)
+		if i > 16 {
+			want = 16
+		}
+		if c.Value() != want {
+			t.Fatalf("after %d correct: %d, want %d", i, c.Value(), want)
+		}
+	}
+	if !c.Saturated() {
+		t.Fatal("not saturated after 20 correct")
+	}
+	c = c.Update(true)
+	if c.Value() != 0 {
+		t.Fatalf("after incorrect: %d, want 0", c.Value())
+	}
+}
+
+// Property (paper invariant): a resetting counter is exactly 0 immediately
+// after any incorrect update, regardless of prior state.
+func TestResettingCounterResetInvariant(t *testing.T) {
+	check := func(maxSeed, initSeed uint8, ops uint32) bool {
+		max := maxSeed%31 + 1
+		c := NewResettingCounter(max, initSeed%(max+1))
+		for i := 0; i < 32; i++ {
+			incorrect := ops>>uint(i)&1 == 1
+			c = c.Update(incorrect)
+			if incorrect && c.Value() != 0 {
+				return false
+			}
+			if c.Value() > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the resetting counter value equals min(max, number of correct
+// updates since the last incorrect update).
+func TestResettingCounterTracksRun(t *testing.T) {
+	check := func(ops uint64) bool {
+		const max = 16
+		c := NewResettingCounter(max, 0)
+		run := 0
+		for i := 0; i < 64; i++ {
+			incorrect := ops>>uint(i)&1 == 1
+			c = c.Update(incorrect)
+			if incorrect {
+				run = 0
+			} else {
+				run++
+			}
+			want := run
+			if want > max {
+				want = max
+			}
+			if int(c.Value()) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResettingCounterPanicsOnBadInit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("init > max did not panic")
+		}
+	}()
+	NewResettingCounter(4, 5)
+}

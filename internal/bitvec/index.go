@@ -1,0 +1,65 @@
+package bitvec
+
+import "fmt"
+
+// Table index hashing. Prediction and confidence tables are direct-mapped
+// arrays of 2^bits entries; these helpers build indices from combinations
+// of program counter and history bits, matching the paper's Section 3.1
+// schemes (PC alone, BHR alone, PC xor BHR, concatenations).
+
+// PCIndexBits extracts an index from a branch program counter. Conditional
+// branch instructions are word-aligned on the simulated ISA, so the two low
+// PC bits carry no information; the paper's gshare uses "bits 17 through 2"
+// of the PC. PCIndexBits therefore drops the two low bits before masking.
+func PCIndexBits(pc uint64, bits uint) uint64 {
+	return (pc >> 2) & maskOf(bits)
+}
+
+// XORIndex folds any number of bit fields together with exclusive-OR and
+// masks to the table width. The paper's preliminary studies found xor more
+// effective than concatenation at equal table sizes.
+func XORIndex(bits uint, fields ...uint64) uint64 {
+	var v uint64
+	for _, f := range fields {
+		v ^= f
+	}
+	return v & maskOf(bits)
+}
+
+// ConcatIndex builds an index by concatenating fields, least significant
+// field first. widths gives the bit width allotted to each field; the total
+// must not exceed 64. Fields are truncated to their width. The result is
+// masked to tableBits, dropping high-order concatenated bits if the table
+// is smaller than the concatenation.
+func ConcatIndex(tableBits uint, fields []uint64, widths []uint) uint64 {
+	if len(fields) != len(widths) {
+		panic(fmt.Sprintf("bitvec: ConcatIndex got %d fields but %d widths", len(fields), len(widths)))
+	}
+	var v uint64
+	var shift uint
+	for i, f := range fields {
+		w := widths[i]
+		if shift+w > 64 {
+			panic("bitvec: ConcatIndex total width exceeds 64")
+		}
+		v |= (f & maskOf(w)) << shift
+		shift += w
+	}
+	return v & maskOf(tableBits)
+}
+
+// FoldIndex reduces a wide value to tableBits by xor-folding successive
+// tableBits-wide chunks. Used to hash long CIR patterns into small
+// second-level tables without discarding high-order history.
+func FoldIndex(v uint64, tableBits uint) uint64 {
+	if tableBits == 0 || tableBits > 63 {
+		panic(fmt.Sprintf("bitvec: FoldIndex width %d out of range [1,63]", tableBits))
+	}
+	m := maskOf(tableBits)
+	var out uint64
+	for v != 0 {
+		out ^= v & m
+		v >>= tableBits
+	}
+	return out
+}

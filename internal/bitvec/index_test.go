@@ -1,0 +1,128 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPCIndexBitsDropsAlignment(t *testing.T) {
+	// Word-aligned PCs differing only in bits 0-1 must map identically.
+	if PCIndexBits(0x1000, 12) != PCIndexBits(0x1003, 12) {
+		t.Fatal("alignment bits leaked into index")
+	}
+	// Bits 2+ must matter.
+	if PCIndexBits(0x1000, 12) == PCIndexBits(0x1004, 12) {
+		t.Fatal("adjacent word PCs collided")
+	}
+}
+
+func TestPCIndexBitsRange(t *testing.T) {
+	check := func(pc uint64, bitsSeed uint8) bool {
+		b := uint(bitsSeed%24) + 1
+		return PCIndexBits(pc, b) < 1<<b
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORIndex(t *testing.T) {
+	if got := XORIndex(8, 0xFF, 0x0F); got != 0xF0 {
+		t.Fatalf("XORIndex = %x, want f0", got)
+	}
+	if got := XORIndex(4, 0xFF, 0x0F); got != 0x0 {
+		t.Fatalf("masked XORIndex = %x, want 0", got)
+	}
+	if got := XORIndex(8); got != 0 {
+		t.Fatalf("empty XORIndex = %x, want 0", got)
+	}
+}
+
+// Property: XOR indexing is self-inverse — xoring a field in twice removes it.
+func TestXORIndexSelfInverse(t *testing.T) {
+	check := func(a, b uint64, bitsSeed uint8) bool {
+		w := uint(bitsSeed%16) + 1
+		return XORIndex(w, a, b, b) == XORIndex(w, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatIndex(t *testing.T) {
+	// fields [a (4 bits), b (4 bits)] → b:a
+	got := ConcatIndex(8, []uint64{0xA, 0xB}, []uint{4, 4})
+	if got != 0xBA {
+		t.Fatalf("ConcatIndex = %x, want ba", got)
+	}
+	// Truncation of field values to their widths.
+	got = ConcatIndex(8, []uint64{0xFA, 0xFB}, []uint{4, 4})
+	if got != 0xBA {
+		t.Fatalf("ConcatIndex with wide fields = %x, want ba", got)
+	}
+	// Table mask drops high bits.
+	got = ConcatIndex(4, []uint64{0xA, 0xB}, []uint{4, 4})
+	if got != 0xA {
+		t.Fatalf("masked ConcatIndex = %x, want a", got)
+	}
+}
+
+func TestConcatIndexPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatched lengths": func() { ConcatIndex(8, []uint64{1}, []uint{4, 4}) },
+		"width overflow":     func() { ConcatIndex(8, []uint64{1, 2}, []uint{40, 40}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFoldIndexRange(t *testing.T) {
+	check := func(v uint64, bitsSeed uint8) bool {
+		w := uint(bitsSeed%20) + 1
+		return FoldIndex(v, w) < 1<<w
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldIndexIdentityWhenNarrow(t *testing.T) {
+	// Values already within the width fold to themselves.
+	check := func(seed uint16) bool {
+		v := uint64(seed) & 0xFFF
+		return FoldIndex(v, 12) == v
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldIndexMixesHighBits(t *testing.T) {
+	// A value with only high bits set must still produce a nonzero fold.
+	if FoldIndex(0xF000, 4) == 0xF000&0xF {
+		// 0xF000 folded into 4 bits: chunks F,0,0,0 → F.
+		if FoldIndex(0xF000, 4) != 0xF {
+			t.Fatalf("FoldIndex(0xF000,4) = %x, want f", FoldIndex(0xF000, 4))
+		}
+	}
+}
+
+func TestFoldIndexPanics(t *testing.T) {
+	for _, w := range []uint{0, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d did not panic", w)
+				}
+			}()
+			FoldIndex(1, w)
+		}()
+	}
+}

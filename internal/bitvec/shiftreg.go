@@ -1,0 +1,154 @@
+// Package bitvec provides the bit-level building blocks of the confidence
+// simulator: shift registers (branch history registers and correct/incorrect
+// registers), saturating and resetting counters, and the index-hashing
+// helpers used to address prediction and confidence tables.
+//
+// Conventions follow the paper (Jacobsen, Rotenberg & Smith, MICRO 1996):
+// in a Correct/Incorrect Register (CIR) a 1 bit records an incorrect
+// prediction and a 0 bit a correct one; new outcomes shift in at the least
+// significant bit, so the most significant bit of the window is the oldest.
+// After "correct x3, incorrect, correct x4" an 8-bit CIR reads 00010000.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxShiftWidth is the widest supported shift register, bounded by the
+// uint64 backing word.
+const MaxShiftWidth = 64
+
+// ShiftReg is a fixed-width shift register over single-bit events. It backs
+// both branch history registers (1 = taken) and correct/incorrect registers
+// (1 = incorrect). The zero value is unusable; construct with NewShiftReg.
+type ShiftReg struct {
+	bits  uint64
+	mask  uint64
+	width uint
+}
+
+// NewShiftReg returns a register of the given width (1..64) with all bits
+// clear. It panics on an out-of-range width: register widths are structural
+// configuration fixed at table-construction time, so a bad width is a
+// programming error, not a runtime condition.
+func NewShiftReg(width uint) ShiftReg {
+	if width == 0 || width > MaxShiftWidth {
+		panic(fmt.Sprintf("bitvec: shift register width %d out of range [1,%d]", width, MaxShiftWidth))
+	}
+	return ShiftReg{mask: maskOf(width), width: width}
+}
+
+func maskOf(width uint) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Width returns the register width in bits.
+func (s ShiftReg) Width() uint { return s.width }
+
+// Bits returns the current window contents, oldest event in the most
+// significant bit of the window.
+func (s ShiftReg) Bits() uint64 { return s.bits }
+
+// Shift records one event: b=true shifts in a 1, b=false a 0. The oldest
+// bit falls off the top of the window. Returns the updated register (value
+// semantics keep table entries compact and copies cheap).
+func (s ShiftReg) Shift(b bool) ShiftReg {
+	s.bits = (s.bits << 1) & s.mask
+	if b {
+		s.bits |= 1
+	}
+	return s
+}
+
+// Set replaces the window contents, truncating v to the register width.
+func (s ShiftReg) Set(v uint64) ShiftReg {
+	s.bits = v & s.mask
+	return s
+}
+
+// OnesCount returns the number of 1 bits in the window.
+func (s ShiftReg) OnesCount() int { return bits.OnesCount64(s.bits) }
+
+// IsZero reports whether every bit in the window is 0.
+func (s ShiftReg) IsZero() bool { return s.bits == 0 }
+
+// Newest reports the most recently shifted-in bit.
+func (s ShiftReg) Newest() bool { return s.bits&1 == 1 }
+
+// Oldest reports the oldest bit still in the window.
+func (s ShiftReg) Oldest() bool { return s.bits>>(s.width-1)&1 == 1 }
+
+// String renders the window as a binary string, oldest bit first, matching
+// the paper's presentation (e.g. "00010000").
+func (s ShiftReg) String() string {
+	out := make([]byte, s.width)
+	for i := uint(0); i < s.width; i++ {
+		if s.bits>>(s.width-1-i)&1 == 1 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// BHR is a global or per-address branch history register: a shift register
+// of branch outcomes where 1 records a taken branch.
+type BHR struct {
+	reg ShiftReg
+}
+
+// NewBHR returns a branch history register of the given width, all zeros.
+func NewBHR(width uint) BHR { return BHR{reg: NewShiftReg(width)} }
+
+// Record shifts in one branch outcome.
+func (b *BHR) Record(taken bool) { b.reg = b.reg.Shift(taken) }
+
+// Bits returns the history window for use in table indexing.
+func (b BHR) Bits() uint64 { return b.reg.Bits() }
+
+// Width returns the history length.
+func (b BHR) Width() uint { return b.reg.Width() }
+
+// Set overwrites the history window (used by tests and checkpointing).
+func (b *BHR) Set(v uint64) { b.reg = b.reg.Set(v) }
+
+// String renders the history window, oldest outcome first.
+func (b BHR) String() string { return b.reg.String() }
+
+// CIR is a correct/incorrect register: a shift register of prediction
+// correctness where 1 records an incorrect prediction.
+type CIR struct {
+	reg ShiftReg
+}
+
+// NewCIR returns a CIR of the given width with all bits clear (history of
+// all-correct predictions).
+func NewCIR(width uint) CIR { return CIR{reg: NewShiftReg(width)} }
+
+// Record shifts in one prediction outcome; incorrect=true records a 1.
+func (c *CIR) Record(incorrect bool) { c.reg = c.reg.Shift(incorrect) }
+
+// Bits returns the CIR pattern. Patterns index second-level tables and key
+// the ideal-reduction statistics.
+func (c CIR) Bits() uint64 { return c.reg.Bits() }
+
+// Width returns the CIR length in bits.
+func (c CIR) Width() uint { return c.reg.Width() }
+
+// OnesCount returns the number of recorded mispredictions in the window.
+func (c CIR) OnesCount() int { return c.reg.OnesCount() }
+
+// IsZero reports whether the window records no mispredictions (the paper's
+// "zero bucket" entry state).
+func (c CIR) IsZero() bool { return c.reg.IsZero() }
+
+// Set overwrites the window contents (used by initialisation policies).
+func (c *CIR) Set(v uint64) { c.reg = c.reg.Set(v) }
+
+// String renders the pattern, oldest prediction first.
+func (c CIR) String() string { return c.reg.String() }

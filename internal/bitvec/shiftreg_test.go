@@ -1,0 +1,180 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperCIRExample(t *testing.T) {
+	// Paper §3.1: correct x3, incorrect, correct x4 in an 8-bit CIR reads
+	// 00010000.
+	c := NewCIR(8)
+	seq := []bool{false, false, false, true, false, false, false, false}
+	for _, inc := range seq {
+		c.Record(inc)
+	}
+	if got := c.String(); got != "00010000" {
+		t.Fatalf("CIR = %s, want 00010000", got)
+	}
+	if c.OnesCount() != 1 {
+		t.Fatalf("OnesCount = %d, want 1", c.OnesCount())
+	}
+	if c.IsZero() {
+		t.Fatal("CIR with one misprediction reported zero")
+	}
+}
+
+func TestShiftRegWindowing(t *testing.T) {
+	s := NewShiftReg(4)
+	// Shift in 1,1,1,1 then 0,0,0,0: the ones must fall out.
+	for i := 0; i < 4; i++ {
+		s = s.Shift(true)
+	}
+	if s.Bits() != 0xF {
+		t.Fatalf("bits = %x, want f", s.Bits())
+	}
+	for i := 0; i < 4; i++ {
+		s = s.Shift(false)
+	}
+	if !s.IsZero() {
+		t.Fatalf("bits = %x after window of zeros, want 0", s.Bits())
+	}
+}
+
+func TestShiftRegNewestOldest(t *testing.T) {
+	s := NewShiftReg(3)
+	s = s.Shift(true).Shift(false).Shift(false) // window 100: oldest=1 newest=0
+	if !s.Oldest() || s.Newest() {
+		t.Fatalf("oldest=%v newest=%v, want true false (window %s)", s.Oldest(), s.Newest(), s)
+	}
+	s = s.Shift(true) // window 001
+	if s.Oldest() || !s.Newest() {
+		t.Fatalf("oldest=%v newest=%v, want false true (window %s)", s.Oldest(), s.Newest(), s)
+	}
+}
+
+func TestShiftRegWidth64(t *testing.T) {
+	s := NewShiftReg(64)
+	for i := 0; i < 64; i++ {
+		s = s.Shift(true)
+	}
+	if s.Bits() != ^uint64(0) {
+		t.Fatalf("64-bit register of ones = %x", s.Bits())
+	}
+	s = s.Shift(false)
+	allOnes := ^uint64(0)
+	if s.Bits() != allOnes-1 {
+		t.Fatalf("after one zero: %x", s.Bits())
+	}
+}
+
+func TestShiftRegSetTruncates(t *testing.T) {
+	s := NewShiftReg(5).Set(0xFFFF)
+	if s.Bits() != 0x1F {
+		t.Fatalf("Set did not truncate: %x", s.Bits())
+	}
+}
+
+func TestShiftRegPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d did not panic", w)
+				}
+			}()
+			NewShiftReg(w)
+		}()
+	}
+}
+
+func TestShiftRegString(t *testing.T) {
+	s := NewShiftReg(6)
+	s = s.Shift(true).Shift(false).Shift(true).Shift(true).Shift(false).Shift(false)
+	// Events oldest→newest: 1,0,1,1,0,0 → string "101100".
+	if got := s.String(); got != "101100" {
+		t.Fatalf("String = %s, want 101100", got)
+	}
+}
+
+// Property: after n correct updates, any CIR of width <= n is all zeros.
+func TestCIRAllCorrectClears(t *testing.T) {
+	check := func(widthSeed uint8, pre uint64) bool {
+		width := uint(widthSeed%32) + 1
+		c := NewCIR(width)
+		c.Set(pre)
+		for i := uint(0); i < width; i++ {
+			c.Record(false)
+		}
+		return c.IsZero()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OnesCount equals popcount of the window contents.
+func TestCIROnesCountMatchesPopcount(t *testing.T) {
+	check := func(widthSeed uint8, v uint64) bool {
+		width := uint(widthSeed%32) + 1
+		c := NewCIR(width)
+		c.Set(v)
+		return c.OnesCount() == bits.OnesCount64(c.Bits())
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a shift register replays the last `width` events exactly.
+func TestShiftRegReplaysWindow(t *testing.T) {
+	check := func(widthSeed uint8, events uint64) bool {
+		width := uint(widthSeed%16) + 1
+		s := NewShiftReg(width)
+		const total = 40
+		var history [total]bool
+		for i := 0; i < total; i++ {
+			b := events>>(uint(i)%64)&1 == 1
+			history[i] = b
+			s = s.Shift(b)
+		}
+		// Reconstruct expected window: last `width` events, oldest at MSB.
+		var want uint64
+		for i := total - int(width); i < total; i++ {
+			want <<= 1
+			if history[i] {
+				want |= 1
+			}
+		}
+		return s.Bits() == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBHRRecord(t *testing.T) {
+	b := NewBHR(4)
+	b.Record(true)
+	b.Record(true)
+	b.Record(false)
+	b.Record(true)
+	if b.Bits() != 0b1101 {
+		t.Fatalf("BHR = %04b, want 1101", b.Bits())
+	}
+	if b.Width() != 4 {
+		t.Fatalf("Width = %d", b.Width())
+	}
+	if b.String() != "1101" {
+		t.Fatalf("String = %s", b.String())
+	}
+}
+
+func TestBHRSet(t *testing.T) {
+	b := NewBHR(8)
+	b.Set(0xAB)
+	if b.Bits() != 0xAB {
+		t.Fatalf("Bits = %x", b.Bits())
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+func rec(pc uint64, taken bool) trace.Record {
+	return trace.Record{PC: pc, Target: pc + 32, Taken: taken}
+}
+
+func TestIndexSchemeStrings(t *testing.T) {
+	want := map[IndexScheme]string{
+		IndexPC: "PC", IndexBHR: "BHR", IndexPCxorBHR: "BHRxorPC",
+		IndexGCIR: "GCIR", IndexPCxorGCIR: "GCIRxorPC", IndexPCconcatBHR: "PCcatBHR",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if !strings.Contains(IndexScheme(99).String(), "99") {
+		t.Fatal("unknown scheme string")
+	}
+}
+
+func TestInitPolicyValues(t *testing.T) {
+	if got := InitOnes.initValue(8, nil); got != 0xFF {
+		t.Fatalf("ones(8) = %x", got)
+	}
+	if got := InitOnes.initValue(64, nil); got != ^uint64(0) {
+		t.Fatalf("ones(64) = %x", got)
+	}
+	if got := InitZeros.initValue(16, nil); got != 0 {
+		t.Fatalf("zeros = %x", got)
+	}
+	if got := InitLastBit.initValue(16, nil); got != 0x8000 {
+		t.Fatalf("lastbit(16) = %x, want 8000", got)
+	}
+}
+
+func TestInitPolicyStrings(t *testing.T) {
+	for p, w := range map[InitPolicy]string{InitOnes: "one", InitZeros: "zero", InitLastBit: "lastbit", InitRandom: "random"} {
+		if p.String() != w {
+			t.Fatalf("policy %d string %q want %q", int(p), p.String(), w)
+		}
+	}
+}
+
+func TestOneLevelDefaults(t *testing.T) {
+	m := PaperOneLevel(IndexPCxorBHR)
+	if m.TableBits() != 16 || m.CIRBits() != 16 || m.Scheme() != IndexPCxorBHR {
+		t.Fatalf("defaults: %d/%d/%v", m.TableBits(), m.CIRBits(), m.Scheme())
+	}
+	// All-ones init: first bucket read must be the all-ones pattern.
+	if got := m.Bucket(rec(0x1000, true)); got != 0xFFFF {
+		t.Fatalf("initial bucket %x, want ffff", got)
+	}
+}
+
+func TestOneLevelShiftSemantics(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPC, TableBits: 8, CIRBits: 8, Init: InitZeros})
+	r := rec(0x1000, true)
+	// Three correct, one incorrect, four correct → 00010000 (paper §3.1).
+	seq := []bool{false, false, false, true, false, false, false, false}
+	for _, inc := range seq {
+		m.Update(r, inc)
+	}
+	if got := m.Bucket(r); got != 0b00010000 {
+		t.Fatalf("bucket %08b, want 00010000", got)
+	}
+}
+
+func TestOneLevelPCIndexingSeparates(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPC, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	a, b := rec(0x1000, true), rec(0x1008, true)
+	m.Update(a, true)
+	if m.Bucket(a) == m.Bucket(b) {
+		t.Fatal("distinct PCs aliased in a table with room")
+	}
+}
+
+func TestOneLevelBHRIndexingIgnoresPC(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexBHR, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	a, b := rec(0x1000, true), rec(0x2000, true)
+	// Identical history ⇒ identical bucket regardless of PC.
+	if m.Bucket(a) != m.Bucket(b) {
+		t.Fatal("BHR indexing distinguished PCs")
+	}
+}
+
+func TestOneLevelXORUsesBoth(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPCxorBHR, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	// Mark the entry for (PC=0x1000, empty history).
+	m.Update(rec(0x1000, false), true) // also shifts BHR with not-taken (0)
+	// Same PC, same history (still zero) → same entry, nonzero CIR.
+	if m.Bucket(rec(0x1000, true)) == 0 {
+		t.Fatal("expected marked entry for same context")
+	}
+	// Different PC with same history → different entry.
+	if m.Bucket(rec(0x1040, true)) != 0 {
+		t.Fatal("different PC hit the marked entry")
+	}
+}
+
+func TestOneLevelHistoryAffectsIndex(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPCxorBHR, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	m.Update(rec(0x1000, true), true) // history now 1, entry for history-0 marked
+	// Same PC but history changed → different entry (still zero).
+	if m.Bucket(rec(0x1000, true)) != 0 {
+		t.Fatal("history change did not move the index")
+	}
+}
+
+func TestOneLevelGCIRIndexing(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexGCIR, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	m.Update(rec(0x1000, true), true) // GCIR now 1
+	m.Update(rec(0x2000, true), false)
+	// Bucket depends only on correctness history, not on the record.
+	if m.Bucket(rec(0x3000, false)) != m.Bucket(rec(0x4000, true)) {
+		t.Fatal("GCIR indexing distinguished records")
+	}
+}
+
+func TestOneLevelConcatIndexing(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPCconcatBHR, TableBits: 8, CIRBits: 4, Init: InitZeros})
+	m.Update(rec(0x1000, false), true)
+	if m.Bucket(rec(0x1000, true)) == 0 {
+		t.Fatal("same context missed marked concat entry")
+	}
+}
+
+func TestOneLevelReset(t *testing.T) {
+	m := PaperOneLevel(IndexPCxorBHR)
+	r := rec(0x1000, true)
+	for i := 0; i < 20; i++ {
+		m.Update(r, false)
+	}
+	m.Reset()
+	if got := m.Bucket(r); got != 0xFFFF {
+		t.Fatalf("bucket after reset %x, want ffff", got)
+	}
+}
+
+func TestOneLevelInitPolicies(t *testing.T) {
+	r := rec(0x1000, true)
+	ones := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitOnes})
+	if ones.Bucket(r) != 0xFF {
+		t.Fatalf("InitOnes bucket %x", ones.Bucket(r))
+	}
+	zeros := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitZeros})
+	if zeros.Bucket(r) != 0 {
+		t.Fatalf("InitZeros bucket %x", zeros.Bucket(r))
+	}
+	last := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitLastBit})
+	if last.Bucket(r) != 0x80 {
+		t.Fatalf("InitLastBit bucket %x", last.Bucket(r))
+	}
+}
+
+func TestOneLevelRandomInitDeterministic(t *testing.T) {
+	a := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitRandom, InitSeed: 7})
+	b := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitRandom, InitSeed: 7})
+	c := NewOneLevel(OneLevelConfig{TableBits: 8, CIRBits: 8, Init: InitRandom, InitSeed: 8})
+	same, diff := 0, 0
+	for pc := uint64(0x1000); pc < 0x1800; pc += 8 {
+		r := rec(pc, true)
+		if a.Bucket(r) == b.Bucket(r) {
+			same++
+		}
+		if a.Bucket(r) != c.Bucket(r) {
+			diff++
+		}
+	}
+	if same != 256 {
+		t.Fatalf("same seed agreed on %d/256 entries", same)
+	}
+	if diff < 200 {
+		t.Fatalf("different seeds agreed too often (%d/256 differ)", diff)
+	}
+}
+
+func TestOneLevelPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"table-31": func() { NewOneLevel(OneLevelConfig{TableBits: 31}) },
+		"cir-65":   func() { NewOneLevel(OneLevelConfig{CIRBits: 65}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOneLevelName(t *testing.T) {
+	m := PaperOneLevel(IndexPCxorBHR)
+	if m.Name() != "1lev-BHRxorPC-cir16-2^16-one" {
+		t.Fatalf("name %q", m.Name())
+	}
+}

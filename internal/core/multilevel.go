@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"branchconf/internal/trace"
+)
+
+// MultiEstimator generalises the binary confidence signal to a range of
+// confidence levels — the extension §1 of the paper notes ("one could
+// divide the branches into multiple sets with a range of confidence
+// levels. To date, we have not pursued this generalization"). It
+// partitions counter-valued buckets by an ascending threshold ladder:
+// level 0 collects buckets below the first threshold (lowest confidence),
+// level len(thresholds) collects buckets at or above the last (highest).
+//
+// Applications grade their response by level: a dual-path engine might
+// fork at level 0, fetch-throttle at level 1, and speculate freely above.
+type MultiEstimator struct {
+	mech       Mechanism
+	thresholds []uint64
+}
+
+// NewMultiEstimator builds a multi-level estimator over mech. thresholds
+// must be non-empty and strictly increasing; the estimator has
+// len(thresholds)+1 levels. It panics otherwise: the ladder is fixed
+// configuration.
+func NewMultiEstimator(mech Mechanism, thresholds []uint64) *MultiEstimator {
+	if len(thresholds) == 0 {
+		panic("core: MultiEstimator needs at least one threshold")
+	}
+	if !sort.SliceIsSorted(thresholds, func(i, j int) bool { return thresholds[i] < thresholds[j] }) {
+		panic(fmt.Sprintf("core: MultiEstimator thresholds %v not strictly increasing", thresholds))
+	}
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] == thresholds[i-1] {
+			panic(fmt.Sprintf("core: MultiEstimator thresholds %v not strictly increasing", thresholds))
+		}
+	}
+	ladder := make([]uint64, len(thresholds))
+	copy(ladder, thresholds)
+	return &MultiEstimator{mech: mech, thresholds: ladder}
+}
+
+// PaperMultiEstimator returns a four-level ladder over the recommended
+// resetting-counter table, splitting at counts 1, 8 and 16: level 0 is
+// "mispredicted last time", level 3 is the saturated zero-bucket analogue.
+func PaperMultiEstimator() *MultiEstimator {
+	return NewMultiEstimator(PaperResetting(), []uint64{1, 8, 16})
+}
+
+// Levels returns the number of confidence levels.
+func (m *MultiEstimator) Levels() int { return len(m.thresholds) + 1 }
+
+// Level returns the confidence level (0 = lowest) for the upcoming
+// prediction of r. Call before Update.
+func (m *MultiEstimator) Level(r trace.Record) int {
+	b := m.mech.Bucket(r)
+	// The ladder is short (a handful of levels); linear scan beats a
+	// binary search at these sizes.
+	for i, t := range m.thresholds {
+		if b < t {
+			return i
+		}
+	}
+	return len(m.thresholds)
+}
+
+// Update trains the underlying mechanism.
+func (m *MultiEstimator) Update(r trace.Record, incorrect bool) { m.mech.Update(r, incorrect) }
+
+// Reset restores the underlying mechanism.
+func (m *MultiEstimator) Reset() { m.mech.Reset() }
+
+// Name identifies the configuration.
+func (m *MultiEstimator) Name() string {
+	return fmt.Sprintf("%s.levels%v", m.mech.Name(), m.thresholds)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+func TestMultiEstimatorLevels(t *testing.T) {
+	m := NewMultiEstimator(
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPC, TableBits: 8, Max: 16}),
+		[]uint64{1, 8, 16})
+	if m.Levels() != 4 {
+		t.Fatalf("Levels = %d", m.Levels())
+	}
+	r := trace.Record{PC: 0x1000, Target: 0x1040, Taken: true}
+	// Fresh counter = 0 → level 0.
+	if got := m.Level(r); got != 0 {
+		t.Fatalf("fresh level %d", got)
+	}
+	// After 1 correct: counter 1 → level 1 (1 <= 1 < 8).
+	m.Update(r, false)
+	if got := m.Level(r); got != 1 {
+		t.Fatalf("counter 1 level %d", got)
+	}
+	// Drive to 8: level 2.
+	for i := 0; i < 7; i++ {
+		m.Update(r, false)
+	}
+	if got := m.Level(r); got != 2 {
+		t.Fatalf("counter 8 level %d", got)
+	}
+	// Saturate: level 3.
+	for i := 0; i < 10; i++ {
+		m.Update(r, false)
+	}
+	if got := m.Level(r); got != 3 {
+		t.Fatalf("saturated level %d", got)
+	}
+	// A misprediction drops straight back to level 0.
+	m.Update(r, true)
+	if got := m.Level(r); got != 0 {
+		t.Fatalf("post-miss level %d", got)
+	}
+	m.Reset()
+	if got := m.Level(r); got != 0 {
+		t.Fatalf("post-reset level %d", got)
+	}
+	if m.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestMultiEstimatorPanics(t *testing.T) {
+	mech := PaperResetting()
+	for name, ladder := range map[string][]uint64{
+		"empty":          {},
+		"non-increasing": {4, 4},
+		"decreasing":     {8, 2},
+	} {
+		ladder := ladder
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s ladder did not panic", name)
+				}
+			}()
+			NewMultiEstimator(mech, ladder)
+		}()
+	}
+}
+
+func TestMultiEstimatorLadderIsCopied(t *testing.T) {
+	ladder := []uint64{1, 8}
+	m := NewMultiEstimator(
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPC, TableBits: 8, Max: 16}),
+		ladder)
+	ladder[0] = 99 // caller mutation must not corrupt the estimator
+	r := trace.Record{PC: 0x1000, Target: 0x1040, Taken: true}
+	m.Update(r, false) // counter 1
+	if got := m.Level(r); got != 1 {
+		t.Fatalf("level %d after external ladder mutation", got)
+	}
+}
+
+func TestPaperMultiEstimator(t *testing.T) {
+	m := PaperMultiEstimator()
+	if m.Levels() != 4 {
+		t.Fatalf("levels %d", m.Levels())
+	}
+}
+
+func TestMarkOldest(t *testing.T) {
+	m := NewOneLevel(OneLevelConfig{Scheme: IndexPC, TableBits: 4, CIRBits: 8, Init: InitZeros})
+	r := rec(0x1000, true)
+	// Build some history: 2 mispredicts at one entry.
+	m.Update(r, true)
+	m.Update(r, true)
+	before := m.Bucket(r)
+	m.MarkOldest()
+	after := m.Bucket(r)
+	if after != before|0x80 {
+		t.Fatalf("MarkOldest: %08b -> %08b", before, after)
+	}
+	// Every other entry went from 0 to just the top bit.
+	other := rec(0x1008, true)
+	if m.Bucket(other) != 0x80 {
+		t.Fatalf("untouched entry %08b, want 10000000", m.Bucket(other))
+	}
+	// Idempotent.
+	m.MarkOldest()
+	if m.Bucket(other) != 0x80 {
+		t.Fatal("MarkOldest not idempotent")
+	}
+}

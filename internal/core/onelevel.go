@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/trace"
+	"branchconf/internal/xrand"
+)
+
+// OneLevel is the paper's one-level dynamic confidence mechanism (§3.1,
+// Fig. 3): a single CIR table (CT) of 2^tableBits entries, each an
+// n-bit correct/incorrect shift register, addressed by an IndexScheme over
+// the branch PC, the global branch history and/or the global CIR.
+type OneLevel struct {
+	scheme    IndexScheme
+	tableBits uint
+	cirBits   uint
+	init      InitPolicy
+	table     []bitvec.CIR
+	bhr       bitvec.BHR
+	gcir      bitvec.CIR
+	initSeed  uint64
+}
+
+// OneLevelConfig configures a one-level mechanism. Zero values select the
+// paper's defaults where meaningful.
+type OneLevelConfig struct {
+	// Scheme selects the table index (default IndexPCxorBHR, the paper's
+	// best one-level method).
+	Scheme IndexScheme
+	// TableBits is log2 of the CT entry count (default 16, matching the
+	// paper's 2^16-entry tables).
+	TableBits uint
+	// CIRBits is the shift-register width (default 16).
+	CIRBits uint
+	// Init selects initial table contents (default InitOnes, §4).
+	Init InitPolicy
+	// InitSeed drives InitRandom (ignored otherwise).
+	InitSeed uint64
+	// HistoryBits is the global BHR length used for history-based index
+	// schemes (default = TableBits).
+	HistoryBits uint
+}
+
+// NewOneLevel returns a one-level CIR-table mechanism. It panics on
+// geometry outside [1,30] table bits or [1,64] CIR bits: mechanism
+// geometry is fixed structural configuration.
+func NewOneLevel(cfg OneLevelConfig) *OneLevel {
+	if cfg.TableBits == 0 {
+		cfg.TableBits = 16
+	}
+	if cfg.CIRBits == 0 {
+		cfg.CIRBits = 16
+	}
+	if cfg.HistoryBits == 0 {
+		cfg.HistoryBits = cfg.TableBits
+	}
+	if cfg.TableBits > 30 {
+		panic(fmt.Sprintf("core: one-level table bits %d out of range [1,30]", cfg.TableBits))
+	}
+	if cfg.CIRBits > bitvec.MaxShiftWidth {
+		panic(fmt.Sprintf("core: CIR bits %d out of range [1,64]", cfg.CIRBits))
+	}
+	m := &OneLevel{
+		scheme:    cfg.Scheme,
+		tableBits: cfg.TableBits,
+		cirBits:   cfg.CIRBits,
+		init:      cfg.Init,
+		table:     make([]bitvec.CIR, 1<<cfg.TableBits),
+		initSeed:  cfg.InitSeed,
+	}
+	m.bhr = bitvec.NewBHR(cfg.HistoryBits)
+	m.gcir = bitvec.NewCIR(cfg.HistoryBits)
+	m.Reset()
+	return m
+}
+
+// PaperOneLevel returns the paper's main one-level configuration for the
+// given index scheme: 2^16 entries of 16-bit CIRs initialised to all ones.
+func PaperOneLevel(scheme IndexScheme) *OneLevel {
+	return NewOneLevel(OneLevelConfig{Scheme: scheme})
+}
+
+// index computes the CT index for the current state. It must be called
+// with identical state from Bucket and Update (the Bucket-then-Update
+// contract guarantees this).
+func (m *OneLevel) index(pc uint64) uint64 {
+	return schemeIndex(m.scheme, m.tableBits, pc, m.bhr.Bits(), m.gcir.Bits())
+}
+
+// schemeIndex maps (pc, bhr, gcir) to a table index under scheme.
+func schemeIndex(scheme IndexScheme, tableBits uint, pc, bhr, gcir uint64) uint64 {
+	switch scheme {
+	case IndexPC:
+		return bitvec.PCIndexBits(pc, tableBits)
+	case IndexBHR:
+		return bitvec.XORIndex(tableBits, bhr)
+	case IndexPCxorBHR:
+		return bitvec.XORIndex(tableBits, bitvec.PCIndexBits(pc, tableBits), bhr)
+	case IndexGCIR:
+		return bitvec.XORIndex(tableBits, gcir)
+	case IndexPCxorGCIR:
+		return bitvec.XORIndex(tableBits, bitvec.PCIndexBits(pc, tableBits), gcir)
+	case IndexPCconcatBHR:
+		half := tableBits / 2
+		return bitvec.ConcatIndex(tableBits,
+			[]uint64{bitvec.PCIndexBits(pc, half), bhr},
+			[]uint{half, tableBits - half})
+	default:
+		panic(fmt.Sprintf("core: unknown index scheme %d", int(scheme)))
+	}
+}
+
+// Bucket returns the CIR pattern read from the table for this branch.
+func (m *OneLevel) Bucket(r trace.Record) uint64 {
+	return m.table[m.index(r.PC)].Bits()
+}
+
+// Update shifts the prediction outcome into the indexed CIR and advances
+// the global history registers.
+func (m *OneLevel) Update(r trace.Record, incorrect bool) {
+	i := m.index(r.PC)
+	m.table[i].Record(incorrect)
+	m.bhr.Record(r.Taken)
+	m.gcir.Record(incorrect)
+}
+
+// Reset restores the configured initial table state and clears histories.
+func (m *OneLevel) Reset() {
+	rng := xrand.New(m.initSeed ^ 0xC12_5EED)
+	for i := range m.table {
+		c := bitvec.NewCIR(m.cirBits)
+		c.Set(m.init.initValue(m.cirBits, rng))
+		m.table[i] = c
+	}
+	m.bhr.Set(0)
+	m.gcir.Set(0)
+}
+
+// MarkOldest sets the oldest bit of every CIR in the table, leaving the
+// rest of each window intact — the cheap context-switch treatment §5.4
+// conjectures ("leave the CIRs at their current values at the time of a
+// context switch, except the oldest bit which should be initialized at
+// 1"). Histories are left untouched.
+func (m *OneLevel) MarkOldest() {
+	top := uint64(1) << (m.cirBits - 1)
+	for i := range m.table {
+		m.table[i].Set(m.table[i].Bits() | top)
+	}
+}
+
+// CIRBits returns the shift-register width (Fig. 8's reduction functions
+// depend on it: a width-n CIR has n+1 possible ones-counts).
+func (m *OneLevel) CIRBits() uint { return m.cirBits }
+
+// TableBits returns log2 of the table size.
+func (m *OneLevel) TableBits() uint { return m.tableBits }
+
+// Scheme returns the index scheme.
+func (m *OneLevel) Scheme() IndexScheme { return m.scheme }
+
+// Name implements Mechanism.
+func (m *OneLevel) Name() string {
+	return fmt.Sprintf("1lev-%s-cir%d-2^%d-%s", m.scheme, m.cirBits, m.tableBits, m.init)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"branchconf/internal/trace"
+)
+
+// Reducer is the combinational reduction function of Fig. 3: it collapses
+// a bucket (CIR pattern or counter value) to the one-bit confidence
+// signal. Confident == true means high confidence.
+type Reducer interface {
+	Confident(bucket uint64) bool
+	Name() string
+}
+
+// OnesCountReducer implements §5.1's ones-counting reduction: a prediction
+// is high-confidence when its CIR records fewer than Threshold
+// mispredictions.
+type OnesCountReducer struct {
+	// Threshold is the minimum ones-count classified low-confidence.
+	Threshold int
+}
+
+// Confident reports popcount(bucket) < Threshold.
+func (o OnesCountReducer) Confident(bucket uint64) bool {
+	return bits.OnesCount64(bucket) < o.Threshold
+}
+
+// Name implements Reducer.
+func (o OnesCountReducer) Name() string { return fmt.Sprintf("1Cnt<%d", o.Threshold) }
+
+// WeightedOnesReducer is the recency-weighted refinement §5.1's analysis
+// of ones counting points at: "recent mispredictions, e.g. the most
+// recent, correlate better than the older ones ... Yet, with ones
+// counting, they are all given equal weight." Bit i of the CIR (i = 0
+// newest) contributes weight Width-i, so a just-seen misprediction counts
+// Width times more than one about to age out. A prediction is
+// high-confidence when the weighted sum stays below Threshold.
+type WeightedOnesReducer struct {
+	// Width is the CIR width in bits (weights run Width..1).
+	Width uint
+	// Threshold is the minimum weighted sum classified low-confidence.
+	Threshold int
+}
+
+// Score returns the recency-weighted misprediction sum of the pattern.
+func (w WeightedOnesReducer) Score(bucket uint64) int {
+	score := 0
+	for i := uint(0); i < w.Width; i++ {
+		if bucket>>i&1 == 1 {
+			score += int(w.Width - i)
+		}
+	}
+	return score
+}
+
+// Confident reports Score(bucket) < Threshold.
+func (w WeightedOnesReducer) Confident(bucket uint64) bool {
+	return w.Score(bucket) < w.Threshold
+}
+
+// Name implements Reducer.
+func (w WeightedOnesReducer) Name() string { return fmt.Sprintf("w1Cnt<%d", w.Threshold) }
+
+// CounterReducer thresholds a counter-valued bucket: a prediction is
+// high-confidence when the counter is at least Threshold. With resetting
+// counters this reads "at least Threshold consecutive correct
+// predictions"; Table 1's rows correspond to thresholds 1..16.
+type CounterReducer struct {
+	// Threshold is the minimum counter value classified high-confidence.
+	Threshold uint64
+}
+
+// Confident reports bucket >= Threshold.
+func (c CounterReducer) Confident(bucket uint64) bool { return bucket >= c.Threshold }
+
+// Name implements Reducer.
+func (c CounterReducer) Name() string { return fmt.Sprintf("cnt>=%d", c.Threshold) }
+
+// SetReducer classifies an explicit set of buckets as low-confidence —
+// the general minterm form the paper's ideal reduction takes. Analysis
+// code derives the set from sorted per-bucket statistics (see
+// internal/analysis; LowSet there builds one from a curve).
+type SetReducer struct {
+	low  map[uint64]struct{}
+	name string
+}
+
+// NewSetReducer returns a reducer whose low-confidence set is lowBuckets.
+func NewSetReducer(name string, lowBuckets []uint64) *SetReducer {
+	low := make(map[uint64]struct{}, len(lowBuckets))
+	for _, b := range lowBuckets {
+		low[b] = struct{}{}
+	}
+	return &SetReducer{low: low, name: name}
+}
+
+// Confident reports that the bucket is not in the low-confidence set.
+func (s *SetReducer) Confident(bucket uint64) bool {
+	_, lo := s.low[bucket]
+	return !lo
+}
+
+// Name implements Reducer.
+func (s *SetReducer) Name() string { return s.name }
+
+// Estimator pairs a Mechanism with a Reducer to form the complete online
+// confidence unit of Fig. 1: for every dynamic branch it emits the
+// high/low confidence signal alongside the branch prediction, then is
+// trained with the prediction's correctness.
+type Estimator struct {
+	mech   Mechanism
+	reduce Reducer
+}
+
+// NewEstimator combines a mechanism and a reduction function.
+func NewEstimator(mech Mechanism, reduce Reducer) *Estimator {
+	return &Estimator{mech: mech, reduce: reduce}
+}
+
+// PaperEstimator returns the paper's recommended practical configuration:
+// a 2^16-entry resetting-counter table indexed by PC xor BHR, classifying
+// counter values below threshold as low confidence. Table 1 maps
+// thresholds to coverage: threshold 1 isolates ~42% of mispredictions in
+// ~4% of branches; threshold 16 isolates ~89% in ~20%.
+func PaperEstimator(threshold uint64) *Estimator {
+	return NewEstimator(PaperResetting(), CounterReducer{Threshold: threshold})
+}
+
+// Confident returns the high/low confidence signal for the upcoming
+// prediction of r. Call before Update.
+func (e *Estimator) Confident(r trace.Record) bool {
+	return e.reduce.Confident(e.mech.Bucket(r))
+}
+
+// Update trains the underlying mechanism.
+func (e *Estimator) Update(r trace.Record, incorrect bool) { e.mech.Update(r, incorrect) }
+
+// Reset restores the mechanism's initial state.
+func (e *Estimator) Reset() { e.mech.Reset() }
+
+// Name identifies the estimator configuration.
+func (e *Estimator) Name() string {
+	return fmt.Sprintf("%s.%s", e.mech.Name(), e.reduce.Name())
+}

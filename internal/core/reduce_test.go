@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+func TestOnesCountReducer(t *testing.T) {
+	r := OnesCountReducer{Threshold: 3}
+	cases := map[uint64]bool{
+		0b0000: true,  // 0 ones < 3
+		0b0101: true,  // 2 ones < 3
+		0b0111: false, // 3 ones
+		0xFFFF: false,
+	}
+	for b, want := range cases {
+		if got := r.Confident(b); got != want {
+			t.Fatalf("Confident(%b) = %v, want %v", b, got, want)
+		}
+	}
+	if r.Name() != "1Cnt<3" {
+		t.Fatalf("name %q", r.Name())
+	}
+}
+
+func TestCounterReducer(t *testing.T) {
+	r := CounterReducer{Threshold: 16}
+	if r.Confident(15) {
+		t.Fatal("15 >= 16 claimed")
+	}
+	if !r.Confident(16) {
+		t.Fatal("16 not confident")
+	}
+	if (CounterReducer{Threshold: 0}).Confident(0) != true {
+		t.Fatal("threshold 0 must always be confident")
+	}
+}
+
+func TestSetReducer(t *testing.T) {
+	r := NewSetReducer("ideal", []uint64{1, 5, 0xFFFF})
+	for _, low := range []uint64{1, 5, 0xFFFF} {
+		if r.Confident(low) {
+			t.Fatalf("low bucket %x classified confident", low)
+		}
+	}
+	for _, hi := range []uint64{0, 2, 100} {
+		if !r.Confident(hi) {
+			t.Fatalf("bucket %x classified low", hi)
+		}
+	}
+	if r.Name() != "ideal" {
+		t.Fatalf("name %q", r.Name())
+	}
+}
+
+func TestEstimatorEndToEnd(t *testing.T) {
+	// A resetting estimator with threshold 2: low confidence until two
+	// consecutive correct predictions at the same table entry.
+	e := NewEstimator(
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPC, TableBits: 8, Max: 16}),
+		CounterReducer{Threshold: 2},
+	)
+	r := trace.Record{PC: 0x1000, Target: 0x1040, Taken: true}
+	if e.Confident(r) {
+		t.Fatal("fresh entry (counter 0) classified confident")
+	}
+	e.Update(r, false)
+	if e.Confident(r) {
+		t.Fatal("counter 1 classified confident at threshold 2")
+	}
+	e.Update(r, false)
+	if !e.Confident(r) {
+		t.Fatal("counter 2 not confident")
+	}
+	e.Update(r, true)
+	if e.Confident(r) {
+		t.Fatal("confidence survived a misprediction")
+	}
+	e.Reset()
+	if e.Confident(r) {
+		t.Fatal("Reset did not restore low confidence")
+	}
+}
+
+func TestPaperEstimatorName(t *testing.T) {
+	e := PaperEstimator(16)
+	if e.Name() != "1lev-BHRxorPC.Reset16-2^16.cnt>=16" {
+		t.Fatalf("name %q", e.Name())
+	}
+}
+
+func TestEstimatorWithOnesCount(t *testing.T) {
+	e := NewEstimator(
+		NewOneLevel(OneLevelConfig{Scheme: IndexPC, TableBits: 8, CIRBits: 8, Init: InitOnes}),
+		OnesCountReducer{Threshold: 1},
+	)
+	r := trace.Record{PC: 0x1000, Target: 0x1040, Taken: true}
+	// All-ones init: 8 ones ≥ 1 → low confidence.
+	if e.Confident(r) {
+		t.Fatal("all-ones CIR classified confident")
+	}
+	for i := 0; i < 8; i++ {
+		e.Update(r, false)
+	}
+	// CIR now all zeros: 0 ones < 1 → confident.
+	if !e.Confident(r) {
+		t.Fatal("all-zeros CIR not confident")
+	}
+}
+
+func TestWeightedOnesReducer(t *testing.T) {
+	w := WeightedOnesReducer{Width: 4, Threshold: 4}
+	// Newest bit (position 0) weighs 4; oldest (position 3) weighs 1.
+	if got := w.Score(0b0001); got != 4 {
+		t.Fatalf("newest-bit score %d, want 4", got)
+	}
+	if got := w.Score(0b1000); got != 1 {
+		t.Fatalf("oldest-bit score %d, want 1", got)
+	}
+	if got := w.Score(0b1111); got != 10 {
+		t.Fatalf("full score %d, want 10", got)
+	}
+	if !w.Confident(0b1000) { // score 1 < 4
+		t.Fatal("old lone misprediction classified low confidence")
+	}
+	if w.Confident(0b0001) { // score 4 >= 4
+		t.Fatal("fresh misprediction classified confident")
+	}
+	if w.Name() != "w1Cnt<4" {
+		t.Fatalf("name %q", w.Name())
+	}
+}
+
+func TestWeightedOnesVsPlainOrdering(t *testing.T) {
+	// A fresh misprediction must outscore the same misprediction aged:
+	// the whole point of the weighting.
+	w := WeightedOnesReducer{Width: 16}
+	if w.Score(1) <= w.Score(1<<15) {
+		t.Fatal("recency weighting inverted")
+	}
+}

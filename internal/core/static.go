@@ -1,0 +1,30 @@
+package core
+
+import "branchconf/internal/trace"
+
+// StaticProfile is the idealised static confidence method of Section 2:
+// every dynamic prediction of the same static branch lands in the same
+// bucket (keyed by branch PC), so sorting buckets by misprediction rate
+// reproduces the profile-and-sort procedure behind Figure 2. The method is
+// "perfectly profiled" by construction — the statistics are collected on
+// the same run they are sorted over — making it the optimistic baseline
+// the dynamic mechanisms are compared against.
+//
+// StaticProfile keeps no tables: the mechanism is stateless and the whole
+// method lives in the offline analysis.
+type StaticProfile struct{}
+
+// NewStaticProfile returns the static profile mechanism.
+func NewStaticProfile() StaticProfile { return StaticProfile{} }
+
+// Bucket keys every prediction by its static branch address.
+func (StaticProfile) Bucket(r trace.Record) uint64 { return r.PC }
+
+// Update is a no-op: the static method has no dynamic state.
+func (StaticProfile) Update(trace.Record, bool) {}
+
+// Reset is a no-op.
+func (StaticProfile) Reset() {}
+
+// Name implements Mechanism.
+func (StaticProfile) Name() string { return "static" }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+// CounterStrength is the zero-cost confidence heuristic from the paper's
+// related work (§1.1, citing Smith '81): read confidence straight from the
+// saturation of the predictor's own 2-bit counter — strong states
+// (strongly taken / strongly not-taken) are "confident", weak states are
+// not. It needs no table of its own, making it the natural cost floor any
+// dedicated confidence mechanism must beat.
+//
+// The bucket is the counter's distance from its nearest rail: 0 for weak
+// states (counter 1 or 2), 1 for strong states (0 or 3), so per-bucket
+// analysis and the CounterReducer threshold (>= 1) work unchanged.
+type CounterStrength struct {
+	pred *predictor.Gshare
+}
+
+// NewCounterStrength wraps the gshare predictor whose counters supply the
+// confidence signal. The wrapped predictor must be the one making the
+// predictions, and is trained by the caller as usual — Update here is a
+// no-op because the mechanism has no private state.
+func NewCounterStrength(pred *predictor.Gshare) *CounterStrength {
+	return &CounterStrength{pred: pred}
+}
+
+// Bucket returns 1 when the counter the prediction will come from is in a
+// strong state, 0 when weak.
+func (c *CounterStrength) Bucket(r trace.Record) uint64 {
+	switch c.pred.CounterState(r.PC) {
+	case 0, 3:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Update is a no-op: the signal lives entirely in the predictor's tables.
+func (c *CounterStrength) Update(trace.Record, bool) {}
+
+// Reset is a no-op for the same reason (reset the predictor instead).
+func (c *CounterStrength) Reset() {}
+
+// Name implements Mechanism.
+func (c *CounterStrength) Name() string { return "counter-strength" }
+
+// StrengthEstimator pairs the strength mechanism with the >=1 threshold:
+// confident exactly in strong counter states.
+func StrengthEstimator(pred *predictor.Gshare) *Estimator {
+	return NewEstimator(NewCounterStrength(pred), CounterReducer{Threshold: 1})
+}

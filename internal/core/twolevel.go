@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/trace"
+	"branchconf/internal/xrand"
+)
+
+// SecondIndex selects how the second-level table of a two-level mechanism
+// is addressed (§3.2, Fig. 4): always from the CIR read out of the first
+// level, optionally xored with PC and/or BHR.
+type SecondIndex int
+
+const (
+	// L2CIR indexes the second level with the first-level CIR alone.
+	L2CIR SecondIndex = iota
+	// L2CIRxorPC xors the first-level CIR with PC bits.
+	L2CIRxorPC
+	// L2CIRxorBHR xors the first-level CIR with the global history.
+	L2CIRxorBHR
+	// L2CIRxorPCxorBHR xors the first-level CIR with both.
+	L2CIRxorPCxorBHR
+)
+
+// String returns the index's name in the style of Figure 6's legends.
+func (s SecondIndex) String() string {
+	switch s {
+	case L2CIR:
+		return "CIR"
+	case L2CIRxorPC:
+		return "CIRxorPC"
+	case L2CIRxorBHR:
+		return "BHRxorCIR"
+	case L2CIRxorPCxorBHR:
+		return "BHRxorCIRxorPC"
+	default:
+		return fmt.Sprintf("SecondIndex(%d)", int(s))
+	}
+}
+
+// TwoLevel is the paper's two-level dynamic confidence mechanism: a first
+// CIR table indexed like a one-level mechanism, whose read-out CIR (with
+// optional PC/BHR hashing) indexes a second CIR table; the second-level
+// CIR is the mechanism's bucket.
+type TwoLevel struct {
+	scheme1   IndexScheme
+	scheme2   SecondIndex
+	l1Bits    uint // log2 first-level entries
+	l1CIRBits uint // first-level CIR width; also log2 second-level entries
+	l2CIRBits uint // second-level CIR width
+	init      InitPolicy
+	initSeed  uint64
+	t1        []bitvec.CIR
+	t2        []bitvec.CIR
+	bhr       bitvec.BHR
+	gcir      bitvec.CIR
+}
+
+// TwoLevelConfig configures a two-level mechanism. Zero geometry values
+// select the paper's defaults: 2^16-entry first level of 16-bit CIRs (so a
+// 2^16-entry second level), 16-bit second-level CIRs, all-ones
+// initialisation. The Scheme1/Scheme2 zero values are the valid choices
+// IndexPC/L2CIR; set them explicitly.
+type TwoLevelConfig struct {
+	// Scheme1 indexes the first-level table.
+	Scheme1 IndexScheme
+	// Scheme2 indexes the second-level table.
+	Scheme2 SecondIndex
+	// L1Bits is log2 of the first-level entry count (default 16).
+	L1Bits uint
+	// L1CIRBits is the first-level CIR width; the second level has
+	// 2^L1CIRBits entries (default 16).
+	L1CIRBits uint
+	// L2CIRBits is the second-level CIR width (default 16).
+	L2CIRBits uint
+	// Init selects initial contents for both tables (default InitOnes).
+	Init InitPolicy
+	// InitSeed drives InitRandom.
+	InitSeed uint64
+	// HistoryBits is the global BHR length (default = L1Bits).
+	HistoryBits uint
+}
+
+// NewTwoLevel returns a two-level CIR-table mechanism. It panics on
+// out-of-range geometry (first-level CIR width is capped at 26 because it
+// sizes the second-level table).
+func NewTwoLevel(cfg TwoLevelConfig) *TwoLevel {
+	if cfg.L1Bits == 0 {
+		cfg.L1Bits = 16
+	}
+	if cfg.L1CIRBits == 0 {
+		cfg.L1CIRBits = 16
+	}
+	if cfg.L2CIRBits == 0 {
+		cfg.L2CIRBits = 16
+	}
+	if cfg.HistoryBits == 0 {
+		cfg.HistoryBits = cfg.L1Bits
+	}
+	if cfg.L1Bits > 30 {
+		panic(fmt.Sprintf("core: two-level L1 bits %d out of range [1,30]", cfg.L1Bits))
+	}
+	if cfg.L1CIRBits > 26 {
+		panic(fmt.Sprintf("core: two-level L1 CIR bits %d out of range [1,26]", cfg.L1CIRBits))
+	}
+	if cfg.L2CIRBits > bitvec.MaxShiftWidth {
+		panic(fmt.Sprintf("core: two-level L2 CIR bits %d out of range [1,64]", cfg.L2CIRBits))
+	}
+	m := &TwoLevel{
+		scheme1:   cfg.Scheme1,
+		scheme2:   cfg.Scheme2,
+		l1Bits:    cfg.L1Bits,
+		l1CIRBits: cfg.L1CIRBits,
+		l2CIRBits: cfg.L2CIRBits,
+		init:      cfg.Init,
+		initSeed:  cfg.InitSeed,
+		t1:        make([]bitvec.CIR, 1<<cfg.L1Bits),
+		t2:        make([]bitvec.CIR, 1<<cfg.L1CIRBits),
+		bhr:       bitvec.NewBHR(cfg.HistoryBits),
+		gcir:      bitvec.NewCIR(cfg.HistoryBits),
+	}
+	m.Reset()
+	return m
+}
+
+// PaperTwoLevels returns the three two-level variants evaluated in
+// Figure 6: PC→CIR, PCxorBHR→CIR, and PCxorBHR→CIRxorPCxorBHR.
+func PaperTwoLevels() []*TwoLevel {
+	return []*TwoLevel{
+		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPC, Scheme2: L2CIR}),
+		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPCxorBHR, Scheme2: L2CIR}),
+		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPCxorBHR, Scheme2: L2CIRxorPCxorBHR}),
+	}
+}
+
+// index1 computes the first-level index for the current state.
+func (m *TwoLevel) index1(pc uint64) uint64 {
+	return schemeIndex(m.scheme1, m.l1Bits, pc, m.bhr.Bits(), m.gcir.Bits())
+}
+
+// index2 computes the second-level index from the first-level CIR.
+func (m *TwoLevel) index2(pc, cir uint64) uint64 {
+	switch m.scheme2 {
+	case L2CIR:
+		return bitvec.XORIndex(m.l1CIRBits, cir)
+	case L2CIRxorPC:
+		return bitvec.XORIndex(m.l1CIRBits, cir, bitvec.PCIndexBits(pc, m.l1CIRBits))
+	case L2CIRxorBHR:
+		return bitvec.XORIndex(m.l1CIRBits, cir, m.bhr.Bits())
+	case L2CIRxorPCxorBHR:
+		return bitvec.XORIndex(m.l1CIRBits, cir, bitvec.PCIndexBits(pc, m.l1CIRBits), m.bhr.Bits())
+	default:
+		panic(fmt.Sprintf("core: unknown second index %d", int(m.scheme2)))
+	}
+}
+
+// Bucket returns the second-level CIR pattern read for this branch.
+func (m *TwoLevel) Bucket(r trace.Record) uint64 {
+	cir := m.t1[m.index1(r.PC)].Bits()
+	return m.t2[m.index2(r.PC, cir)].Bits()
+}
+
+// Update shifts the outcome into both levels and advances the histories.
+// The second-level index is computed from the first-level CIR before it is
+// updated, consistent with Bucket.
+func (m *TwoLevel) Update(r trace.Record, incorrect bool) {
+	i1 := m.index1(r.PC)
+	cir := m.t1[i1].Bits()
+	i2 := m.index2(r.PC, cir)
+	m.t1[i1].Record(incorrect)
+	m.t2[i2].Record(incorrect)
+	m.bhr.Record(r.Taken)
+	m.gcir.Record(incorrect)
+}
+
+// Reset restores both tables to the configured initial state.
+func (m *TwoLevel) Reset() {
+	rng := xrand.New(m.initSeed ^ 0x2C12_5EED)
+	for i := range m.t1 {
+		c := bitvec.NewCIR(m.l1CIRBits)
+		c.Set(m.init.initValue(m.l1CIRBits, rng))
+		m.t1[i] = c
+	}
+	for i := range m.t2 {
+		c := bitvec.NewCIR(m.l2CIRBits)
+		c.Set(m.init.initValue(m.l2CIRBits, rng))
+		m.t2[i] = c
+	}
+	m.bhr.Set(0)
+	m.gcir.Set(0)
+}
+
+// Name implements Mechanism, matching Figure 6's legend style
+// (e.g. "2lev-BHRxorPC-CIR").
+func (m *TwoLevel) Name() string {
+	return fmt.Sprintf("2lev-%s-%s", m.scheme1, m.scheme2)
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+)
+
+// Ablations check the design claims the paper makes in passing: that xor
+// indexing beats concatenation, that the global CIR is a poor index, that
+// 16-bit CIRs are a reasonable width, and that the dismissed second-level
+// index variants really are worse.
+func init() {
+	register(Experiment{
+		ID:    "ablation-index",
+		Title: "Index-scheme ablation: every one-level scheme incl. dismissed GCIR and concatenation",
+		Paper: "§3.1: xor beats concatenation; global CIR of little value",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ablation-index", Title: "index schemes", Scalars: map[string]float64{}}
+			schemes := []core.IndexScheme{
+				core.IndexPC, core.IndexBHR, core.IndexPCxorBHR,
+				core.IndexGCIR, core.IndexPCxorGCIR, core.IndexPCconcatBHR,
+			}
+			for _, scheme := range schemes {
+				c, err := oneLevelCurve(cfg, scheme)
+				if err != nil {
+					return nil, err
+				}
+				o.Series = append(o.Series, analysis.Series{Label: scheme.String(), Curve: c})
+				o.Scalars[scheme.String()+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ablation-cirwidth",
+		Title: "CIR width ablation on the best one-level method (ideal reduction)",
+		Paper: "the paper fixes n=16; this sweeps 4..32 to expose the trade-off",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ablation-cirwidth", Title: "CIR widths", Scalars: map[string]float64{}}
+			for _, width := range []uint{4, 8, 12, 16, 24, 32} {
+				width := width
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, CIRBits: width})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				label := fmt.Sprintf("cir%d", width)
+				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
+				o.Scalars[label+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ablation-l2index",
+		Title: "Second-level index ablation: all four L2 hash variants",
+		Paper: "§3.2 explores 12 combinations and settles on three; this covers the L2 axis",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ablation-l2index", Title: "second-level indices", Scalars: map[string]float64{}}
+			for _, s2 := range []core.SecondIndex{core.L2CIR, core.L2CIRxorPC, core.L2CIRxorBHR, core.L2CIRxorPCxorBHR} {
+				s2 := s2
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: core.IndexPCxorBHR, Scheme2: s2})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				o.Series = append(o.Series, analysis.Series{Label: s2.String(), Curve: c})
+				o.Scalars[s2.String()+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ablation-countermax",
+		Title: "Resetting-counter ceiling ablation (threshold granularity, §5.2)",
+		Paper: "larger counters buy slightly finer granularity; the approach is limited",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ablation-countermax", Title: "counter ceilings", Scalars: map[string]float64{}}
+			for _, max := range []uint8{4, 8, 16, 32, 64} {
+				max := max
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewCounterTable(core.CounterConfig{Kind: core.Resetting, Scheme: core.IndexPCxorBHR, Max: max})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				label := fmt.Sprintf("max%d", max)
+				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
+				o.Scalars[label+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchconf/internal/apps"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "apps",
+		Title: "The four §1 applications driven by the recommended estimator",
+		Paper: "§6: forking after ~20% of predictions captures >80% of mispredictions; reverser contingent on >50% buckets",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "apps", Title: "applications", Scalars: map[string]float64{}}
+			var b strings.Builder
+
+			// 1) Selective dual-path execution, averaged over the suite.
+			var forkRate, coverage, savings float64
+			n := 0
+			for _, spec := range workload.Suite() {
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res, err := apps.RunDualPath(src, predictor.Gshare64K(), core.PaperEstimator(16), apps.DefaultDualPath())
+				if err != nil {
+					return nil, err
+				}
+				forkRate += res.ForkRate()
+				coverage += res.Coverage()
+				savings += res.PenaltySavings()
+				n++
+			}
+			forkRate, coverage, savings = forkRate/float64(n), coverage/float64(n), savings/float64(n)
+			fmt.Fprintf(&b, "dual-path:  fork on %.1f%% of branches -> cover %.1f%% of mispredictions, save %.1f%% of penalty cycles\n",
+				100*forkRate, 100*coverage, 100*savings)
+			o.Scalars["dualpath-forkRate%"] = 100 * forkRate
+			o.Scalars["dualpath-coverage%"] = 100 * coverage
+			o.Scalars["dualpath-savings%"] = 100 * savings
+
+			// 2) SMT fetch gating: four mixed threads, gated vs round-robin.
+			mkThreads := func() ([]*apps.SMTThread, error) {
+				names := []string{"groff", "real_gcc", "jpeg_play", "sdet"}
+				out := make([]*apps.SMTThread, 0, len(names))
+				for _, name := range names {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, &apps.SMTThread{Name: name, Src: src, Pred: predictor.Gshare4K(), Est: core.PaperEstimator(16)})
+				}
+				return out, nil
+			}
+			smtCfg := apps.SMTConfig{ResolveSlots: 6}
+			threads, err := mkThreads()
+			if err != nil {
+				return nil, err
+			}
+			base, err := apps.RunSMT(threads, smtCfg, 4*cfgBranches(cfg))
+			if err != nil {
+				return nil, err
+			}
+			smtCfg.Gated = true
+			threads, err = mkThreads()
+			if err != nil {
+				return nil, err
+			}
+			gated, err := apps.RunSMT(threads, smtCfg, 4*cfgBranches(cfg))
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, "smt-fetch:  efficiency %.2f%% round-robin -> %.2f%% confidence-gated\n",
+				100*base.Efficiency(), 100*gated.Efficiency())
+			o.Scalars["smt-base-eff%"] = 100 * base.Efficiency()
+			o.Scalars["smt-gated-eff%"] = 100 * gated.Efficiency()
+
+			// 3) Hybrid selector vs tournament, averaged over the suite.
+			var confRate, tourRate, bimRate, gshRate float64
+			for _, spec := range workload.Suite() {
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				cmpRes, err := apps.CompareHybrids(src,
+					func() predictor.Predictor { return predictor.NewBimodal(12) },
+					func() predictor.Predictor { return predictor.NewGshare(12, 12) },
+					12)
+				if err != nil {
+					return nil, err
+				}
+				confRate += cmpRes.Rate(cmpRes.ConfHybrid)
+				tourRate += cmpRes.Rate(cmpRes.Tournament)
+				bimRate += cmpRes.Rate(cmpRes.SoloA)
+				gshRate += cmpRes.Rate(cmpRes.SoloB)
+			}
+			k := float64(len(workload.Suite()))
+			fmt.Fprintf(&b, "hybrid:     mispredict%% bimodal %.2f, gshare %.2f, tournament %.2f, confidence-selected %.2f\n",
+				100*bimRate/k, 100*gshRate/k, 100*tourRate/k, 100*confRate/k)
+			o.Scalars["hybrid-conf%"] = 100 * confRate / k
+			o.Scalars["hybrid-tournament%"] = 100 * tourRate / k
+
+			// 4) Reverser: profile-derived reversal sets on the small
+			// predictor (where >50% buckets are likelier).
+			var deltaSum float64
+			var setSum int
+			for _, spec := range workload.Suite() {
+				mkSrc := func() (trace.Source, error) { return spec.FiniteSource(cfg.Branches) }
+				p1, err := mkSrc()
+				if err != nil {
+					return nil, err
+				}
+				p2, err := mkSrc()
+				if err != nil {
+					return nil, err
+				}
+				res, setSize, err := apps.ReverserStudy(p1, p2,
+					func() predictor.Predictor { return predictor.Gshare4K() },
+					func() core.Mechanism { return core.SmallResetting(12) }, 0.55)
+				if err != nil {
+					return nil, err
+				}
+				deltaSum += res.Delta()
+				setSum += setSize
+			}
+			fmt.Fprintf(&b, "reverser:   mean mispredict-rate delta %.4f%% (negative = better), mean reversal-set size %.1f\n",
+				100*deltaSum/k, float64(setSum)/k)
+			o.Scalars["reverser-delta%"] = 100 * deltaSum / k
+
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+}
+
+// cfgBranches resolves the per-benchmark budget for slot math.
+func cfgBranches(cfg Config) uint64 {
+	if cfg.Branches == 0 {
+		return 1_000_000
+	}
+	return cfg.Branches
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "baseline",
+		Title: "Underlying predictor misprediction rates (composite, equal-weight)",
+		Paper: "gshare-64K: 3.85%; gshare-4K: 8.6%",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "baseline", Title: "predictor baselines", Scalars: map[string]float64{}}
+			var b strings.Builder
+			b.WriteString("baseline — composite misprediction rates\n")
+			for _, name := range predictor.Names() {
+				name := name
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor {
+						p, err := predictor.Build(name)
+						if err != nil {
+							panic(err) // registry names are valid by construction
+						}
+						return p
+					},
+					func() core.Mechanism { return core.NewStaticProfile() })
+				if err != nil {
+					return nil, err
+				}
+				rate := sr.CompositeMissRate()
+				o.Scalars[name] = rate
+				fmt.Fprintf(&b, "%-16s %6.2f%%\n", name, 100*rate)
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "thresholds",
+		Title: "Practical estimator operating points (resetting counters, thresholds 1..16)",
+		Paper: "Table 1 cumulative rows read as thresholds: 1 → 41.7%/4.28%, 16 → 89.3%/20.3%",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "thresholds", Title: "estimator operating points", Scalars: map[string]float64{}}
+			var b strings.Builder
+			b.WriteString("threshold  low-set%branches  coverage%mispreds    PVN%\n")
+			for _, thr := range []uint64{1, 2, 4, 8, 12, 16} {
+				var lowSum, covSum, pvnSum float64
+				runs := 0
+				for _, spec := range workload.Suite() {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					res, err := sim.RunEstimator(src, predictor.Gshare64K(), core.PaperEstimator(thr))
+					if err != nil {
+						return nil, err
+					}
+					lowSum += res.LowFrac()
+					covSum += res.Coverage()
+					pvnSum += res.PVN()
+					runs++
+				}
+				low := 100 * lowSum / float64(runs)
+				cov := 100 * covSum / float64(runs)
+				pvn := 100 * pvnSum / float64(runs)
+				fmt.Fprintf(&b, "%9d  %16.2f  %17.2f  %6.2f\n", thr, low, cov, pvn)
+				o.Scalars[fmt.Sprintf("thr%d-low%%", thr)] = low
+				o.Scalars[fmt.Sprintf("thr%d-coverage%%", thr)] = cov
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+}

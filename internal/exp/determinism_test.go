@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentsDeterministic runs a representative slice of the registry
+// twice and requires byte-identical artefacts — the repository's
+// reproducibility guarantee (README "Determinism"). Every class of
+// experiment is covered: static profiling, one-level ideal, counter
+// tables, per-benchmark runs, and an application model.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check runs experiments twice")
+	}
+	cfg := Config{Branches: 40000}
+	for _, id := range []string{"fig2", "fig5", "table1", "fig9", "gating"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() []byte {
+			o, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			var buf bytes.Buffer
+			buf.WriteString(o.Text)
+			if err := o.WriteJSON(&buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		a, b := run(), run()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: two runs produced different artefacts", id)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/apps"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// Extensions beyond the paper's figures: the multi-level generalisation §1
+// mentions but does not pursue, the context-switch initialisation
+// conjecture of §5.4, and pipeline gating — the direct follow-on
+// application of these estimators (Manne, Klauser & Grunwald, ISCA '98).
+func init() {
+	registerExtensions()
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func registerExtensions() {
+	register(Experiment{
+		ID:    "gating",
+		Title: "Pipeline gating: wrong-path work vs stall cost across gate thresholds",
+		Paper: "follow-on work (ISCA '98) built on this paper's estimators; gating should cut wasted work at small stall cost",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "gating", Title: "pipeline gating", Scalars: map[string]float64{}}
+			var b strings.Builder
+			b.WriteString("gate-threshold  wasted%work  stalled%demand  mispredict%\n")
+			for _, thr := range []int{0, 4, 2, 1} {
+				var wasted, stalled, miss float64
+				n := 0
+				for _, spec := range workload.Suite() {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					res, err := apps.RunGating(src, predictor.Gshare4K(), core.PaperEstimator(8),
+						apps.GateConfig{ResolveDistance: 4, Threshold: thr})
+					if err != nil {
+						return nil, err
+					}
+					wasted += res.WastedFrac()
+					stalled += res.StallFrac()
+					miss += float64(res.Misses) / float64(res.Branches)
+					n++
+				}
+				wasted, stalled, miss = wasted/float64(n), stalled/float64(n), miss/float64(n)
+				label := fmt.Sprintf("%d", thr)
+				if thr == 0 {
+					label = "off"
+				}
+				fmt.Fprintf(&b, "%14s  %11.2f  %14.2f  %11.2f\n", label, 100*wasted, 100*stalled, 100*miss)
+				o.Scalars[fmt.Sprintf("thr%s-wasted%%", label)] = 100 * wasted
+				o.Scalars[fmt.Sprintf("thr%s-stalled%%", label)] = 100 * stalled
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+	register(Experiment{
+		ID:    "strength",
+		Title: "Counter-strength confidence (related work, Smith '81) vs a dedicated resetting-counter table",
+		Paper: "§1.1 cites confidence from counter saturation. Identity: a 2-bit counter is weak exactly when its entry last mispredicted, so strength ≡ resetting-counter==0 at congruent geometry; the dedicated table buys the finer thresholds",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "strength", Title: "counter-strength baseline", Scalars: map[string]float64{}}
+			// Strength mechanism (2 buckets) per benchmark, pooled.
+			var strengthRuns, resetRuns []analysis.BucketStats
+			for _, spec := range workload.Suite() {
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				pred := predictor.Gshare64K().(*predictor.Gshare)
+				res, err := sim.Run(src, pred, core.NewCounterStrength(pred))
+				if err != nil {
+					return nil, err
+				}
+				strengthRuns = append(strengthRuns, res.Buckets)
+
+				src2, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res2, err := sim.Run(src2, predictor.Gshare64K(), core.PaperResetting())
+				if err != nil {
+					return nil, err
+				}
+				resetRuns = append(resetRuns, res2.Buckets)
+			}
+			strength := analysis.BuildCurve(analysis.CompositePooled(strengthRuns))
+			reset := analysis.BuildCurve(analysis.CompositePooled(resetRuns))
+			// The strength method has one natural operating point: its
+			// weak-state set. Compare both methods at that set size.
+			weakPct := strength[0].CumEventsPct
+			o.Scalars["weakSet%branches"] = weakPct
+			o.Scalars["strength-coverage%"] = strength[0].CumMissesPct
+			o.Scalars["resetting-coverage%"] = reset.MispredsAt(weakPct)
+			o.Scalars["resetting@20%"] = reset.MispredsAt(20)
+			o.Series = []analysis.Series{
+				{Label: "counter-strength", Curve: strength},
+				{Label: "resetting", Curve: reset},
+			}
+			o.Text = fmt.Sprintf(
+				"strength — weak-state set holds %.1f%% of branches\n"+
+					"  counter-strength coverage there:              %.2f%% of mispredictions\n"+
+					"  resetting table at the same set size:         %.2f%% (identical by the\n"+
+					"    weak⟺last-access-mispredicted identity at congruent geometry)\n"+
+					"  resetting table pushed to 20%% of branches:    %.2f%% — the operating\n"+
+					"    range the free strength signal cannot reach\n",
+				weakPct, strength[0].CumMissesPct, reset.MispredsAt(weakPct), reset.MispredsAt(20))
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ctxswitch-mix",
+		Title: "Multiprogrammed mix: four benchmarks time-sliced through shared tables",
+		Paper: "§5.4 models switches as reinitialisation; this runs real interleaving (quantum sweep) to show table pollution directly",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ctxswitch-mix", Title: "multiprogrammed mix", Scalars: map[string]float64{}}
+			mixNames := []string{"groff", "real_gcc", "jpeg_play", "sdet"}
+			mkMix := func(quantum uint64) (trace.Source, error) {
+				srcs := make([]trace.Source, 0, len(mixNames))
+				for _, name := range mixNames {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					srcs = append(srcs, src)
+				}
+				return trace.Interleave(quantum, srcs...), nil
+			}
+			// Solo baseline: equal-weight composite of the four benchmarks
+			// run with private tables.
+			var soloRuns []analysis.BucketStats
+			for _, name := range mixNames {
+				spec, err := workload.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				if err != nil {
+					return nil, err
+				}
+				soloRuns = append(soloRuns, res.Buckets)
+			}
+			solo := analysis.BuildCurve(analysis.CompositePooled(soloRuns))
+			o.Series = append(o.Series, analysis.Series{Label: "solo", Curve: solo})
+			o.Scalars["solo@20%"] = solo.MispredsAt(20)
+			for _, quantum := range []uint64{100_000, 10_000, 1_000} {
+				src, err := mkMix(quantum)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				label := fmt.Sprintf("mix-q%d", quantum)
+				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
+				o.Scalars[label+"@20%"] = c.MispredsAt(20)
+				o.Scalars[label+"-missRate%"] = 100 * res.MissRate()
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "replication",
+		Title: "Seed replication: headline scalars across independent workload seeds",
+		Paper: "robustness check — the paper's conclusions should not hinge on one trace sample",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "replication", Title: "seed replication", Scalars: map[string]float64{}}
+			const replicas = 3
+			var b strings.Builder
+			b.WriteString("replica  gshare64K-miss%  BHRxorPC@20%  Reset@20%\n")
+			var missMin, missMax, idealMin, idealMax, resetMin, resetMax float64
+			for rep := 0; rep < replicas; rep++ {
+				specs := workload.Suite()
+				for i := range specs {
+					specs[i].Seed += uint64(rep) * 0x9E37 // distinct structural+walk seeds
+				}
+				var missSum float64
+				var idealRuns, resetRuns []analysis.BucketStats
+				for _, spec := range specs {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+					if err != nil {
+						return nil, err
+					}
+					missSum += res.MissRate()
+					idealRuns = append(idealRuns, res.Buckets)
+
+					src2, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					res2, err := sim.Run(src2, predictor.Gshare64K(), core.PaperResetting())
+					if err != nil {
+						return nil, err
+					}
+					resetRuns = append(resetRuns, res2.Buckets)
+				}
+				miss := 100 * missSum / float64(len(specs))
+				ideal := analysis.BuildCurve(analysis.CompositePooled(idealRuns)).MispredsAt(20)
+				reset := analysis.BuildCurve(analysis.CompositePooled(resetRuns)).MispredsAt(20)
+				fmt.Fprintf(&b, "%7d  %15.2f  %12.1f  %9.1f\n", rep, miss, ideal, reset)
+				if rep == 0 {
+					missMin, missMax = miss, miss
+					idealMin, idealMax = ideal, ideal
+					resetMin, resetMax = reset, reset
+				} else {
+					missMin, missMax = min2(missMin, miss), max2(missMax, miss)
+					idealMin, idealMax = min2(idealMin, ideal), max2(idealMax, ideal)
+					resetMin, resetMax = min2(resetMin, reset), max2(resetMax, reset)
+				}
+			}
+			o.Scalars["miss%-spread"] = missMax - missMin
+			o.Scalars["ideal@20%-spread"] = idealMax - idealMin
+			o.Scalars["reset@20%-spread"] = resetMax - resetMin
+			o.Scalars["ideal@20%-min"] = idealMin
+			fmt.Fprintf(&b, "spread   %15.2f  %12.1f  %9.1f\n",
+				missMax-missMin, idealMax-idealMin, resetMax-resetMin)
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "perbench",
+		Title: "Per-benchmark variation band (Fig. 9 generalised to the whole suite)",
+		Paper: "Fig. 9 shows only the extremes (JPEG best, GCC worst) and notes considerable variation",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "perbench", Title: "per-benchmark variation", Scalars: map[string]float64{}}
+			var curves []analysis.Curve
+			var names []string
+			for _, spec := range workload.Suite() {
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				curves = append(curves, c)
+				names = append(names, spec.Name)
+				o.Series = append(o.Series, analysis.Series{Label: spec.Name, Curve: c})
+				o.Scalars[spec.Name+"@20%"] = c.MispredsAt(20)
+			}
+			xs := []float64{5, 10, 20, 40}
+			band := analysis.BuildBand(curves, xs)
+			o.Scalars["spread@20%"] = band.Spread(20)
+			o.Text = "perbench — best one-level method, ideal reduction, per benchmark\n" +
+				band.Format(names) + "\n" +
+				analysis.FormatFigure("per-benchmark curves", o.Series, xs)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "multilevel",
+		Title: "Multi-level confidence classes (the §1 generalisation, four levels)",
+		Paper: "\"one could divide the branches into multiple sets with a range of confidence levels\" — not pursued in the paper",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "multilevel", Title: "multi-level confidence", Scalars: map[string]float64{}}
+			ladder := []uint64{1, 8, 16}
+			agg := make([]sim.LevelTally, len(ladder)+1)
+			for _, spec := range workload.Suite() {
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.RunMulti(src, predictor.Gshare64K(),
+					core.NewMultiEstimator(core.PaperResetting(), ladder))
+				if err != nil {
+					return nil, err
+				}
+				// Equal-weight compositing: normalise each benchmark to
+				// unit branch mass before summing.
+				total := float64(res.Branches())
+				misses := float64(res.Misses())
+				for i, l := range res.Levels {
+					agg[i].Branches += uint64(1e6 * float64(l.Branches) / total)
+					if misses > 0 {
+						agg[i].Misses += uint64(1e6 * float64(l.Misses) / misses)
+					}
+				}
+			}
+			var b strings.Builder
+			b.WriteString("level  description                %branches  %mispredictions  enrichment\n")
+			var totB, totM float64
+			for _, l := range agg {
+				totB += float64(l.Branches)
+				totM += float64(l.Misses)
+			}
+			desc := []string{
+				"count 0 (just mispredicted)",
+				"counts 1-7",
+				"counts 8-15",
+				"count 16 (saturated)",
+			}
+			for i, l := range agg {
+				bp := 100 * float64(l.Branches) / totB
+				mp := 100 * float64(l.Misses) / totM
+				enrich := 0.0
+				if bp > 0 {
+					enrich = mp / bp
+				}
+				fmt.Fprintf(&b, "%5d  %-26s %9.2f  %15.2f  %9.2fx\n", i, desc[i], bp, mp, enrich)
+				o.Scalars[fmt.Sprintf("level%d-branches%%", i)] = bp
+				o.Scalars[fmt.Sprintf("level%d-mispreds%%", i)] = mp
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ctxswitch",
+		Title: "Context-switch CT treatment: keep vs flush-to-ones vs flush-to-zeros vs mark-oldest (§5.4 conjecture)",
+		Paper: "conjecture: keeping CIRs but setting the oldest bit to 1 performs like full nonzero reinitialisation",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "ctxswitch", Title: "context switches", Scalars: map[string]float64{}}
+			// Switch every 64k branches: a few dozen switches per run.
+			const interval = 64_000
+			policies := []struct {
+				label string
+				init  core.InitPolicy
+				apply func(core.Mechanism)
+			}{
+				{"keep", core.InitOnes, nil},
+				{"flush-ones", core.InitOnes, func(m core.Mechanism) { m.Reset() }},
+				{"flush-zeros", core.InitZeros, func(m core.Mechanism) { m.Reset() }},
+				{"mark-oldest", core.InitOnes, func(m core.Mechanism) {
+					m.(*core.OneLevel).MarkOldest()
+				}},
+			}
+			for _, pol := range policies {
+				pol := pol
+				var runs []analysis.BucketStats
+				for _, spec := range workload.Suite() {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					mech := core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol.init})
+					res, err := sim.RunWithFlush(src, predictor.Gshare64K(), mech, interval,
+						sim.FlushPolicy{Name: pol.label, Apply: pol.apply})
+					if err != nil {
+						return nil, err
+					}
+					runs = append(runs, res.Buckets)
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(runs))
+				o.Series = append(o.Series, analysis.Series{Label: pol.label, Curve: c})
+				o.Scalars[pol.label+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+}

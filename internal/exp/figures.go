@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
+)
+
+// suiteStats runs the whole suite with fresh per-benchmark instances and
+// returns the per-benchmark bucket statistics plus the suite result.
+func suiteStats(cfg Config, newPred func() predictor.Predictor, newMech func() core.Mechanism) (sim.SuiteResult, error) {
+	return sim.RunSuite(sim.SuiteConfig{Branches: cfg.Branches}, newPred, newMech)
+}
+
+// staticCurve computes the Fig. 2 static-profile curve: per-static-branch
+// statistics under the 64K gshare, composited with distinct bucket spaces.
+func staticCurve(cfg Config) (analysis.Curve, error) {
+	sr, err := suiteStats(cfg,
+		func() predictor.Predictor { return predictor.Gshare64K() },
+		func() core.Mechanism { return core.NewStaticProfile() })
+	if err != nil {
+		return nil, err
+	}
+	return analysis.BuildCurve(analysis.CompositeDistinct(sr.Stats())), nil
+}
+
+// oneLevelCurve computes a pooled-composite curve for a one-level CIR
+// mechanism under the 64K gshare with the ideal (sorted) reduction.
+func oneLevelCurve(cfg Config, scheme core.IndexScheme) (analysis.Curve, error) {
+	sr, err := suiteStats(cfg,
+		func() predictor.Predictor { return predictor.Gshare64K() },
+		func() core.Mechanism { return core.PaperOneLevel(scheme) })
+	if err != nil {
+		return nil, err
+	}
+	return analysis.BuildCurve(analysis.CompositePooled(sr.Stats())), nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Static (profile) confidence: cumulative mispredictions vs dynamic branches",
+		Paper: "knee near (25.2, 70.6); 20% of branches capture ~63% of mispredictions",
+		Run: func(cfg Config) (*Output, error) {
+			c, err := staticCurve(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o := &Output{
+				ID: "fig2", Title: "static confidence",
+				Series:  []analysis.Series{{Label: "static", Curve: c}},
+				Scalars: map[string]float64{"mispreds@20%": c.MispredsAt(20)},
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig5",
+		Title: "One-level dynamic confidence (ideal reduction): PC vs BHR vs PCxorBHR",
+		Paper: "at 20%: PCxorBHR 89%, BHR 85%, PC 72%; static ~63%; zero bucket ~80% of branches",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig5", Title: "one-level methods", Scalars: map[string]float64{}}
+			static, err := staticCurve(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
+			for _, scheme := range core.OneLevelSchemes() {
+				c, err := oneLevelCurve(cfg, scheme)
+				if err != nil {
+					return nil, err
+				}
+				o.Series = append(o.Series, analysis.Series{Label: scheme.String(), Curve: c})
+				o.Scalars[scheme.String()+"@20%"] = c.MispredsAt(20)
+			}
+			// Zero-bucket share for the best method: the all-zeros CIR.
+			best := o.Series[len(o.Series)-1].Curve
+			for _, p := range best {
+				if p.Key.Bucket == 0 {
+					o.Scalars["zeroBucketBranches%"] = p.EventsPct
+					o.Scalars["zeroBucketMispreds%"] = p.MissesPct
+					break
+				}
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Two-level dynamic confidence (ideal reduction): three variants",
+		Paper: "best: PCxorBHR→CIR; PC→CIR briefly competitive in the 5-10% region",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig6", Title: "two-level methods", Scalars: map[string]float64{}}
+			static, err := staticCurve(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
+			variants := []struct {
+				s1 core.IndexScheme
+				s2 core.SecondIndex
+			}{
+				{core.IndexPC, core.L2CIR},
+				{core.IndexPCxorBHR, core.L2CIR},
+				{core.IndexPCxorBHR, core.L2CIRxorPCxorBHR},
+			}
+			for _, v := range variants {
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: v.s1, Scheme2: v.s2})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				label := fmt.Sprintf("%s-%s", v.s1, v.s2)
+				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
+				o.Scalars[label+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Best one-level vs best two-level vs static",
+		Paper: "one- and two-level nearly identical (two-level slightly worse); both beat static",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig7", Title: "method comparison", Scalars: map[string]float64{}}
+			static, err := staticCurve(cfg)
+			if err != nil {
+				return nil, err
+			}
+			one, err := oneLevelCurve(cfg, core.IndexPCxorBHR)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := suiteStats(cfg,
+				func() predictor.Predictor { return predictor.Gshare64K() },
+				func() core.Mechanism {
+					return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: core.IndexPCxorBHR, Scheme2: core.L2CIR})
+				})
+			if err != nil {
+				return nil, err
+			}
+			two := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+			o.Series = []analysis.Series{
+				{Label: "static", Curve: static},
+				{Label: "BHRxorPC", Curve: one},
+				{Label: "BHRxorPC-CIR", Curve: two},
+			}
+			o.Scalars["static@20%"] = static.MispredsAt(20)
+			o.Scalars["1lev@20%"] = one.MispredsAt(20)
+			o.Scalars["2lev@20%"] = two.MispredsAt(20)
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Reduction functions on the best one-level method",
+		Paper: "resetting tracks ideal closely (same zero bucket); saturating's max bucket absorbs too many mispredictions; ones-count between",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig8", Title: "reduction functions", Scalars: map[string]float64{}}
+			// Ideal and ones-count derive from the same full-CIR run.
+			sr, err := suiteStats(cfg,
+				func() predictor.Predictor { return predictor.Gshare64K() },
+				func() core.Mechanism { return core.PaperOneLevel(core.IndexPCxorBHR) })
+			if err != nil {
+				return nil, err
+			}
+			pooled := analysis.CompositePooled(sr.Stats())
+			ideal := analysis.BuildCurve(pooled)
+			ones := analysis.BuildCurve(pooled.MergeBuckets(func(b uint64) uint64 {
+				return uint64(bits.OnesCount64(b))
+			}))
+			o.Series = append(o.Series,
+				analysis.Series{Label: "BHRxorPC (ideal)", Curve: ideal},
+				analysis.Series{Label: "BHRxorPC.1Cnt", Curve: ones},
+			)
+			for _, kind := range []core.CounterKind{core.Saturating, core.Resetting} {
+				kind := kind
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewCounterTable(core.CounterConfig{Kind: kind, Scheme: core.IndexPCxorBHR})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				o.Series = append(o.Series, analysis.Series{Label: "BHRxorPC." + kind.String(), Curve: c})
+				o.Scalars[kind.String()+"@20%"] = c.MispredsAt(20)
+			}
+			o.Scalars["ideal@20%"] = ideal.MispredsAt(20)
+			o.Scalars["1Cnt@20%"] = ones.MispredsAt(20)
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "table1",
+		Title: "Resetting-counter statistics (17 rows, counts 0-16)",
+		Paper: "count 0: 41.7% of mispreds in 4.28% of refs; counts 0-15: 89.3% in 20.3%",
+		Run: func(cfg Config) (*Output, error) {
+			sr, err := suiteStats(cfg,
+				func() predictor.Predictor { return predictor.Gshare64K() },
+				func() core.Mechanism { return core.PaperResetting() })
+			if err != nil {
+				return nil, err
+			}
+			pooled := analysis.CompositePooled(sr.Stats())
+			rows := analysis.CounterRows(pooled, 16)
+			o := &Output{
+				ID: "table1", Title: "resetting-counter statistics",
+				Rows: rows,
+				Scalars: map[string]float64{
+					"count0CumMispreds%":   rows[0].CumMissesPct,
+					"count0CumRefs%":       rows[0].CumRefsPct,
+					"count0-15CumMispreds": rows[15].CumMissesPct,
+					"count0-15CumRefs":     rows[15].CumRefsPct,
+				},
+				Text: analysis.FormatCounterTable(rows),
+			}
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Best vs worst benchmark (jpeg_play vs real_gcc), best one-level + ideal reduction",
+		Paper: "considerable variation; zero buckets hold similar misprediction fractions but different branch fractions",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig9", Title: "per-benchmark extremes", Scalars: map[string]float64{}}
+			for _, name := range []string{"jpeg_play", "real_gcc"} {
+				spec, err := workload.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				src, err := spec.FiniteSource(cfg.Branches)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				o.Series = append(o.Series, analysis.Series{Label: name, Curve: c})
+				o.Scalars[name+"@20%"] = c.MispredsAt(20)
+				o.Scalars[name+"-missRate"] = res.MissRate()
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Small CIR tables (resetting counters, PCxorBHR) under the 4K gshare",
+		Paper: "graceful degradation; 4096-entry CT captures ~75% of mispredictions at 20% of branches",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig10", Title: "small tables", Scalars: map[string]float64{}}
+			for _, bitsN := range []uint{12, 11, 10, 9, 8, 7} {
+				bitsN := bitsN
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare4K() },
+					func() core.Mechanism { return core.SmallResetting(bitsN) })
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				label := fmt.Sprintf("%d", 1<<bitsN)
+				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
+				o.Scalars[label+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig11",
+		Title: "CT initialisation: ones vs zeros vs lastbit vs random (ideal reduction)",
+		Paper: "ones, lastbit and random similar; zeros clearly worse",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "fig11", Title: "initial state", Scalars: map[string]float64{}}
+			for _, pol := range core.InitPolicies() {
+				pol := pol
+				sr, err := suiteStats(cfg,
+					func() predictor.Predictor { return predictor.Gshare64K() },
+					func() core.Mechanism {
+						return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol})
+					})
+				if err != nil {
+					return nil, err
+				}
+				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				o.Series = append(o.Series, analysis.Series{Label: pol.String(), Curve: c})
+				o.Scalars[pol.String()+"@20%"] = c.MispredsAt(20)
+			}
+			renderFigure(o)
+			return o, nil
+		},
+	})
+}

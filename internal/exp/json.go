@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"branchconf/internal/analysis"
+)
+
+// JSON serialisation of experiment outputs, so downstream tooling (plot
+// scripts, regression dashboards) can consume regenerated artefacts
+// without parsing the human-readable text.
+
+// jsonPoint is one curve point in the wire format.
+type jsonPoint struct {
+	Bucket    uint64  `json:"bucket"`
+	Run       int     `json:"run,omitempty"`
+	Rate      float64 `json:"rate"`
+	CumEvents float64 `json:"cumBranchesPct"`
+	CumMisses float64 `json:"cumMispredsPct"`
+}
+
+// jsonSeries is one labelled curve.
+type jsonSeries struct {
+	Label  string      `json:"label"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonRow mirrors analysis.TableRow.
+type jsonRow struct {
+	Count        int     `json:"count"`
+	MissRate     float64 `json:"missRate"`
+	RefsPct      float64 `json:"refsPct"`
+	MissesPct    float64 `json:"missesPct"`
+	CumRefsPct   float64 `json:"cumRefsPct"`
+	CumMissesPct float64 `json:"cumMissesPct"`
+}
+
+// jsonOutput is the wire form of an Output.
+type jsonOutput struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Series  []jsonSeries       `json:"series,omitempty"`
+	Rows    []jsonRow          `json:"rows,omitempty"`
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+}
+
+// WriteJSON encodes the output. Curves are thinned to points advancing
+// either cumulative axis by at least thin percentage points (0 keeps every
+// point).
+func (o *Output) WriteJSON(w io.Writer, thin float64) error {
+	jo := jsonOutput{ID: o.ID, Title: o.Title, Scalars: o.Scalars}
+	for _, s := range o.Series {
+		c := s.Curve
+		if thin > 0 {
+			c = c.Thin(thin)
+		}
+		js := jsonSeries{Label: s.Label, Points: make([]jsonPoint, 0, len(c))}
+		for _, p := range c {
+			js.Points = append(js.Points, jsonPoint{
+				Bucket:    p.Key.Bucket,
+				Run:       p.Key.Run,
+				Rate:      p.Rate,
+				CumEvents: p.CumEventsPct,
+				CumMisses: p.CumMissesPct,
+			})
+		}
+		jo.Series = append(jo.Series, js)
+	}
+	for _, r := range o.Rows {
+		jo.Rows = append(jo.Rows, jsonRow(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
+}
+
+// DecodeJSON parses an encoded output back into curves and rows — used by
+// tests and by tooling that post-processes saved artefacts. Scalars and
+// geometry round-trip; bucket statistics do (rate and cumulative axes),
+// while per-point raw tallies are not part of the wire format.
+func DecodeJSON(r io.Reader) (*Output, error) {
+	var jo jsonOutput
+	if err := json.NewDecoder(r).Decode(&jo); err != nil {
+		return nil, err
+	}
+	out := &Output{ID: jo.ID, Title: jo.Title, Scalars: jo.Scalars}
+	for _, js := range jo.Series {
+		c := make(analysis.Curve, 0, len(js.Points))
+		for _, p := range js.Points {
+			c = append(c, analysis.Point{
+				Key:          analysis.Key{Run: p.Run, Bucket: p.Bucket},
+				Rate:         p.Rate,
+				CumEventsPct: p.CumEvents,
+				CumMissesPct: p.CumMisses,
+			})
+		}
+		out.Series = append(out.Series, analysis.Series{Label: js.Label, Curve: c})
+	}
+	for _, r := range jo.Rows {
+		out.Rows = append(out.Rows, analysis.TableRow(r))
+	}
+	return out, nil
+}

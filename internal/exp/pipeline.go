@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchconf/internal/core"
+	"branchconf/internal/pipeline"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// oracleSignal is a perfect confidence estimator: low confidence exactly
+// when the prediction will be wrong. It bounds what any real estimator
+// can achieve for pipeline gating.
+type oracleSignal struct {
+	pred predictor.Predictor
+}
+
+// Confident peeks at the predictor (Predict is side-effect free).
+func (o oracleSignal) Confident(r trace.Record) bool { return o.pred.Predict(r) == r.Taken }
+
+// Update is a no-op: oracles need no training.
+func (o oracleSignal) Update(trace.Record, bool) {}
+
+func init() {
+	register(Experiment{
+		ID:    "pipeline",
+		Title: "Cycle-level pipeline: IPC and wrong-path work under confidence-gated fetch",
+		Paper: "IPC framing of the gating trade-off follow-on work quantified; oracle row bounds any estimator",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "pipeline", Title: "pipeline gating at cycle level", Scalars: map[string]float64{}}
+			var b strings.Builder
+			b.WriteString("policy          IPC    waste%fetch   gate-stall%cycles\n")
+			type policy struct {
+				label  string
+				gate   int
+				est    uint64 // resetting-counter threshold; 0 with oracle
+				oracle bool
+			}
+			policies := []policy{
+				{"ungated", 0, 0, false},
+				{"est8-gate4", 4, 8, false},
+				{"est4-gate2", 2, 4, false},
+				{"est2-gate1", 1, 2, false},
+				{"oracle-gate1", 1, 0, true},
+			}
+			mach := pipeline.Default96()
+			for _, pol := range policies {
+				var ipc, waste, stall float64
+				n := 0
+				for _, spec := range workload.Suite() {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					pred := predictor.Gshare4K()
+					var est pipeline.ConfidenceSignal
+					if pol.oracle {
+						est = oracleSignal{pred: pred}
+					} else if pol.gate > 0 {
+						est = core.PaperEstimator(pol.est)
+					}
+					m := mach
+					m.GateThreshold = pol.gate
+					st, err := pipeline.Run(src, pred, est, m)
+					if err != nil {
+						return nil, err
+					}
+					ipc += st.IPC()
+					waste += st.WasteFrac()
+					stall += float64(st.GateStalls) / float64(st.Cycles*uint64(m.FetchWidth))
+					n++
+				}
+				ipc, waste, stall = ipc/float64(n), waste/float64(n), stall/float64(n)
+				fmt.Fprintf(&b, "%-14s %5.2f   %11.2f   %17.2f\n", pol.label, ipc, 100*waste, 100*stall)
+				o.Scalars[pol.label+"-ipc"] = ipc
+				o.Scalars[pol.label+"-waste%"] = 100 * waste
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "dualpath-ipc",
+		Title: "Cycle-level selective dual-path execution: IPC vs baseline (application 1 in time)",
+		Paper: "§1/§6: fork the non-predicted path on low confidence; coverage should convert into recovered cycles",
+		Run: func(cfg Config) (*Output, error) {
+			o := &Output{ID: "dualpath-ipc", Title: "dual-path at cycle level", Scalars: map[string]float64{}}
+			var b strings.Builder
+			b.WriteString("policy            IPC    covered%misses   fork%slots\n")
+			type policy struct {
+				label  string
+				est    uint64
+				oracle bool
+				off    bool
+			}
+			policies := []policy{
+				{label: "no-dual-path", off: true},
+				{label: "est4-forks", est: 4},
+				{label: "est8-forks", est: 8},
+				{label: "oracle-forks", oracle: true},
+			}
+			mach := pipeline.DualPathConfig{FetchWidth: 4, Depth: 12, ForkWidth: 1}
+			for _, pol := range policies {
+				var ipc, covered, forkSlots float64
+				n := 0
+				for _, spec := range workload.Suite() {
+					src, err := spec.FiniteSource(cfg.Branches)
+					if err != nil {
+						return nil, err
+					}
+					pred := predictor.Gshare4K()
+					if pol.off {
+						st, err := pipeline.Run(src, pred, nil, pipeline.Config{FetchWidth: mach.FetchWidth, Depth: mach.Depth})
+						if err != nil {
+							return nil, err
+						}
+						ipc += st.IPC()
+						n++
+						continue
+					}
+					var est pipeline.ConfidenceSignal
+					if pol.oracle {
+						est = oracleSignal{pred: pred}
+					} else {
+						est = core.PaperEstimator(pol.est)
+					}
+					st, err := pipeline.RunDualPath(src, pred, est, mach)
+					if err != nil {
+						return nil, err
+					}
+					ipc += st.IPC()
+					if st.Misses > 0 {
+						covered += float64(st.CoveredMiss) / float64(st.Misses)
+					}
+					forkSlots += float64(st.ForkSlots) / float64(st.Cycles*uint64(mach.FetchWidth))
+					n++
+				}
+				ipc, covered, forkSlots = ipc/float64(n), covered/float64(n), forkSlots/float64(n)
+				fmt.Fprintf(&b, "%-15s %5.2f   %14.1f   %10.1f\n", pol.label, ipc, 100*covered, 100*forkSlots)
+				o.Scalars[pol.label+"-ipc"] = ipc
+				o.Scalars[pol.label+"-covered%"] = 100 * covered
+			}
+			o.Text = b.String()
+			return o, nil
+		},
+	})
+}

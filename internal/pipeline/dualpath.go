@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+// Cycle-level selective dual-path execution (§1, application 1): when a
+// low-confidence branch is fetched and the spare path context is free, the
+// machine fetches both targets. The price is bandwidth — while a fork is
+// live, half the fetch width feeds the alternate path — and the reward is
+// that a covered misprediction causes no wrong-path window: the correct
+// continuation was being fetched all along.
+//
+// This is the time-domain counterpart of apps.RunDualPath (which counts
+// penalty cycles at branch granularity): here the effect shows up directly
+// in IPC.
+
+// DualPathConfig describes the dual-path machine.
+type DualPathConfig struct {
+	// FetchWidth and Depth as in Config.
+	FetchWidth int
+	Depth      int
+	// ForkWidth is the number of fetch slots the alternate path consumes
+	// per cycle while a fork is live (taken from the primary path).
+	ForkWidth int
+}
+
+// DefaultDualPath96 returns the 4-wide, 8-deep machine with a 2-slot
+// alternate path.
+func DefaultDualPath96() DualPathConfig {
+	return DualPathConfig{FetchWidth: 4, Depth: 8, ForkWidth: 2}
+}
+
+// DualPathStats reports a dual-path run.
+type DualPathStats struct {
+	Stats
+	Forks       uint64 // second paths spawned
+	CoveredMiss uint64 // mispredictions whose wrong-path window a fork removed
+	ForkSlots   uint64 // fetch slots diverted to alternate paths
+}
+
+// RunDualPath drives the dual-path machine over src. The estimator
+// selects fork candidates; only one fork may be live at a time (the
+// paper's two-thread limit).
+func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg DualPathConfig) (DualPathStats, error) {
+	if cfg.FetchWidth < 1 {
+		return DualPathStats{}, fmt.Errorf("pipeline: FetchWidth must be >= 1, got %d", cfg.FetchWidth)
+	}
+	if cfg.Depth < 1 {
+		return DualPathStats{}, fmt.Errorf("pipeline: Depth must be >= 1, got %d", cfg.Depth)
+	}
+	if cfg.ForkWidth < 1 || cfg.ForkWidth >= cfg.FetchWidth {
+		return DualPathStats{}, fmt.Errorf("pipeline: ForkWidth %d must be in [1, FetchWidth)", cfg.ForkWidth)
+	}
+	if est == nil {
+		return DualPathStats{}, fmt.Errorf("pipeline: dual-path execution requires a confidence estimator")
+	}
+	var st DualPathStats
+	stream := &instrStream{src: src}
+	var window []outBranch
+	// forkUntil is the resolve cycle of the live fork (0 = no live fork);
+	// forkCovers reports whether the forked branch was mispredicted.
+	var forkUntil uint64
+	forkCovers := false
+	wrongPath := false
+	streamDone := false
+
+	for cycle := uint64(0); ; cycle++ {
+		for len(window) > 0 && window[0].resolveAt <= cycle {
+			b := window[0]
+			window = window[1:]
+			if b.mispred {
+				wrongPath = false
+			}
+		}
+		if forkUntil != 0 && forkUntil <= cycle {
+			// Fork resolves: a covered misprediction redirects instantly
+			// (the alternate path is already flowing), so no wrong-path
+			// window ever opened for it.
+			forkUntil = 0
+			forkCovers = false
+		}
+
+		if streamDone && len(window) == 0 && forkUntil == 0 {
+			st.Cycles = cycle
+			return st, nil
+		}
+
+		width := cfg.FetchWidth
+		if forkUntil != 0 {
+			width -= cfg.ForkWidth
+			st.ForkSlots += uint64(cfg.ForkWidth)
+		}
+		for slot := 0; slot < width; slot++ {
+			if wrongPath {
+				st.WrongPath++
+				continue
+			}
+			if streamDone {
+				break
+			}
+			isBranch, rec, ok, err := stream.next()
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				streamDone = true
+				break
+			}
+			st.Retired++
+			if !isBranch {
+				continue
+			}
+			st.Branches++
+			confident := est.Confident(rec)
+			incorrect := pred.Predict(rec) != rec.Taken
+			pred.Update(rec)
+			est.Update(rec, incorrect)
+
+			forked := false
+			if !confident && forkUntil == 0 {
+				// Spare context free: follow both paths for this branch.
+				forkUntil = cycle + uint64(cfg.Depth)
+				forkCovers = incorrect
+				forked = true
+				st.Forks++
+			}
+			if incorrect {
+				st.Misses++
+				if forked && forkCovers {
+					// Covered: the alternate path carries the correct
+					// continuation; no wrong-path window.
+					st.CoveredMiss++
+				} else {
+					wrongPath = true
+				}
+			}
+			window = append(window, outBranch{resolveAt: cycle + uint64(cfg.Depth), mispred: incorrect && !(forked && forkCovers)})
+		}
+	}
+}

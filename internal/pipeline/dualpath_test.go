@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"testing"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+func TestDualPathAccountingConsistent(t *testing.T) {
+	st, err := RunDualPath(benchSource(t, "real_gcc", 100000), predictor.Gshare4K(),
+		core.PaperEstimator(4), DefaultDualPath96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 100000 {
+		t.Fatalf("branches %d", st.Branches)
+	}
+	if st.CoveredMiss > st.Misses || st.CoveredMiss > st.Forks {
+		t.Fatalf("inconsistent coverage %+v", st)
+	}
+	if st.Forks == 0 || st.ForkSlots == 0 {
+		t.Fatal("dual-path machine never forked")
+	}
+}
+
+func TestDualPathBeatsBaselineOnHardCode(t *testing.T) {
+	// On a hard benchmark with a deep pipeline, covering mispredictions
+	// should buy more cycles than the diverted fetch slots cost.
+	base, err := Run(benchSource(t, "real_gcc", 200000), predictor.Gshare4K(), nil,
+		Config{FetchWidth: 4, Depth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := RunDualPath(benchSource(t, "real_gcc", 200000), predictor.Gshare4K(),
+		core.PaperEstimator(4), DualPathConfig{FetchWidth: 4, Depth: 12, ForkWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.IPC() <= base.IPC() {
+		t.Fatalf("dual-path IPC %.3f not above baseline %.3f (covered %d/%d misses)",
+			dual.IPC(), base.IPC(), dual.CoveredMiss, dual.Misses)
+	}
+}
+
+func TestDualPathOracleCoversEveryFork(t *testing.T) {
+	pred := predictor.Gshare4K()
+	st, err := RunDualPath(benchSource(t, "sdet", 100000), pred,
+		oracleFor(pred), DefaultDualPath96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle forks exactly on mispredictions; every fork that fires on
+	// a miss covers it (only contention with a live fork leaks misses).
+	if st.CoveredMiss != st.Forks {
+		t.Fatalf("oracle forked %d but covered %d", st.Forks, st.CoveredMiss)
+	}
+	if st.CoveredMiss == 0 {
+		t.Fatal("oracle never covered")
+	}
+}
+
+// oracleFor builds a perfect confidence signal over p for upper-bound
+// tests.
+func oracleFor(p predictor.Predictor) ConfidenceSignal { return oracleImpl{p} }
+
+type oracleImpl struct{ pred predictor.Predictor }
+
+func (o oracleImpl) Confident(r trace.Record) bool { return o.pred.Predict(r) == r.Taken }
+func (o oracleImpl) Update(trace.Record, bool)     {}
+
+func TestDualPathRejectsBadConfig(t *testing.T) {
+	src := benchSource(t, "groff", 10)
+	est := core.PaperEstimator(4)
+	for name, cfg := range map[string]DualPathConfig{
+		"width0":     {FetchWidth: 0, Depth: 4, ForkWidth: 1},
+		"depth0":     {FetchWidth: 4, Depth: 0, ForkWidth: 1},
+		"fork0":      {FetchWidth: 4, Depth: 4, ForkWidth: 0},
+		"fork=width": {FetchWidth: 4, Depth: 4, ForkWidth: 4},
+	} {
+		if _, err := RunDualPath(src, predictor.Gshare4K(), est, cfg); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := RunDualPath(src, predictor.Gshare4K(), nil, DefaultDualPath96()); err == nil {
+		t.Fatal("nil estimator accepted")
+	}
+}

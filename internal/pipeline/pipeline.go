@@ -1,0 +1,219 @@
+// Package pipeline is a cycle-driven front-end model for evaluating
+// confidence-directed fetch policies at IPC level. It complements the
+// branch-granularity models in internal/apps: here fetch bandwidth, branch
+// resolution latency and wrong-path fetch are accounted per cycle, so
+// policies report both performance (IPC) and wasted work.
+//
+// The machine is a W-wide in-order front end. Instructions stream from a
+// branch trace (each record is Gap non-branch instructions followed by one
+// conditional branch). A branch resolves Depth cycles after it is fetched;
+// a mispredicted branch puts fetch on the wrong path until it resolves —
+// those fetch slots are wasted work, and the time cost of a misprediction
+// is the Depth-cycle refill this implies. Confidence-based gating stalls
+// fetch while too many low-confidence branches are unresolved, saving
+// wrong-path slots at the price of stalling correct-path fetch when the
+// estimator was overly pessimistic.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+// ConfidenceSignal is the estimator interface the front end consumes:
+// core.Estimator satisfies it, and tests/experiments may substitute an
+// oracle for upper-bound studies.
+type ConfidenceSignal interface {
+	// Confident reports the high/low signal for the upcoming prediction.
+	Confident(r trace.Record) bool
+	// Update trains the estimator with the prediction's correctness.
+	Update(r trace.Record, incorrect bool)
+}
+
+// Config describes the modelled machine.
+type Config struct {
+	// FetchWidth is the number of instructions fetched per cycle.
+	FetchWidth int
+	// Depth is the number of cycles between fetching a branch and
+	// resolving it (the misprediction penalty).
+	Depth int
+	// GateThreshold stalls fetch while at least this many low-confidence
+	// branches are unresolved; 0 disables gating.
+	GateThreshold int
+}
+
+// Default96 returns a mid-1990s-flavoured 4-wide, 8-deep machine.
+func Default96() Config { return Config{FetchWidth: 4, Depth: 8} }
+
+// Stats is the outcome of one pipeline run.
+type Stats struct {
+	Cycles     uint64 // total cycles until the stream drains
+	Retired    uint64 // correct-path instructions fetched (eventually retired)
+	WrongPath  uint64 // wrong-path instructions fetched (squashed work)
+	GateStalls uint64 // fetch slots unused because the gate was closed
+	Branches   uint64 // conditional branches retired
+	Misses     uint64 // mispredicted branches
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// WasteFrac returns wrong-path work as a fraction of all fetched work.
+func (s Stats) WasteFrac() float64 {
+	total := s.Retired + s.WrongPath
+	if total == 0 {
+		return 0
+	}
+	return float64(s.WrongPath) / float64(total)
+}
+
+// outBranch tracks an unresolved branch in flight.
+type outBranch struct {
+	resolveAt uint64
+	mispred   bool
+	lowConf   bool
+}
+
+// instrStream expands a branch trace into an instruction-granularity
+// stream: Gap non-branch instructions precede each branch.
+type instrStream struct {
+	src     trace.Source
+	cur     trace.Record
+	gapLeft int
+	loaded  bool
+	done    bool
+}
+
+// next returns the next instruction: isBranch reports whether it is the
+// stream's next conditional branch (in which case rec is its record), and
+// ok is false once the stream is exhausted.
+func (s *instrStream) next() (isBranch bool, rec trace.Record, ok bool, err error) {
+	if s.done {
+		return false, trace.Record{}, false, nil
+	}
+	if !s.loaded {
+		r, err := s.src.Next()
+		if err == io.EOF {
+			s.done = true
+			return false, trace.Record{}, false, nil
+		}
+		if err != nil {
+			return false, trace.Record{}, false, err
+		}
+		s.cur = r
+		s.gapLeft = int(r.Gap)
+		s.loaded = true
+	}
+	if s.gapLeft > 0 {
+		s.gapLeft--
+		return false, trace.Record{}, true, nil
+	}
+	s.loaded = false
+	return true, s.cur, true, nil
+}
+
+// Run drives the machine over src. The estimator may be nil when gating is
+// disabled; with gating enabled it must be non-nil.
+func Run(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg Config) (Stats, error) {
+	if cfg.FetchWidth < 1 {
+		return Stats{}, fmt.Errorf("pipeline: FetchWidth must be >= 1, got %d", cfg.FetchWidth)
+	}
+	if cfg.Depth < 1 {
+		return Stats{}, fmt.Errorf("pipeline: Depth must be >= 1, got %d", cfg.Depth)
+	}
+	if cfg.GateThreshold < 0 {
+		return Stats{}, fmt.Errorf("pipeline: GateThreshold must be >= 0, got %d", cfg.GateThreshold)
+	}
+	if cfg.GateThreshold > 0 && est == nil {
+		return Stats{}, fmt.Errorf("pipeline: gating requires a confidence estimator")
+	}
+	var st Stats
+	stream := &instrStream{src: src}
+	var window []outBranch
+	lowInFlight := 0
+	wrongPath := false
+	streamDone := false
+
+	for cycle := uint64(0); ; cycle++ {
+		// Resolve branches due this cycle (in fetch order).
+		for len(window) > 0 && window[0].resolveAt <= cycle {
+			b := window[0]
+			window = window[1:]
+			if b.lowConf {
+				lowInFlight--
+			}
+			if b.mispred {
+				// Redirect: younger in-flight branches were wrong-path
+				// bookkeeping only (none were real — fetch stopped
+				// consuming the stream), so simply leave wrong-path mode.
+				wrongPath = false
+			}
+		}
+
+		if streamDone && len(window) == 0 {
+			st.Cycles = cycle
+			return st, nil
+		}
+
+		// Gate check: a closed gate idles the whole fetch group.
+		if cfg.GateThreshold > 0 && lowInFlight >= cfg.GateThreshold {
+			st.GateStalls += uint64(cfg.FetchWidth)
+			continue
+		}
+
+		// Fetch up to FetchWidth instructions.
+		for slot := 0; slot < cfg.FetchWidth; slot++ {
+			if wrongPath {
+				// Fetching down the mispredicted path: pure waste.
+				st.WrongPath++
+				continue
+			}
+			if streamDone {
+				break
+			}
+			isBranch, rec, ok, err := stream.next()
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				streamDone = true
+				break
+			}
+			st.Retired++
+			if !isBranch {
+				continue
+			}
+			st.Branches++
+			confident := true
+			if est != nil {
+				confident = est.Confident(rec)
+			}
+			incorrect := pred.Predict(rec) != rec.Taken
+			pred.Update(rec)
+			if est != nil {
+				est.Update(rec, incorrect)
+			}
+			if incorrect {
+				st.Misses++
+				wrongPath = true
+			}
+			b := outBranch{resolveAt: cycle + uint64(cfg.Depth), mispred: incorrect, lowConf: !confident}
+			if b.lowConf {
+				lowInFlight++
+			}
+			window = append(window, b)
+			if incorrect {
+				// Remaining slots this cycle go down the wrong path.
+				continue
+			}
+		}
+	}
+}

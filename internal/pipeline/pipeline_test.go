@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+func benchSource(t *testing.T, name string, n uint64) trace.Source {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.FiniteSource(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestPerfectPredictionHitsFullWidth(t *testing.T) {
+	// With an oracle predictor every fetch slot retires: IPC == width for
+	// a stream long enough to amortise the drain.
+	tr := make(trace.Trace, 1000)
+	for i := range tr {
+		pc := uint64(0x1000 + 8*(i%8))
+		tr[i] = trace.Record{PC: pc, Target: pc + 64, Taken: true, Gap: 3}
+	}
+	st, err := Run(tr.Source(), predictor.AlwaysTaken{}, nil, Config{FetchWidth: 4, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 0 || st.WrongPath != 0 {
+		t.Fatalf("oracle run missed %d, wasted %d", st.Misses, st.WrongPath)
+	}
+	if st.Retired != 4000 { // 1000 branches + 3000 gap instructions
+		t.Fatalf("retired %d", st.Retired)
+	}
+	if ipc := st.IPC(); ipc < 3.8 || ipc > 4.0 {
+		t.Fatalf("IPC %v, want ~4", ipc)
+	}
+}
+
+func TestMispredictionCostsDepth(t *testing.T) {
+	// A single always-mispredicted branch stream: each misprediction puts
+	// fetch on the wrong path for ~Depth cycles.
+	tr := make(trace.Trace, 100)
+	for i := range tr {
+		tr[i] = trace.Record{PC: 0x1000, Target: 0x1040, Taken: true, Gap: 0}
+	}
+	st, err := Run(tr.Source(), predictor.NeverTaken{}, nil, Config{FetchWidth: 2, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 100 {
+		t.Fatalf("misses %d", st.Misses)
+	}
+	if st.WrongPath == 0 {
+		t.Fatal("no wrong-path fetch recorded")
+	}
+	// IPC collapses: ~1 useful instruction per Depth cycles.
+	if ipc := st.IPC(); ipc > 0.5 {
+		t.Fatalf("IPC %v too high for an always-mispredicting stream", ipc)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	src := benchSource(t, "groff", 50000)
+	st, err := Run(src, predictor.Gshare4K(), nil, Default96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 50000 {
+		t.Fatalf("branches %d", st.Branches)
+	}
+	if st.Retired == 0 || st.Cycles == 0 {
+		t.Fatalf("degenerate run %+v", st)
+	}
+	if st.IPC() <= 0 || st.IPC() > 4 {
+		t.Fatalf("IPC %v", st.IPC())
+	}
+	if st.GateStalls != 0 {
+		t.Fatal("ungated run stalled")
+	}
+}
+
+func TestBetterPredictorMeansHigherIPC(t *testing.T) {
+	big, err := Run(benchSource(t, "sdet", 100000), predictor.Gshare64K(), nil, Default96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Run(benchSource(t, "sdet", 100000), predictor.NewBimodal(8), nil, Default96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IPC() <= weak.IPC() {
+		t.Fatalf("gshare-64K IPC %.3f not above weak bimodal %.3f", big.IPC(), weak.IPC())
+	}
+}
+
+func TestGatingTradeOff(t *testing.T) {
+	cfg := Default96()
+	base, err := Run(benchSource(t, "real_gcc", 150000), predictor.Gshare4K(), core.PaperEstimator(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GateThreshold = 2
+	gated, err := Run(benchSource(t, "real_gcc", 150000), predictor.Gshare4K(), core.PaperEstimator(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.WrongPath >= base.WrongPath {
+		t.Fatalf("gating did not reduce wrong-path fetch: %d vs %d", gated.WrongPath, base.WrongPath)
+	}
+	if gated.GateStalls == 0 {
+		t.Fatal("gated run never stalled")
+	}
+	if gated.IPC() > base.IPC() {
+		t.Fatalf("gating increased IPC (%.3f > %.3f); model should trade time for work", gated.IPC(), base.IPC())
+	}
+	// The pipeline-gating selling point: large waste reduction for a
+	// modest IPC cost.
+	ipcLoss := 1 - gated.IPC()/base.IPC()
+	wasteCut := 1 - float64(gated.WrongPath)/float64(base.WrongPath)
+	if wasteCut < 0.2 {
+		t.Fatalf("waste cut only %.1f%%", 100*wasteCut)
+	}
+	if ipcLoss > 0.25 {
+		t.Fatalf("IPC loss %.1f%% too large", 100*ipcLoss)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	src := benchSource(t, "groff", 10)
+	for name, cfg := range map[string]Config{
+		"width0":  {FetchWidth: 0, Depth: 4},
+		"depth0":  {FetchWidth: 2, Depth: 0},
+		"negGate": {FetchWidth: 2, Depth: 4, GateThreshold: -1},
+	} {
+		if _, err := Run(src, predictor.Gshare4K(), nil, cfg); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := Run(src, predictor.Gshare4K(), nil, Config{FetchWidth: 2, Depth: 4, GateThreshold: 1}); err == nil {
+		t.Fatal("gating without estimator accepted")
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var st Stats
+	if st.IPC() != 0 || st.WasteFrac() != 0 {
+		t.Fatal("zero stats nonzero metrics")
+	}
+}
+
+// errSource fails after n records, for fault-injection coverage.
+type errSource struct {
+	n   int
+	err error
+}
+
+func (e *errSource) Next() (trace.Record, error) {
+	if e.n == 0 {
+		return trace.Record{}, e.err
+	}
+	e.n--
+	return trace.Record{PC: 0x1000, Target: 0x1040, Taken: true, Gap: 2}, nil
+}
+
+func TestRunPropagatesStreamError(t *testing.T) {
+	boom := errors.New("trace truncated")
+	_, err := Run(&errSource{n: 10, err: boom}, predictor.Gshare4K(), nil, Default96())
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap stream error", err)
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	st, err := Run(trace.Trace{}.Source(), predictor.Gshare4K(), nil, Default96())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 0 || st.Branches != 0 {
+		t.Fatalf("empty stream produced work %+v", st)
+	}
+}

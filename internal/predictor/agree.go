@@ -1,0 +1,123 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/trace"
+)
+
+func init() {
+	Register("agree-4K", func() Predictor { return NewAgree(12, 12, 12) })
+}
+
+// Agree is the agree predictor (Sprangle et al., ISCA '97), a close
+// relative of confidence estimation included in the zoo for baselines:
+// instead of predicting taken/not-taken, the dynamic table predicts
+// whether the branch will *agree* with a per-branch bias bit. Because
+// most branches agree with their bias most of the time, two branches
+// aliasing onto the same counter usually want the same "agree" state,
+// converting destructive interference into neutral or constructive
+// interference.
+//
+// The bias bit here is set on first encounter from the branch's first
+// outcome — the hardware-only variant of the original compiler-set bias.
+// The global history records actual branch directions (not agreement),
+// exactly like gshare.
+type Agree struct {
+	table       []bitvec.SatCounter // agree(>=2) / disagree(<2) counters
+	bhr         bitvec.BHR
+	bias        []uint8 // 0 = unset, 1 = bias not-taken, 2 = bias taken
+	tableBits   uint
+	historyBits uint
+	biasBits    uint
+}
+
+// NewAgree returns an agree predictor with 2^tableBits agree counters
+// indexed by PC xor BHR (historyBits of global history) and a
+// 2^biasBits-entry bias-bit table indexed by PC. Counters initialise to
+// "weakly agree". It panics on out-of-range geometry.
+func NewAgree(tableBits, historyBits, biasBits uint) *Agree {
+	if tableBits == 0 || tableBits > 30 {
+		panic(fmt.Sprintf("predictor: agree table bits %d out of range [1,30]", tableBits))
+	}
+	if historyBits == 0 || historyBits > bitvec.MaxShiftWidth {
+		panic(fmt.Sprintf("predictor: agree history bits %d out of range [1,64]", historyBits))
+	}
+	if biasBits == 0 || biasBits > 24 {
+		panic(fmt.Sprintf("predictor: agree bias bits %d out of range [1,24]", biasBits))
+	}
+	a := &Agree{
+		table:       make([]bitvec.SatCounter, 1<<tableBits),
+		bias:        make([]uint8, 1<<biasBits),
+		tableBits:   tableBits,
+		historyBits: historyBits,
+		biasBits:    biasBits,
+	}
+	a.Reset()
+	return a
+}
+
+func (a *Agree) index(pc uint64) uint64 {
+	return bitvec.XORIndex(a.tableBits, bitvec.PCIndexBits(pc, a.tableBits), a.bhr.Bits())
+}
+
+// biasOf returns the branch's bias direction, falling back to the
+// backward-taken heuristic when the bias bit is unset.
+func (a *Agree) biasOf(r trace.Record) bool {
+	switch a.bias[bitvec.PCIndexBits(r.PC, a.biasBits)] {
+	case 2:
+		return true
+	case 1:
+		return false
+	default:
+		return r.Backward()
+	}
+}
+
+// Predict returns the bias direction when the agree counter predicts
+// agreement, the opposite otherwise.
+func (a *Agree) Predict(r trace.Record) bool {
+	if a.table[a.index(r.PC)].PredictTaken() { // "taken" half = agree
+		return a.biasOf(r)
+	}
+	return !a.biasOf(r)
+}
+
+// Update sets the bias bit on first encounter, trains the agree counter
+// toward whether the outcome agreed with the bias, and records the actual
+// direction in the history.
+func (a *Agree) Update(r trace.Record) {
+	bi := bitvec.PCIndexBits(r.PC, a.biasBits)
+	if a.bias[bi] == 0 {
+		if r.Taken {
+			a.bias[bi] = 2
+		} else {
+			a.bias[bi] = 1
+		}
+	}
+	agreed := r.Taken == (a.bias[bi] == 2)
+	i := a.index(r.PC)
+	if agreed {
+		a.table[i] = a.table[i].Inc()
+	} else {
+		a.table[i] = a.table[i].Dec()
+	}
+	a.bhr.Record(r.Taken)
+}
+
+// Reset clears the bias table, counters (to weakly agree) and history.
+func (a *Agree) Reset() {
+	for i := range a.table {
+		a.table[i] = bitvec.TwoBit(bitvec.WeaklyTaken)
+	}
+	for i := range a.bias {
+		a.bias[i] = 0
+	}
+	a.bhr = bitvec.NewBHR(a.historyBits)
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string {
+	return fmt.Sprintf("agree-%s", sizeName(a.tableBits))
+}

@@ -1,0 +1,125 @@
+package predictor
+
+import (
+	"testing"
+
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+	"branchconf/internal/xrand"
+)
+
+func TestAgreeLearnsBias(t *testing.T) {
+	a := NewAgree(10, 8, 10)
+	// A strongly taken branch: bias set taken on first update, counters
+	// stay in agree; predictions should be correct throughout.
+	correct := run(a, repeat(0x1000, []bool{true}, 100))
+	if correct < 99 {
+		t.Fatalf("always-taken branch: %d/100 correct", correct)
+	}
+}
+
+func TestAgreeHandlesDisagreement(t *testing.T) {
+	a := NewAgree(10, 4, 10)
+	// Alternating branch: bias fixed at the first outcome; the agree
+	// table must learn the alternation via history, like gshare.
+	correct := run(a, repeat(0x1000, []bool{true, false}, 200))
+	if correct < 380 {
+		t.Fatalf("alternating branch: %d/400 correct", correct)
+	}
+}
+
+func TestAgreeBiasFallbackBTFN(t *testing.T) {
+	a := NewAgree(8, 4, 8)
+	// First prediction of an unseen backward branch: bias unknown →
+	// BTFN says taken; counters initialise to weakly-agree → predict taken.
+	if !a.Predict(trace.Record{PC: 0x2000, Target: 0x1000}) {
+		t.Fatal("unseen backward branch predicted not-taken")
+	}
+	if a.Predict(trace.Record{PC: 0x2000, Target: 0x3000}) {
+		t.Fatal("unseen forward branch predicted taken")
+	}
+}
+
+func TestAgreeResistsAliasing(t *testing.T) {
+	// Two heavily biased branches forced onto the same counter entry: a
+	// plain gshare counter thrashes when their directions differ, but the
+	// agree counter is stable because both agree with their own bias.
+	mk := func(n int) (agreeCorrect, gshareCorrect int) {
+		a := NewAgree(1, 1, 10) // 2-entry table: guaranteed collisions
+		g := NewGshare(1, 1)
+		rng := xrand.New(321)
+		tr := make(trace.Trace, 0, n)
+		for i := 0; i < n; i++ {
+			// Random interleaving so short history cannot separate the
+			// two conflicting branches.
+			if rng.Bool(0.5) {
+				tr = append(tr, trace.Record{PC: 0x1000, Target: 0x1040, Taken: true})
+			} else {
+				tr = append(tr, trace.Record{PC: 0x1008, Target: 0x1048, Taken: false})
+			}
+		}
+		return run(a, tr), run(g, tr)
+	}
+	ac, gc := mk(1000)
+	if ac <= gc {
+		t.Fatalf("agree (%d) not better than gshare (%d) under forced aliasing", ac, gc)
+	}
+	if ac < 900 {
+		t.Fatalf("agree only %d/1000 under aliasing", ac)
+	}
+}
+
+func TestAgreeOnSuite(t *testing.T) {
+	// Same-size agree should be in the same accuracy class as gshare on a
+	// real workload (typically slightly better under aliasing pressure).
+	spec, err := workload.ByName("sdet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.FiniteSource(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := run(NewAgree(12, 12, 12), tr)
+	gc := run(NewGshare(12, 12), tr)
+	ratio := float64(ac) / float64(gc)
+	if ratio < 0.97 {
+		t.Fatalf("agree far behind gshare: %d vs %d correct", ac, gc)
+	}
+}
+
+func TestAgreeReset(t *testing.T) {
+	a := NewAgree(8, 4, 8)
+	run(a, repeat(0x1000, []bool{false}, 50))
+	a.Reset()
+	// Bias forgotten: an unseen forward branch goes back to BTFN.
+	if a.Predict(trace.Record{PC: 0x1000, Target: 0x2000}) {
+		t.Fatal("reset did not clear bias")
+	}
+	if a.Name() != "agree-256" {
+		t.Fatalf("name %q", a.Name())
+	}
+}
+
+func TestAgreePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"table-0":  func() { NewAgree(0, 4, 8) },
+		"hist-65":  func() { NewAgree(8, 65, 8) },
+		"bias-0":   func() { NewAgree(8, 4, 0) },
+		"bias-25":  func() { NewAgree(8, 4, 25) },
+		"table-31": func() { NewAgree(31, 4, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

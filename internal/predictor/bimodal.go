@@ -1,0 +1,73 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/trace"
+)
+
+func init() {
+	Register("bimodal-4K", func() Predictor { return NewBimodal(12) })
+	Register("bimodal-64K", func() Predictor { return NewBimodal(16) })
+}
+
+// Bimodal is J. E. Smith's classic predictor: a direct-mapped table of
+// 2-bit saturating counters indexed by branch PC.
+type Bimodal struct {
+	table []bitvec.SatCounter
+	bits  uint
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters initialised
+// weakly taken. It panics if bits is outside [1, 30]: table geometry is
+// fixed configuration.
+func NewBimodal(bits uint) *Bimodal {
+	if bits == 0 || bits > 30 {
+		panic(fmt.Sprintf("predictor: bimodal table bits %d out of range [1,30]", bits))
+	}
+	b := &Bimodal{table: make([]bitvec.SatCounter, 1<<bits), bits: bits}
+	b.Reset()
+	return b
+}
+
+// Predict reads the counter selected by the branch PC.
+func (b *Bimodal) Predict(r trace.Record) bool {
+	return b.table[bitvec.PCIndexBits(r.PC, b.bits)].PredictTaken()
+}
+
+// Update trains the selected counter toward the resolved direction.
+func (b *Bimodal) Update(r trace.Record) {
+	i := bitvec.PCIndexBits(r.PC, b.bits)
+	if r.Taken {
+		b.table[i] = b.table[i].Inc()
+	} else {
+		b.table[i] = b.table[i].Dec()
+	}
+}
+
+// Reset restores every counter to weakly taken.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = bitvec.TwoBit(bitvec.WeaklyTaken)
+	}
+}
+
+// TableBits returns log2 of the table size.
+func (b *Bimodal) TableBits() uint { return b.bits }
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%s", sizeName(b.bits)) }
+
+// sizeName renders 2^bits as a human-readable entry count ("4K", "64K").
+func sizeName(bits uint) string {
+	n := uint64(1) << bits
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

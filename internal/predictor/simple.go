@@ -1,0 +1,127 @@
+package predictor
+
+import (
+	"io"
+
+	"branchconf/internal/trace"
+)
+
+func init() {
+	Register("always-taken", func() Predictor { return AlwaysTaken{} })
+	Register("never-taken", func() Predictor { return NeverTaken{} })
+	Register("btfn", func() Predictor { return BTFN{} })
+}
+
+// AlwaysTaken statically predicts every branch taken.
+type AlwaysTaken struct{}
+
+// Predict always returns true.
+func (AlwaysTaken) Predict(trace.Record) bool { return true }
+
+// Update is a no-op: the predictor is stateless.
+func (AlwaysTaken) Update(trace.Record) {}
+
+// Reset is a no-op.
+func (AlwaysTaken) Reset() {}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// NeverTaken statically predicts every branch not taken.
+type NeverTaken struct{}
+
+// Predict always returns false.
+func (NeverTaken) Predict(trace.Record) bool { return false }
+
+// Update is a no-op.
+func (NeverTaken) Update(trace.Record) {}
+
+// Reset is a no-op.
+func (NeverTaken) Reset() {}
+
+// Name implements Predictor.
+func (NeverTaken) Name() string { return "never-taken" }
+
+// BTFN predicts backward branches taken and forward branches not taken —
+// the classic static heuristic exploiting that backward branches close
+// loops.
+type BTFN struct{}
+
+// Predict returns true exactly for backward branches.
+func (BTFN) Predict(r trace.Record) bool { return r.Backward() }
+
+// Update is a no-op.
+func (BTFN) Update(trace.Record) {}
+
+// Reset is a no-op.
+func (BTFN) Reset() {}
+
+// Name implements Predictor.
+func (BTFN) Name() string { return "btfn" }
+
+// Profile is a profile-based static predictor: a training pass records each
+// static branch's majority direction, and prediction replays it. Branches
+// never seen during training fall back to the BTFN heuristic. It models the
+// compiler-hint predictors (e.g. PowerPC 601 reverse bits) discussed in the
+// paper's related work.
+type Profile struct {
+	bias     map[uint64]int64 // taken count minus not-taken count per PC
+	training bool
+}
+
+// NewProfile returns a Profile in training mode: Update accumulates
+// direction counts. Call Freeze to switch to prediction mode.
+func NewProfile() *Profile {
+	return &Profile{bias: make(map[uint64]int64), training: true}
+}
+
+// Freeze ends the training phase; subsequent Updates no longer change the
+// profile, matching a compile-time hint baked into the binary.
+func (p *Profile) Freeze() { p.training = false }
+
+// Train runs src through the profile and freezes it.
+func (p *Profile) Train(src trace.Source) error {
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			p.Freeze()
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.Update(r)
+	}
+}
+
+// Predict returns the majority training direction, or the BTFN heuristic
+// for unseen branches.
+func (p *Profile) Predict(r trace.Record) bool {
+	b, ok := p.bias[r.PC]
+	if !ok || b == 0 {
+		return r.Backward()
+	}
+	return b > 0
+}
+
+// Update accumulates direction counts while training; after Freeze it is a
+// no-op.
+func (p *Profile) Update(r trace.Record) {
+	if !p.training {
+		return
+	}
+	if r.Taken {
+		p.bias[r.PC]++
+	} else {
+		p.bias[r.PC]--
+	}
+}
+
+// Reset clears the profile and re-enters training mode.
+func (p *Profile) Reset() {
+	p.bias = make(map[uint64]int64)
+	p.training = true
+}
+
+// Name implements Predictor.
+func (p *Profile) Name() string { return "profile-static" }

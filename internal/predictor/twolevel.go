@@ -1,0 +1,187 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/trace"
+)
+
+func init() {
+	Register("gag-64K", func() Predictor { return NewGAg(16) })
+	Register("pag-64K", func() Predictor { return NewPAg(10, 12) })
+	Register("pas-64K", func() Predictor { return NewPAs(10, 10, 6) })
+}
+
+// GAg is Yeh & Patt's global two-level adaptive predictor: a single global
+// branch history register indexes a global pattern table of 2-bit counters.
+// Equivalent to gshare with zero PC bits — the confidence study's "BHR
+// alone" indexing uses the same structure for its CIR table.
+type GAg struct {
+	table       []bitvec.SatCounter
+	bhr         bitvec.BHR
+	historyBits uint
+}
+
+// NewGAg returns a GAg predictor with 2^historyBits pattern-table entries.
+func NewGAg(historyBits uint) *GAg {
+	if historyBits == 0 || historyBits > 30 {
+		panic(fmt.Sprintf("predictor: GAg history bits %d out of range [1,30]", historyBits))
+	}
+	g := &GAg{table: make([]bitvec.SatCounter, 1<<historyBits), historyBits: historyBits}
+	g.Reset()
+	return g
+}
+
+// Predict reads the pattern-table counter selected by the global history.
+func (g *GAg) Predict(trace.Record) bool {
+	return g.table[g.bhr.Bits()].PredictTaken()
+}
+
+// Update trains the counter and shifts in the outcome.
+func (g *GAg) Update(r trace.Record) {
+	i := g.bhr.Bits()
+	if r.Taken {
+		g.table[i] = g.table[i].Inc()
+	} else {
+		g.table[i] = g.table[i].Dec()
+	}
+	g.bhr.Record(r.Taken)
+}
+
+// Reset restores counters to weakly taken and clears the history.
+func (g *GAg) Reset() {
+	for i := range g.table {
+		g.table[i] = bitvec.TwoBit(bitvec.WeaklyTaken)
+	}
+	g.bhr = bitvec.NewBHR(g.historyBits)
+}
+
+// Name implements Predictor.
+func (g *GAg) Name() string { return fmt.Sprintf("gag-%s", sizeName(g.historyBits)) }
+
+// PAg keeps per-address branch history: a table of history registers
+// indexed by PC feeds one shared global pattern table.
+type PAg struct {
+	histories   []bitvec.BHR
+	pattern     []bitvec.SatCounter
+	bhtBits     uint
+	historyBits uint
+}
+
+// NewPAg returns a PAg predictor with 2^bhtBits history registers of
+// historyBits bits each and a 2^historyBits-entry pattern table.
+func NewPAg(bhtBits, historyBits uint) *PAg {
+	if bhtBits == 0 || bhtBits > 24 {
+		panic(fmt.Sprintf("predictor: PAg BHT bits %d out of range [1,24]", bhtBits))
+	}
+	if historyBits == 0 || historyBits > 24 {
+		panic(fmt.Sprintf("predictor: PAg history bits %d out of range [1,24]", historyBits))
+	}
+	p := &PAg{
+		histories:   make([]bitvec.BHR, 1<<bhtBits),
+		pattern:     make([]bitvec.SatCounter, 1<<historyBits),
+		bhtBits:     bhtBits,
+		historyBits: historyBits,
+	}
+	p.Reset()
+	return p
+}
+
+// Predict uses the branch's own history to select a shared pattern counter.
+func (p *PAg) Predict(r trace.Record) bool {
+	h := p.histories[bitvec.PCIndexBits(r.PC, p.bhtBits)]
+	return p.pattern[h.Bits()].PredictTaken()
+}
+
+// Update trains the pattern counter and the branch's history register.
+func (p *PAg) Update(r trace.Record) {
+	hi := bitvec.PCIndexBits(r.PC, p.bhtBits)
+	pi := p.histories[hi].Bits()
+	if r.Taken {
+		p.pattern[pi] = p.pattern[pi].Inc()
+	} else {
+		p.pattern[pi] = p.pattern[pi].Dec()
+	}
+	p.histories[hi].Record(r.Taken)
+}
+
+// Reset clears histories and restores counters to weakly taken.
+func (p *PAg) Reset() {
+	for i := range p.histories {
+		p.histories[i] = bitvec.NewBHR(p.historyBits)
+	}
+	for i := range p.pattern {
+		p.pattern[i] = bitvec.TwoBit(bitvec.WeaklyTaken)
+	}
+}
+
+// Name implements Predictor.
+func (p *PAg) Name() string { return fmt.Sprintf("pag-%s", sizeName(p.historyBits)) }
+
+// PAs keeps per-address history and per-set pattern tables: the pattern
+// index concatenates the branch's history with low PC bits, so different
+// branch sets train disjoint counters.
+type PAs struct {
+	histories   []bitvec.BHR
+	pattern     []bitvec.SatCounter
+	bhtBits     uint
+	historyBits uint
+	setBits     uint
+}
+
+// NewPAs returns a PAs predictor with 2^bhtBits history registers of
+// historyBits bits and a pattern table of 2^(historyBits+setBits) counters.
+func NewPAs(bhtBits, historyBits, setBits uint) *PAs {
+	if bhtBits == 0 || bhtBits > 24 {
+		panic(fmt.Sprintf("predictor: PAs BHT bits %d out of range [1,24]", bhtBits))
+	}
+	if historyBits == 0 || historyBits+setBits > 26 {
+		panic(fmt.Sprintf("predictor: PAs pattern bits %d out of range", historyBits+setBits))
+	}
+	p := &PAs{
+		histories:   make([]bitvec.BHR, 1<<bhtBits),
+		pattern:     make([]bitvec.SatCounter, 1<<(historyBits+setBits)),
+		bhtBits:     bhtBits,
+		historyBits: historyBits,
+		setBits:     setBits,
+	}
+	p.Reset()
+	return p
+}
+
+func (p *PAs) patternIndex(pc uint64) uint64 {
+	h := p.histories[bitvec.PCIndexBits(pc, p.bhtBits)]
+	return bitvec.ConcatIndex(p.historyBits+p.setBits,
+		[]uint64{h.Bits(), bitvec.PCIndexBits(pc, p.setBits)},
+		[]uint{p.historyBits, p.setBits})
+}
+
+// Predict uses the branch's history and set to select a pattern counter.
+func (p *PAs) Predict(r trace.Record) bool {
+	return p.pattern[p.patternIndex(r.PC)].PredictTaken()
+}
+
+// Update trains the pattern counter and the branch's history register.
+func (p *PAs) Update(r trace.Record) {
+	pi := p.patternIndex(r.PC)
+	if r.Taken {
+		p.pattern[pi] = p.pattern[pi].Inc()
+	} else {
+		p.pattern[pi] = p.pattern[pi].Dec()
+	}
+	p.histories[bitvec.PCIndexBits(r.PC, p.bhtBits)].Record(r.Taken)
+}
+
+// Reset clears histories and restores counters to weakly taken.
+func (p *PAs) Reset() {
+	for i := range p.histories {
+		p.histories[i] = bitvec.NewBHR(p.historyBits)
+	}
+	for i := range p.pattern {
+		p.pattern[i] = bitvec.TwoBit(bitvec.WeaklyTaken)
+	}
+}
+
+// Name implements Predictor.
+func (p *PAs) Name() string { return fmt.Sprintf("pas-%s", sizeName(p.historyBits+p.setBits)) }

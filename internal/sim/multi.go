@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+)
+
+// LevelTally summarises one confidence level of a multi-level run.
+type LevelTally struct {
+	Branches uint64
+	Misses   uint64
+}
+
+// Rate returns the level's misprediction rate.
+func (l LevelTally) Rate() float64 {
+	if l.Branches == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(l.Branches)
+}
+
+// MultiResult is the per-level outcome distribution of a multi-level
+// estimator run. Levels[0] is the lowest confidence class.
+type MultiResult struct {
+	Benchmark string
+	Levels    []LevelTally
+}
+
+// Branches returns the total classified predictions.
+func (m MultiResult) Branches() uint64 {
+	var n uint64
+	for _, l := range m.Levels {
+		n += l.Branches
+	}
+	return n
+}
+
+// Misses returns the total mispredictions.
+func (m MultiResult) Misses() uint64 {
+	var n uint64
+	for _, l := range m.Levels {
+		n += l.Misses
+	}
+	return n
+}
+
+// RunMulti replays src through pred and the multi-level estimator.
+func RunMulti(src trace.Source, pred predictor.Predictor, est *core.MultiEstimator) (MultiResult, error) {
+	res := MultiResult{Levels: make([]LevelTally, est.Levels())}
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: reading trace: %w", err)
+		}
+		level := est.Level(r)
+		incorrect := pred.Predict(r) != r.Taken
+		pred.Update(r)
+		est.Update(r, incorrect)
+		res.Levels[level].Branches++
+		if incorrect {
+			res.Levels[level].Misses++
+		}
+	}
+}
+
+// FlushPolicy mutates a confidence mechanism at a context-switch boundary
+// (§5.4). Policies that fully reinitialise can call Reset; cheaper
+// hardware may only age entries (core.OneLevel.MarkOldest) or do nothing.
+type FlushPolicy struct {
+	Name  string
+	Apply func(core.Mechanism)
+}
+
+// RunWithFlush replays src through pred and mech, applying flush at every
+// interval branches — modelling periodic context switches that disturb
+// only the confidence tables (the §5.4 study holds the predictor fixed to
+// isolate CT initialisation effects). interval must be positive.
+func RunWithFlush(src trace.Source, pred predictor.Predictor, mech core.Mechanism, interval uint64, flush FlushPolicy) (Result, error) {
+	if interval == 0 {
+		return Result{}, fmt.Errorf("sim: flush interval must be positive")
+	}
+	res := Result{Buckets: make(analysis.BucketStats)}
+	sinceFlush := uint64(0)
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: reading trace: %w", err)
+		}
+		if sinceFlush == interval {
+			if flush.Apply != nil {
+				flush.Apply(mech)
+			}
+			sinceFlush = 0
+		}
+		incorrect := pred.Predict(r) != r.Taken
+		res.Buckets.Add(mech.Bucket(r), incorrect)
+		pred.Update(r)
+		mech.Update(r, incorrect)
+		res.Branches++
+		sinceFlush++
+		if incorrect {
+			res.Misses++
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("BCT1"):
+//
+//	magic   [4]byte  "BCT1"
+//	records until EOF, each:
+//	  head   uvarint  zigzag(PC - prevPC)
+//	  tgt    uvarint  zigzag(Target - PC)
+//	  meta   uvarint  Gap << 1 | taken
+//
+// PC deltas and PC-relative targets keep typical records to 3-5 bytes.
+// The stream carries no record count; readers consume until EOF, which
+// lets writers stream arbitrarily long traces without buffering.
+
+var magic = [4]byte{'B', 'C', 'T', '1'}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer encodes records to an underlying stream. Close (or Flush) must be
+// called to drain buffered output.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	buf    [3 * binary.MaxVarintLen64]byte
+	count  uint64
+}
+
+// NewWriter writes the format header and returns a ready Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record to the stream.
+func (w *Writer) Write(r Record) error {
+	meta := uint64(r.Gap) << 1
+	if r.Taken {
+		meta |= 1
+	}
+	n := binary.PutUvarint(w.buf[:], zigzag(int64(r.PC-w.prevPC)))
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(r.Target-r.PC)))
+	n += binary.PutUvarint(w.buf[n:], meta)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
+	}
+	w.prevPC = r.PC
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll streams every record from src, returning the record count.
+func (w *Writer) WriteAll(src Source) (uint64, error) {
+	start := w.count
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return w.count - start, w.Flush()
+		}
+		if err != nil {
+			return w.count - start, err
+		}
+		if err := w.Write(r); err != nil {
+			return w.count - start, err
+		}
+	}
+}
+
+// Reader decodes records from a stream written by Writer. It implements
+// Source.
+type Reader struct {
+	r      *bufio.Reader
+	prevPC uint64
+	count  uint64
+}
+
+// NewReader validates the format header and returns a ready Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("trace: bad magic %q, want %q", got, magic)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next record, returning io.EOF cleanly at end of stream.
+func (r *Reader) Next() (Record, error) {
+	head, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d head: %w", r.count, err)
+	}
+	tgt, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d target: %w", r.count, eofIsUnexpected(err))
+	}
+	meta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d meta: %w", r.count, eofIsUnexpected(err))
+	}
+	if gap := meta >> 1; gap > 1<<32-1 {
+		return Record{}, fmt.Errorf("trace: record %d gap %d overflows uint32", r.count, gap)
+	}
+	var rec Record
+	rec.Taken = meta&1 == 1
+	rec.PC = r.prevPC + uint64(unzigzag(head))
+	rec.Target = rec.PC + uint64(unzigzag(tgt))
+	rec.Gap = uint32(meta >> 1)
+	r.prevPC = rec.PC
+	r.count++
+	return rec, nil
+}
+
+// Count returns the number of records decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

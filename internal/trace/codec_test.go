@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, tr Trace) Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := sample(1000)
+	got := roundTrip(t, tr)
+	if len(got) != len(tr) {
+		t.Fatalf("got %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, Trace{}); len(got) != 0 {
+		t.Fatalf("empty trace round-tripped to %d records", len(got))
+	}
+}
+
+// Property: arbitrary records round-trip exactly, including extreme PC
+// deltas in both directions.
+func TestCodecRoundTripQuick(t *testing.T) {
+	check := func(pcs []uint64, targets []uint64, takens []bool, gaps []uint32) bool {
+		n := len(pcs)
+		for _, other := range []int{len(targets), len(takens), len(gaps)} {
+			if other < n {
+				n = other
+			}
+		}
+		tr := make(Trace, n)
+		for i := 0; i < n; i++ {
+			tr[i] = Record{PC: pcs[i], Target: targets[i], Taken: takens[i], Gap: gaps[i]}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range tr {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(rd, 0)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("XXXX....")))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderRejectsShortHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("BC")))
+	if err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{PC: 0x4000, Target: 0x4010, Taken: true, Gap: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the last byte: the record must error, not silently succeed.
+	data := buf.Bytes()[:buf.Len()-1]
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated record returned %v, want hard error", err)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sample(7)
+	n, err := w.WriteAll(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 || w.Count() != 7 {
+		t.Fatalf("WriteAll = %d, Count = %d, want 7", n, w.Count())
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Sequential same-page branches should cost only a few bytes each.
+	tr := make(Trace, 1000)
+	for i := range tr {
+		pc := uint64(0x10000 + 4*(i%64))
+		tr[i] = Record{PC: pc, Target: pc + 16, Taken: i%3 == 0, Gap: uint32(i % 8)}
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAll(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(tr))
+	if perRecord > 6 {
+		t.Fatalf("encoding too fat: %.1f bytes/record", perRecord)
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	tr := sample(5)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if _, err := w.WriteAll(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(rd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Count() != 5 {
+		t.Fatalf("reader Count = %d, want 5", rd.Count())
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	tr := sample(1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(tr[0]); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzCodecRoundTrip feeds arbitrary record tuples through the BCT1 codec
+// and requires exact reconstruction. Run with `go test -fuzz=FuzzCodec`
+// for continuous fuzzing; the seed corpus runs under plain `go test`.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x1040), true, uint32(3))
+	f.Add(uint64(0), uint64(0), false, uint32(0))
+	f.Add(^uint64(0), uint64(1), true, uint32(1<<31))
+	f.Add(uint64(1<<63), ^uint64(0), false, ^uint32(0))
+	f.Fuzz(func(t *testing.T, pc, target uint64, taken bool, gap uint32) {
+		rec := Record{PC: pc, Target: target, Taken: taken, Gap: gap}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write the record twice to exercise delta encoding against itself.
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if got != rec {
+				t.Fatalf("record %d: got %+v want %+v", i, got, rec)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+	})
+}
+
+// FuzzReaderRobustness feeds arbitrary bytes to the reader and requires it
+// to terminate with a clean error or EOF — never panic or loop.
+func FuzzReaderRobustness(f *testing.F) {
+	f.Add([]byte("BCT1"))
+	f.Add([]byte("BCT1\x02\x04\x06"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				return // EOF or a decode error: fine
+			}
+		}
+	})
+}

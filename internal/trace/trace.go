@@ -1,0 +1,226 @@
+// Package trace defines the branch-trace substrate of the simulator: the
+// record type describing one dynamic conditional branch, streaming sources,
+// in-memory traces, and a compact binary codec for persisting traces to
+// disk.
+//
+// The paper's experiments are trace-driven: every confidence mechanism
+// consumes a stream of (PC, outcome) pairs produced by running benchmarks.
+// This package is the equivalent of the authors' trace tooling; traces here
+// are either generated on the fly by internal/workload or replayed from
+// files written by cmd/tracegen.
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Record describes one dynamic conditional branch.
+type Record struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the branch-taken destination address. Backward targets
+	// (Target < PC) identify loop branches for BTFN-style predictors.
+	Target uint64
+	// Taken reports the resolved branch direction.
+	Taken bool
+	// Gap is the number of non-branch instructions fetched since the
+	// previous conditional branch; fetch-bandwidth models (SMT gating)
+	// use it to convert branch counts into instruction counts.
+	Gap uint32
+}
+
+// Backward reports whether the branch jumps to a lower address when taken,
+// the usual signature of a loop-closing branch.
+func (r Record) Backward() bool { return r.Target < r.PC }
+
+// Source is a stream of branch records. Next returns io.EOF after the last
+// record; any other error indicates a malformed or unreadable trace.
+type Source interface {
+	Next() (Record, error)
+}
+
+// Trace is an in-memory sequence of records.
+type Trace []Record
+
+// Source returns a Source replaying the trace from the beginning.
+func (t Trace) Source() Source { return &sliceSource{records: t} }
+
+type sliceSource struct {
+	records []Record
+	pos     int
+}
+
+func (s *sliceSource) Next() (Record, error) {
+	if s.pos >= len(s.records) {
+		return Record{}, io.EOF
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Collect drains src into an in-memory trace. A limit of 0 means unbounded;
+// otherwise at most limit records are read.
+func Collect(src Source, limit int) (Trace, error) {
+	var t Trace
+	for limit == 0 || len(t) < limit {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t, err
+		}
+		t = append(t, r)
+	}
+	return t, nil
+}
+
+// ErrShortTrace is returned by Take when the source ends before n records.
+var ErrShortTrace = errors.New("trace: source ended early")
+
+// Take reads exactly n records from src, failing with ErrShortTrace if the
+// source ends first.
+func Take(src Source, n int) (Trace, error) {
+	t := make(Trace, 0, n)
+	for len(t) < n {
+		r, err := src.Next()
+		if err == io.EOF {
+			return t, ErrShortTrace
+		}
+		if err != nil {
+			return t, err
+		}
+		t = append(t, r)
+	}
+	return t, nil
+}
+
+// Limit wraps src so that at most n records are delivered.
+func Limit(src Source, n uint64) Source { return &limitSource{src: src, remaining: n} }
+
+type limitSource struct {
+	src       Source
+	remaining uint64
+}
+
+func (l *limitSource) Next() (Record, error) {
+	if l.remaining == 0 {
+		return Record{}, io.EOF
+	}
+	r, err := l.src.Next()
+	if err == nil {
+		l.remaining--
+	}
+	return r, err
+}
+
+// Concat chains sources end to end.
+func Concat(srcs ...Source) Source { return &concatSource{srcs: srcs} }
+
+type concatSource struct {
+	srcs []Source
+}
+
+func (c *concatSource) Next() (Record, error) {
+	for len(c.srcs) > 0 {
+		r, err := c.srcs[0].Next()
+		if err == io.EOF {
+			c.srcs = c.srcs[1:]
+			continue
+		}
+		return r, err
+	}
+	return Record{}, io.EOF
+}
+
+// Interleave multiplexes sources round-robin in runs of quantum records,
+// modelling a multiprogrammed machine that context-switches between
+// workloads. Exhausted sources drop out; the stream ends when all are
+// done. It panics if quantum is zero: the schedule is fixed configuration.
+func Interleave(quantum uint64, srcs ...Source) Source {
+	if quantum == 0 {
+		panic("trace: Interleave quantum must be positive")
+	}
+	return &interleaveSource{srcs: srcs, quantum: quantum, remaining: quantum}
+}
+
+type interleaveSource struct {
+	srcs      []Source
+	quantum   uint64
+	cur       int
+	remaining uint64
+}
+
+func (s *interleaveSource) Next() (Record, error) {
+	for len(s.srcs) > 0 {
+		if s.remaining == 0 {
+			s.cur = (s.cur + 1) % len(s.srcs)
+			s.remaining = s.quantum
+		}
+		r, err := s.srcs[s.cur].Next()
+		if err == io.EOF {
+			s.srcs = append(s.srcs[:s.cur], s.srcs[s.cur+1:]...)
+			if len(s.srcs) > 0 {
+				s.cur %= len(s.srcs)
+			}
+			s.remaining = s.quantum
+			continue
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		s.remaining--
+		return r, nil
+	}
+	return Record{}, io.EOF
+}
+
+// FuncSource adapts a generator function to the Source interface.
+type FuncSource func() (Record, error)
+
+// Next calls the wrapped function.
+func (f FuncSource) Next() (Record, error) { return f() }
+
+// Stats summarises a trace in one pass.
+type Stats struct {
+	Branches     uint64 // dynamic conditional branches
+	Taken        uint64 // how many resolved taken
+	Backward     uint64 // dynamic branches with backward targets
+	Instructions uint64 // branches plus gap instructions
+	StaticPCs    int    // distinct branch addresses
+}
+
+// TakenRate returns the fraction of branches resolved taken.
+func (s Stats) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// Measure drains src and returns its summary statistics.
+func Measure(src Source) (Stats, error) {
+	var st Stats
+	pcs := make(map[uint64]struct{})
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			st.StaticPCs = len(pcs)
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Branches++
+		st.Instructions += uint64(r.Gap) + 1
+		if r.Taken {
+			st.Taken++
+		}
+		if r.Backward() {
+			st.Backward++
+		}
+		pcs[r.PC] = struct{}{}
+	}
+}

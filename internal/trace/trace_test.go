@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func sample(n int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		pc := uint64(0x1000 + 4*(i%7))
+		t[i] = Record{
+			PC:     pc,
+			Target: pc + uint64(8*(i%3)) - 4,
+			Taken:  i%2 == 0,
+			Gap:    uint32(i % 5),
+		}
+	}
+	return t
+}
+
+func TestSliceSourceReplaysAll(t *testing.T) {
+	tr := sample(10)
+	src := tr.Source()
+	for i, want := range tr {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	// EOF is sticky.
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	tr := sample(20)
+	got, err := Collect(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("collected %d records, want 20", len(got))
+	}
+	got, err = Collect(tr.Source(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("limited collect got %d, want 5", len(got))
+	}
+}
+
+func TestTakeExact(t *testing.T) {
+	tr := sample(10)
+	got, err := Take(tr.Source(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if _, err := Take(tr.Source(), 11); !errors.Is(err, ErrShortTrace) {
+		t.Fatalf("short take error = %v, want ErrShortTrace", err)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tr := sample(10)
+	src := Limit(tr.Source(), 3)
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("limited source yielded %d records, want 3", n)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := sample(3), sample(4)
+	src := Concat(a.Source(), b.Source())
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("concat yielded %d records, want 7", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if got[i] != a[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got[3+i] != b[i] {
+			t.Fatalf("record %d mismatch", 3+i)
+		}
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if _, err := Concat().Next(); err != io.EOF {
+		t.Fatalf("empty concat: %v", err)
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := Trace{{PC: 1}, {PC: 2}, {PC: 3}, {PC: 4}}
+	b := Trace{{PC: 101}, {PC: 102}, {PC: 103}, {PC: 104}}
+	src := Interleave(2, a.Source(), b.Source())
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 101, 102, 3, 4, 103, 104}
+	if len(got) != len(want) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i, w := range want {
+		if got[i].PC != w {
+			t.Fatalf("record %d: PC %d want %d", i, got[i].PC, w)
+		}
+	}
+}
+
+func TestInterleaveUnevenSources(t *testing.T) {
+	a := Trace{{PC: 1}}
+	b := Trace{{PC: 101}, {PC: 102}, {PC: 103}}
+	got, err := Collect(Interleave(2, a.Source(), b.Source()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d records, want 4", len(got))
+	}
+	// All records delivered, none duplicated.
+	seen := map[uint64]bool{}
+	for _, r := range got {
+		if seen[r.PC] {
+			t.Fatalf("duplicate PC %d", r.PC)
+		}
+		seen[r.PC] = true
+	}
+}
+
+func TestInterleaveSingleSource(t *testing.T) {
+	a := sample(5)
+	got, err := Collect(Interleave(2, a.Source()), 0)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("%d records, err %v", len(got), err)
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	if _, err := Interleave(1).Next(); err != io.EOF {
+		t.Fatalf("empty interleave: %v", err)
+	}
+}
+
+func TestInterleavePanicsOnZeroQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero quantum accepted")
+		}
+	}()
+	Interleave(0, sample(1).Source())
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := FuncSource(func() (Record, error) {
+		if n >= 2 {
+			return Record{}, io.EOF
+		}
+		n++
+		return Record{PC: uint64(n)}, nil
+	})
+	got, err := Collect(src, 0)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %d records, err %v", len(got), err)
+	}
+}
+
+func TestBackward(t *testing.T) {
+	if !(Record{PC: 100, Target: 50}).Backward() {
+		t.Fatal("target below PC not backward")
+	}
+	if (Record{PC: 100, Target: 150}).Backward() {
+		t.Fatal("target above PC reported backward")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	tr := Trace{
+		{PC: 0x100, Target: 0x80, Taken: true, Gap: 3}, // backward, taken
+		{PC: 0x104, Target: 0x200, Taken: false, Gap: 1},
+		{PC: 0x100, Target: 0x80, Taken: true, Gap: 0},
+	}
+	st, err := Measure(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 3 || st.Taken != 2 || st.Backward != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.StaticPCs != 2 {
+		t.Fatalf("StaticPCs = %d, want 2", st.StaticPCs)
+	}
+	if st.Instructions != 3+3+1+0 {
+		t.Fatalf("Instructions = %d, want 7", st.Instructions)
+	}
+	if got := st.TakenRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("TakenRate = %v", got)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st, err := Measure(Trace{}.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 0 || st.TakenRate() != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload synthesises the benchmark suite driving all experiments.
+//
+// The paper uses the IBS benchmark traces (Uhlig et al., ISCA '95), which
+// are not distributable. This package replaces them with nine deterministic
+// synthetic benchmarks carrying the same names. Each benchmark is a program
+// model: a set of routines containing static branch sites, where every site
+// follows one of several behaviour classes observed in real code (strongly
+// biased branches, loop exits, short repeating patterns, history-correlated
+// branches, data-dependent random branches, phase-changing branches). The
+// walker executes routines with Zipf-distributed popularity, producing a
+// branch trace with realistic locality and history structure.
+//
+// The suite is calibrated against the paper's two anchor measurements: the
+// composite misprediction rate of a 64K-entry gshare (paper: 3.85%) and of
+// a 4K-entry gshare (paper: 8.6%). See suite_test.go for the calibration
+// checks.
+package workload
+
+import (
+	"math/bits"
+
+	"branchconf/internal/xrand"
+)
+
+// Ctx carries the execution state a behaviour may consult when resolving a
+// branch: the benchmark's private random stream, the global history of
+// recent branch outcomes (bit 0 = most recent, 1 = taken), the executing
+// routine's visit count, and the current loop iteration index (0 outside
+// loops). Visit and LoopIter let pattern behaviours stay phase-locked to
+// control flow the way real data-driven branches are, instead of drifting
+// independently.
+type Ctx struct {
+	RNG      *xrand.RNG
+	Hist     uint64
+	Visit    uint64
+	LoopIter int
+}
+
+// Behavior resolves successive dynamic outcomes of one static branch site.
+// Implementations may keep per-site state (pattern position, phase counter);
+// each site owns a private instance.
+type Behavior interface {
+	Outcome(ctx *Ctx) bool
+}
+
+// Biased resolves taken with fixed probability P, independent of history —
+// the bread-and-butter conditional guarding an uncommon case.
+type Biased struct {
+	P float64
+}
+
+// Outcome implements Behavior.
+func (b *Biased) Outcome(ctx *Ctx) bool { return ctx.RNG.Bool(b.P) }
+
+// Periodic cycles through a fixed direction pattern — switch-like and
+// unrolled-loop-like branches that a global-history predictor learns
+// perfectly once warmed up. The pattern position advances once per
+// execution.
+type Periodic struct {
+	Pattern []bool
+	pos     int
+}
+
+// Outcome implements Behavior.
+func (p *Periodic) Outcome(*Ctx) bool {
+	out := p.Pattern[p.pos]
+	p.pos++
+	if p.pos == len(p.Pattern) {
+		p.pos = 0
+	}
+	return out
+}
+
+// VisitPattern resolves from the routine's visit count: every execution in
+// the same routine visit takes the same direction, cycling across visits.
+// Models branches guarding per-call modes (argument flags, state machines).
+// Sites sharing a pattern differ only by Invert, keeping them mutually
+// predictable from history.
+// An Epoch > 1 slows the pattern: the direction holds for Epoch
+// consecutive visits before stepping, modelling modes that change rarely
+// (configuration rechecks, buffer refills) versus every call (Epoch == 1).
+type VisitPattern struct {
+	Pattern []bool
+	Invert  bool
+	Epoch   uint64
+}
+
+// Outcome implements Behavior.
+func (v *VisitPattern) Outcome(ctx *Ctx) bool {
+	e := v.Epoch
+	if e == 0 {
+		e = 1
+	}
+	out := v.Pattern[int((ctx.Visit/e)%uint64(len(v.Pattern)))]
+	if v.Invert {
+		out = !out
+	}
+	return out
+}
+
+// IterPattern resolves from the current loop iteration index, replaying the
+// same direction sequence every loop visit. Models branches driven by the
+// loop induction variable (stride tests, unroll tails).
+type IterPattern struct {
+	Pattern []bool
+}
+
+// Outcome implements Behavior.
+func (p *IterPattern) Outcome(ctx *Ctx) bool {
+	return p.Pattern[ctx.LoopIter%len(p.Pattern)]
+}
+
+// Correlated resolves as the parity of recent global outcomes selected by
+// Mask, optionally inverted, with independent noise flips at rate Noise.
+// This is the branch-correlation structure (Pan, So & Rahmeh) that makes
+// global-history predictors win; the noise bounds how well any predictor
+// can do.
+type Correlated struct {
+	Mask   uint64
+	Invert bool
+	Noise  float64
+}
+
+// Outcome implements Behavior.
+func (c *Correlated) Outcome(ctx *Ctx) bool {
+	out := bits.OnesCount64(ctx.Hist&c.Mask)%2 == 1
+	if c.Invert {
+		out = !out
+	}
+	if c.Noise > 0 && ctx.RNG.Bool(c.Noise) {
+		out = !out
+	}
+	return out
+}
+
+// PhaseBiased alternates between two biases every PhaseLen executions,
+// modelling branches whose behaviour tracks program phases (input buffers,
+// allocation epochs). The transitions defeat profile-based prediction and
+// stress confidence tables.
+type PhaseBiased struct {
+	PHigh, PLow float64
+	PhaseLen    int
+	count       int
+	low         bool
+}
+
+// Outcome implements Behavior.
+func (p *PhaseBiased) Outcome(ctx *Ctx) bool {
+	if p.count >= p.PhaseLen {
+		p.count = 0
+		p.low = !p.low
+	}
+	p.count++
+	if p.low {
+		return ctx.RNG.Bool(p.PLow)
+	}
+	return ctx.RNG.Bool(p.PHigh)
+}
+
+// TripCount models a loop's iteration count distribution. Fixed-trip loops
+// are fully predictable by a history register at least as long as the trip
+// count; variable-trip loops force roughly one misprediction per loop
+// visit (the exit).
+type TripCount struct {
+	// Mean is the average trip count; must be >= 1.
+	Mean int
+	// Jitter is the maximum +/- uniform variation applied per loop entry.
+	// Zero makes the loop fixed-trip.
+	Jitter int
+}
+
+// Draw returns the trip count for one loop entry (always >= 1).
+func (t TripCount) Draw(rng *xrand.RNG) int {
+	n := t.Mean
+	if t.Jitter > 0 {
+		n += rng.Intn(2*t.Jitter+1) - t.Jitter
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

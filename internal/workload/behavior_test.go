@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"branchconf/internal/xrand"
+)
+
+func TestBiasedRate(t *testing.T) {
+	ctx := &Ctx{RNG: xrand.New(1)}
+	b := &Biased{P: 0.9}
+	taken := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if b.Outcome(ctx) {
+			taken++
+		}
+	}
+	if got := float64(taken) / n; math.Abs(got-0.9) > 0.01 {
+		t.Fatalf("biased rate %v, want ~0.9", got)
+	}
+}
+
+func TestPeriodicCycles(t *testing.T) {
+	ctx := &Ctx{RNG: xrand.New(2)}
+	pat := []bool{true, true, false}
+	p := &Periodic{Pattern: pat}
+	for i := 0; i < 30; i++ {
+		if got := p.Outcome(ctx); got != pat[i%3] {
+			t.Fatalf("position %d: got %v", i, got)
+		}
+	}
+}
+
+func TestCorrelatedFollowsHistoryParity(t *testing.T) {
+	ctx := &Ctx{RNG: xrand.New(3)}
+	c := &Correlated{Mask: 0b101, Noise: 0}
+	cases := []struct {
+		hist uint64
+		want bool
+	}{
+		{0b000, false},
+		{0b001, true},
+		{0b100, true},
+		{0b101, false},
+		{0b111, false},
+		{0b011, true},
+	}
+	for _, tc := range cases {
+		ctx.Hist = tc.hist
+		if got := c.Outcome(ctx); got != tc.want {
+			t.Fatalf("hist %03b: got %v want %v", tc.hist, got, tc.want)
+		}
+	}
+	inv := &Correlated{Mask: 0b101, Invert: true, Noise: 0}
+	ctx.Hist = 0b001
+	if inv.Outcome(ctx) {
+		t.Fatal("inverted correlation did not invert")
+	}
+}
+
+func TestCorrelatedNoiseRate(t *testing.T) {
+	ctx := &Ctx{RNG: xrand.New(4), Hist: 0}
+	c := &Correlated{Mask: 1, Noise: 0.2}
+	flips := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		// hist parity is 0 → noiseless outcome false; any true is a flip.
+		if c.Outcome(ctx) {
+			flips++
+		}
+	}
+	if got := float64(flips) / n; math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("noise rate %v, want ~0.2", got)
+	}
+}
+
+func TestPhaseBiasedAlternates(t *testing.T) {
+	ctx := &Ctx{RNG: xrand.New(5)}
+	p := &PhaseBiased{PHigh: 1.0, PLow: 0.0, PhaseLen: 10}
+	for phase := 0; phase < 4; phase++ {
+		want := phase%2 == 0 // starts in high phase
+		for i := 0; i < 10; i++ {
+			if got := p.Outcome(ctx); got != want {
+				t.Fatalf("phase %d step %d: got %v want %v", phase, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTripCountFixed(t *testing.T) {
+	rng := xrand.New(6)
+	tc := TripCount{Mean: 8}
+	for i := 0; i < 100; i++ {
+		if got := tc.Draw(rng); got != 8 {
+			t.Fatalf("fixed trip drew %d", got)
+		}
+	}
+}
+
+func TestTripCountJitterBounds(t *testing.T) {
+	rng := xrand.New(7)
+	tc := TripCount{Mean: 5, Jitter: 3}
+	seenLow, seenHigh := false, false
+	for i := 0; i < 10000; i++ {
+		got := tc.Draw(rng)
+		if got < 2 || got > 8 {
+			t.Fatalf("jittered trip %d outside [2,8]", got)
+		}
+		if got == 2 {
+			seenLow = true
+		}
+		if got == 8 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatal("jitter never reached its bounds")
+	}
+}
+
+func TestTripCountFloorsAtOne(t *testing.T) {
+	rng := xrand.New(8)
+	tc := TripCount{Mean: 1, Jitter: 5}
+	for i := 0; i < 1000; i++ {
+		if tc.Draw(rng) < 1 {
+			t.Fatal("trip count below 1")
+		}
+	}
+}

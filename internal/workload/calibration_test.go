@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"branchconf/internal/predictor"
+)
+
+// mispredictRate replays n branches of spec s through p.
+func mispredictRate(t *testing.T, s Spec, p predictor.Predictor, n uint64) float64 {
+	t.Helper()
+	src, err := s.FiniteSource(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches, miss uint64
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Predict(r) != r.Taken {
+			miss++
+		}
+		p.Update(r)
+		branches++
+	}
+	return float64(miss) / float64(branches)
+}
+
+const calibrationBranches = 400_000
+
+// TestCalibrationGshare64K checks the suite's primary anchor: the paper's
+// composite misprediction rate for the 64K gshare is 3.85%. The synthetic
+// suite must land near it (the exact value is recorded in EXPERIMENTS.md).
+func TestCalibrationGshare64K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full-length runs")
+	}
+	sum := 0.0
+	rates := map[string]float64{}
+	for _, s := range Suite() {
+		r := mispredictRate(t, s, predictor.Gshare64K(), calibrationBranches)
+		rates[s.Name] = r
+		sum += r
+	}
+	composite := sum / float64(len(Suite()))
+	t.Logf("gshare-64K composite misprediction: %.2f%% (paper: 3.85%%) per-benchmark: %v", 100*composite, rates)
+	if composite < 0.030 || composite > 0.048 {
+		t.Fatalf("composite %.2f%% outside calibration band [3.0%%, 4.8%%]", 100*composite)
+	}
+}
+
+// TestCalibrationGshare4K checks the Section 5.3 anchor: 8.6% composite
+// misprediction for the 4K gshare.
+func TestCalibrationGshare4K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full-length runs")
+	}
+	sum := 0.0
+	for _, s := range Suite() {
+		sum += mispredictRate(t, s, predictor.Gshare4K(), calibrationBranches)
+	}
+	composite := sum / float64(len(Suite()))
+	t.Logf("gshare-4K composite misprediction: %.2f%% (paper: 8.6%%)", 100*composite)
+	if composite < 0.065 || composite > 0.105 {
+		t.Fatalf("composite %.2f%% outside calibration band [6.5%%, 10.5%%]", 100*composite)
+	}
+}
+
+// TestCalibrationExtremes pins the Fig. 9 structure: jpeg_play is the
+// best-predicted benchmark and real_gcc the worst.
+func TestCalibrationExtremes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full-length runs")
+	}
+	rates := map[string]float64{}
+	for _, s := range Suite() {
+		rates[s.Name] = mispredictRate(t, s, predictor.Gshare64K(), calibrationBranches)
+	}
+	for name, r := range rates {
+		if name != "jpeg_play" && r <= rates["jpeg_play"] {
+			t.Errorf("%s (%.2f%%) predicted no worse than jpeg_play (%.2f%%)", name, 100*r, 100*rates["jpeg_play"])
+		}
+		if name != "real_gcc" && r >= rates["real_gcc"] {
+			t.Errorf("%s (%.2f%%) predicted no better than real_gcc (%.2f%%)", name, 100*r, 100*rates["real_gcc"])
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchconf/internal/xrand"
+)
+
+// Site is one static conditional branch in a synthetic program.
+type Site struct {
+	PC       uint64
+	Target   uint64
+	Behavior Behavior
+}
+
+// element is one control-flow step within a routine: either a plain branch
+// site or a loop (body of plain sites closed by a backward loop branch).
+type element struct {
+	site int   // index into Program.sites: the branch itself
+	body []int // loop body site indices; nil for plain elements
+	trip TripCount
+}
+
+// routine is a straight-line sequence of elements executed in order.
+type routine struct {
+	elems []element
+}
+
+// Program is a fully constructed synthetic program: an address-laid-out set
+// of branch sites organised into routines. Programs are built
+// deterministically from a Spec; the same Spec always yields the same
+// program and, with the same walk seed, the same trace.
+//
+// Control flow between routines follows a first-order Markov chain: each
+// routine has a few preferred successors (drawn popularity-weighted at
+// build time) with an occasional global jump. Uniformly random routine
+// hopping would give every branch dozens of distinct history contexts —
+// real call graphs repeat caller/callee pairs heavily, and history-based
+// predictors depend on that recurrence.
+type Program struct {
+	sites    []Site
+	routines []routine
+	succs    [][]int // per-routine preferred successors
+	zipfSkew float64
+}
+
+// StaticBranches returns the number of static branch sites in the program.
+func (p *Program) StaticBranches() int { return len(p.sites) }
+
+// Census counts the program's static branch sites per behaviour class,
+// documenting what a benchmark is made of (tracegen -describe prints it).
+type Census struct {
+	Biased     int
+	Periodic   int // visit- and iteration-locked patterns
+	Correlated int
+	Phase      int
+	Random     int
+	LoopBranch int
+}
+
+// Census classifies every static site.
+func (p *Program) Census() Census {
+	var c Census
+	for _, s := range p.sites {
+		switch b := s.Behavior.(type) {
+		case *Biased:
+			if b.P == 0.5 {
+				c.Random++
+			} else {
+				c.Biased++
+			}
+		case *VisitPattern, *IterPattern, *Periodic:
+			c.Periodic++
+		case *Correlated:
+			c.Correlated++
+		case *PhaseBiased:
+			c.Phase++
+		case nil:
+			c.LoopBranch++
+		}
+	}
+	return c
+}
+
+// Routines returns the number of routines.
+func (p *Program) Routines() int { return len(p.routines) }
+
+// programBase is where synthetic code is laid out; routineStride separates
+// routine address ranges so PC bits carry routine identity like real code.
+const (
+	programBase   = 0x0040_0000
+	routineStride = 0x1000
+	siteStride    = 8
+)
+
+// build constructs the program for a Spec. All structural randomness comes
+// from the Spec seed, so the program is a pure function of the Spec.
+func build(s Spec) (*Program, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(s.Seed)
+	p := &Program{zipfSkew: s.ZipfSkew}
+	for r := 0; r < s.Routines; r++ {
+		base := uint64(programBase + r*routineStride)
+		slot := 0
+		nextPC := func() uint64 {
+			pc := base + uint64(slot*siteStride)
+			slot++
+			return pc
+		}
+		var rt routine
+
+		// All visit-locked sites within one routine share a single pattern
+		// (up to per-site inversion) so the routine has one mode phase per
+		// visit: the first patterned branch reveals the phase, and the rest
+		// follow from history — exactly how repeated tests of the same mode
+		// flag behave. Independent per-site phases would make the global
+		// history wander through a state space no predictor could warm up
+		// on; real branches co-evolve because the same data drives them.
+		period := 2 + rng.Intn(7)
+		visitPat := make([]bool, period)
+		allSame := true
+		for i := range visitPat {
+			visitPat[i] = rng.Bool(0.5)
+			if i > 0 && visitPat[i] != visitPat[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			visitPat[period-1] = !visitPat[0]
+		}
+
+		addPlain := func() {
+			pc := nextPC()
+			p.sites = append(p.sites, Site{
+				PC:       pc,
+				Target:   pc + uint64(siteStride*(2+rng.Intn(30))),
+				Behavior: s.newBehavior(rng, visitPat, false),
+			})
+			rt.elems = append(rt.elems, element{site: len(p.sites) - 1})
+		}
+
+		addLoop := func() {
+			bodyN := 1 + rng.Intn(2*s.LoopBody-1) // mean s.LoopBody
+			body := make([]int, 0, bodyN)
+			var bodyStart uint64
+			for i := 0; i < bodyN; i++ {
+				pc := nextPC()
+				if i == 0 {
+					bodyStart = pc
+				}
+				p.sites = append(p.sites, Site{
+					PC:       pc,
+					Target:   pc + uint64(siteStride*(2+rng.Intn(30))),
+					Behavior: s.newBehavior(rng, visitPat, true),
+				})
+				body = append(body, len(p.sites)-1)
+			}
+			pc := nextPC()
+			p.sites = append(p.sites, Site{
+				PC:     pc,
+				Target: bodyStart, // backward: loop-closing branch
+			})
+			jitter := 0
+			if s.TripJitter > 0 && rng.Bool(s.VariableTripFrac) {
+				jitter = 1 + rng.Intn(s.TripJitter)
+			}
+			trip := TripCount{Mean: 2 + rng.Intn(2*s.TripMean-3), Jitter: jitter}
+			rt.elems = append(rt.elems, element{
+				site: len(p.sites) - 1,
+				body: body,
+				trip: trip,
+			})
+		}
+
+		// Interleave plain sites and loops in a deterministic shuffle.
+		plains := 1 + rng.Intn(2*s.PlainSites-1)
+		loops := s.Loops
+		for plains > 0 || loops > 0 {
+			if loops > 0 && (plains == 0 || rng.Bool(float64(loops)/float64(loops+plains))) {
+				addLoop()
+				loops--
+			} else {
+				addPlain()
+				plains--
+			}
+		}
+		p.routines = append(p.routines, rt)
+	}
+	// Successor graph: three preferred successors per routine, drawn
+	// popularity-weighted so hot routines appear in many successor lists.
+	zipf := xrand.NewZipf(rng, s.Routines, s.ZipfSkew)
+	p.succs = make([][]int, s.Routines)
+	for r := range p.succs {
+		succ := make([]int, numSuccessors)
+		for i := range succ {
+			succ[i] = zipf.Draw()
+		}
+		p.succs[r] = succ
+	}
+	return p, nil
+}
+
+// Markov-walk shape constants: successor count, per-rank selection
+// weights (cumulative), and the probability of an unstructured global jump.
+const (
+	numSuccessors  = 3
+	globalJumpProb = 0.05
+)
+
+var succCumWeights = [numSuccessors]float64{0.55, 0.85, 1.0}
+
+// newBehavior draws one site behaviour from the Spec's mixture. visitPat
+// is the routine's shared visit pattern; inLoop selects iteration-locked
+// patterns for loop-body sites.
+func (s Spec) newBehavior(rng *xrand.RNG, visitPat []bool, inLoop bool) Behavior {
+	total := s.Mix.Biased + s.Mix.Periodic + s.Mix.Correlated + s.Mix.Phase + s.Mix.Random
+	u := rng.Float64() * total
+	switch {
+	case u < s.Mix.Biased:
+		return s.newBiased(rng)
+	case u < s.Mix.Biased+s.Mix.Periodic:
+		return s.newPeriodic(rng, visitPat, inLoop)
+	case u < s.Mix.Biased+s.Mix.Periodic+s.Mix.Correlated:
+		return s.newCorrelated(rng)
+	case u < s.Mix.Biased+s.Mix.Periodic+s.Mix.Correlated+s.Mix.Phase:
+		// Near-deterministic within each phase: the phase transition is
+		// the hard event, not every execution.
+		return &PhaseBiased{
+			PHigh:    0.975 + 0.02*rng.Float64(),
+			PLow:     0.005 + 0.02*rng.Float64(),
+			PhaseLen: 500 + rng.Intn(4500),
+		}
+	default:
+		return &Biased{P: 0.5}
+	}
+}
+
+// biasLevels are the strong-to-weak bias magnitudes assigned to biased
+// branches, weighted heavily toward the strong end: most dynamic
+// conditional branches in profiled real code are nearly always one way,
+// and every mid-strength bias injects history entropy that no predictor
+// can absorb.
+var biasLevels = []float64{0.998, 0.995, 0.99, 0.97, 0.90}
+var biasWeights = []float64{0.45, 0.30, 0.15, 0.07, 0.03}
+
+// takenBiasedFrac is the fraction of biased branches whose common direction
+// is taken. Real conditional-branch profiles skew taken (~60-70%), which is
+// why predictor tables initialise to weakly taken; mirroring that keeps
+// cold-counter behaviour realistic.
+const takenBiasedFrac = 0.70
+
+func (s Spec) newBiased(rng *xrand.RNG) Behavior {
+	u := rng.Float64()
+	p := biasLevels[len(biasLevels)-1]
+	acc := 0.0
+	for i, w := range biasWeights {
+		acc += w
+		if u < acc {
+			p = biasLevels[i]
+			break
+		}
+	}
+	if !rng.Bool(takenBiasedFrac) {
+		p = 1 - p
+	}
+	return &Biased{P: p}
+}
+
+func (s Spec) newPeriodic(rng *xrand.RNG, visitPat []bool, inLoop bool) Behavior {
+	if inLoop {
+		// Iteration-locked patterns replay identically every loop visit, so
+		// each body site may have its own pattern without entropy cost.
+		n := 2 + rng.Intn(7)
+		pat := make([]bool, n)
+		same := true
+		for i := range pat {
+			pat[i] = rng.Bool(0.5)
+			if i > 0 && pat[i] != pat[0] {
+				same = false
+			}
+		}
+		if same {
+			pat[n-1] = !pat[0] // degenerate constant patterns become biased
+		}
+		return &IterPattern{Pattern: pat}
+	}
+	return &VisitPattern{Pattern: visitPat, Invert: rng.Bool(0.5), Epoch: drawEpoch(rng)}
+}
+
+// visitEpochs weights mode-change cadence toward slow: most mode branches
+// hold their direction for many visits; a quarter re-decide every visit.
+var visitEpochs = []uint64{1, 8, 32, 128}
+var epochCumWeights = []float64{0.05, 0.20, 0.50, 1.0}
+
+func drawEpoch(rng *xrand.RNG) uint64 {
+	u := rng.Float64()
+	for i, c := range epochCumWeights {
+		if u < c {
+			return visitEpochs[i]
+		}
+	}
+	return visitEpochs[len(visitEpochs)-1]
+}
+
+func (s Spec) newCorrelated(rng *xrand.RNG) Behavior {
+	// Select 1-3 of the last 6 global outcomes.
+	var mask uint64
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		mask |= 1 << uint(rng.Intn(6))
+	}
+	noise := s.NoiseLo + (s.NoiseHi-s.NoiseLo)*rng.Float64()
+	return &Correlated{Mask: mask, Invert: rng.Bool(0.5), Noise: noise}
+}
+
+func (s Spec) validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec has empty name")
+	case s.Routines <= 0:
+		return fmt.Errorf("workload %s: Routines must be positive, got %d", s.Name, s.Routines)
+	case s.PlainSites <= 0:
+		return fmt.Errorf("workload %s: PlainSites must be positive, got %d", s.Name, s.PlainSites)
+	case s.Loops < 0:
+		return fmt.Errorf("workload %s: Loops must be non-negative, got %d", s.Name, s.Loops)
+	case s.Loops > 0 && s.LoopBody <= 0:
+		return fmt.Errorf("workload %s: LoopBody must be positive with loops, got %d", s.Name, s.LoopBody)
+	case s.Loops > 0 && s.TripMean < 2:
+		return fmt.Errorf("workload %s: TripMean must be >= 2, got %d", s.Name, s.TripMean)
+	case s.ZipfSkew < 0:
+		return fmt.Errorf("workload %s: ZipfSkew must be non-negative, got %v", s.Name, s.ZipfSkew)
+	case s.NoiseLo < 0 || s.NoiseHi < s.NoiseLo || s.NoiseHi > 1:
+		return fmt.Errorf("workload %s: noise range [%v,%v] invalid", s.Name, s.NoiseLo, s.NoiseHi)
+	case s.VariableTripFrac < 0 || s.VariableTripFrac > 1:
+		return fmt.Errorf("workload %s: VariableTripFrac %v outside [0,1]", s.Name, s.VariableTripFrac)
+	}
+	m := s.Mix
+	if m.Biased < 0 || m.Periodic < 0 || m.Correlated < 0 || m.Phase < 0 || m.Random < 0 {
+		return fmt.Errorf("workload %s: negative mixture weight", s.Name)
+	}
+	if m.Biased+m.Periodic+m.Correlated+m.Phase+m.Random <= 0 {
+		return fmt.Errorf("workload %s: mixture weights sum to zero", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"branchconf/internal/trace"
+	"branchconf/internal/xrand"
+)
+
+// walker executes a Program, emitting an unbounded branch-record stream.
+// It implements trace.Source (Next never returns io.EOF; wrap with
+// trace.Limit for a finite trace).
+type walker struct {
+	prog    *Program
+	rng     *xrand.RNG
+	zipf    *xrand.Zipf
+	ctx     Ctx
+	visits  []uint64 // per-routine visit counts, feeding Ctx.Visit
+	current int      // routine the Markov walk sits in
+	// queue holds records pending emission from the current routine
+	// expansion; head tracks the read position to avoid re-slicing.
+	queue []trace.Record
+	head  int
+}
+
+// newWalker returns a walker over prog using walk randomness derived from
+// seed (independent of the Spec's structural seed).
+func newWalker(prog *Program, seed uint64) *walker {
+	rng := xrand.New(seed)
+	return &walker{
+		prog:   prog,
+		rng:    rng,
+		zipf:   xrand.NewZipf(rng.Split(), len(prog.routines), prog.zipfSkew),
+		ctx:    Ctx{RNG: rng},
+		visits: make([]uint64, len(prog.routines)),
+	}
+}
+
+// Next implements trace.Source; it never ends.
+func (w *walker) Next() (trace.Record, error) {
+	for w.head >= len(w.queue) {
+		w.expandRoutine()
+	}
+	r := w.queue[w.head]
+	w.head++
+	return r, nil
+}
+
+// step advances the Markov walk: usually one of the current routine's
+// preferred successors, occasionally a popularity-weighted global jump.
+func (w *walker) step() int {
+	if w.rng.Bool(globalJumpProb) {
+		w.current = w.zipf.Draw()
+		return w.current
+	}
+	u := w.rng.Float64()
+	for i, c := range succCumWeights {
+		if u < c {
+			w.current = w.prog.succs[w.current][i]
+			return w.current
+		}
+	}
+	w.current = w.prog.succs[w.current][numSuccessors-1]
+	return w.current
+}
+
+// expandRoutine appends one full routine execution to the queue.
+func (w *walker) expandRoutine() {
+	w.queue = w.queue[:0]
+	w.head = 0
+	ri := w.step()
+	rt := &w.prog.routines[ri]
+	w.ctx.Visit = w.visits[ri]
+	w.visits[ri]++
+	for i := range rt.elems {
+		e := &rt.elems[i]
+		if e.body == nil {
+			w.ctx.LoopIter = 0
+			w.emitPlain(e.site)
+			continue
+		}
+		trips := e.trip.Draw(w.rng)
+		for it := 0; it < trips; it++ {
+			w.ctx.LoopIter = it
+			for _, b := range e.body {
+				w.emitPlain(b)
+			}
+			w.emitLoopBranch(e.site, it < trips-1)
+		}
+	}
+}
+
+// emitPlain resolves and enqueues one plain branch site.
+func (w *walker) emitPlain(site int) {
+	s := &w.prog.sites[site]
+	w.emit(s, s.Behavior.Outcome(&w.ctx))
+}
+
+// emitLoopBranch enqueues the loop-closing branch with a forced direction.
+func (w *walker) emitLoopBranch(site int, taken bool) {
+	w.emit(&w.prog.sites[site], taken)
+}
+
+func (w *walker) emit(s *Site, taken bool) {
+	w.ctx.Hist <<= 1
+	if taken {
+		w.ctx.Hist |= 1
+	}
+	w.queue = append(w.queue, trace.Record{
+		PC:     s.PC,
+		Target: s.Target,
+		Taken:  taken,
+		Gap:    uint32(2 + w.rng.Intn(9)), // 2-10 non-branch instructions
+	})
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"branchconf/internal/trace"
+)
+
+// Mix gives the relative weights of the plain-site behaviour classes when a
+// program is built. Weights need not sum to 1; they are normalised.
+type Mix struct {
+	Biased     float64 // fixed-probability branches
+	Periodic   float64 // short repeating patterns
+	Correlated float64 // functions of recent global history (plus noise)
+	Phase      float64 // bias flips between program phases
+	Random     float64 // 50/50 data-dependent branches
+}
+
+// Spec describes one synthetic benchmark: its structural shape (code
+// footprint, loop structure, routine popularity skew) and its hardness
+// (behaviour mixture, correlation noise, trip-count variability). Programs
+// and traces are pure functions of the Spec, so experiments are exactly
+// reproducible.
+type Spec struct {
+	// Name identifies the benchmark (IBS names are used for the standard
+	// suite).
+	Name string
+	// Seed drives both program construction and the walk.
+	Seed uint64
+	// Routines is the number of routines (address-space regions); larger
+	// values mean a bigger static branch footprint and more table aliasing.
+	Routines int
+	// PlainSites is the mean number of straight-line branch sites per
+	// routine.
+	PlainSites int
+	// Loops is the number of loops per routine.
+	Loops int
+	// LoopBody is the mean number of branch sites inside each loop body.
+	LoopBody int
+	// TripMean is the mean loop trip count (per-loop counts are drawn
+	// around it at build time).
+	TripMean int
+	// TripJitter bounds per-entry trip variation for variable-trip loops.
+	TripJitter int
+	// VariableTripFrac is the fraction of loops with per-entry variable
+	// trip counts (their exits are inherently mispredicted).
+	VariableTripFrac float64
+	// ZipfSkew sets routine popularity skew (0 = uniform).
+	ZipfSkew float64
+	// Mix weights the plain-site behaviour classes.
+	Mix Mix
+	// NoiseLo and NoiseHi bound the per-site noise of correlated branches.
+	NoiseLo, NoiseHi float64
+	// DefaultBranches is the dynamic branch budget experiments use for
+	// this benchmark unless overridden.
+	DefaultBranches uint64
+}
+
+// Build constructs the benchmark's program.
+func (s Spec) Build() (*Program, error) { return build(s) }
+
+// NewSource builds the program and returns an unbounded trace source
+// walking it. The walk seed is derived from the Spec seed, so the full
+// trace is reproducible from the Spec alone.
+func (s Spec) NewSource() (trace.Source, error) {
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return newWalker(p, s.Seed^0x57a1_c0de_b00b_5eed), nil
+}
+
+// NewSourceSeeded returns an unbounded source over the same program but
+// with an explicit walk seed, so train/test splits can exercise one
+// program along disjoint dynamic paths (out-of-sample profile evaluation).
+func (s Spec) NewSourceSeeded(walkSeed uint64) (trace.Source, error) {
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return newWalker(p, walkSeed), nil
+}
+
+// FiniteSourceSeeded returns a seeded source limited to n records
+// (DefaultBranches when n == 0).
+func (s Spec) FiniteSourceSeeded(n, walkSeed uint64) (trace.Source, error) {
+	src, err := s.NewSourceSeeded(walkSeed)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		n = s.DefaultBranches
+	}
+	return trace.Limit(src, n), nil
+}
+
+// FiniteSource returns a source limited to n records (DefaultBranches when
+// n == 0).
+func (s Spec) FiniteSource(n uint64) (trace.Source, error) {
+	src, err := s.NewSource()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		n = s.DefaultBranches
+	}
+	return trace.Limit(src, n), nil
+}
+
+// suite is the standard nine-benchmark suite mirroring the IBS names used
+// by the paper. Hardness varies: jpeg_play is built to be the
+// best-predicted benchmark and real_gcc the worst, matching Fig. 9's
+// extremes, with composite gshare-64K misprediction calibrated near the
+// paper's 3.85%.
+var suite = []Spec{
+	{
+		Name: "groff", Seed: 0x1B51, Routines: 70, PlainSites: 11, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 3, VariableTripFrac: 0.14,
+		ZipfSkew: 1.4,
+		Mix:      Mix{Biased: 0.48, Periodic: 0.08, Correlated: 0.24, Phase: 0.06, Random: 0.005},
+		NoiseLo:  0.00, NoiseHi: 0.02, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "gs", Seed: 0x1B52, Routines: 90, PlainSites: 12, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 3, VariableTripFrac: 0.1,
+		ZipfSkew: 1.3,
+		Mix:      Mix{Biased: 0.46, Periodic: 0.1, Correlated: 0.24, Phase: 0.07, Random: 0.005},
+		NoiseLo:  0.00, NoiseHi: 0.02, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "jpeg_play", Seed: 0x1B53, Routines: 35, PlainSites: 9, Loops: 3,
+		LoopBody: 2, TripMean: 3, TripJitter: 2, VariableTripFrac: 0.06,
+		ZipfSkew: 1.6,
+		Mix:      Mix{Biased: 0.55, Periodic: 0.24, Correlated: 0.20, Phase: 0.01, Random: 0.001},
+		NoiseLo:  0.00, NoiseHi: 0.01, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "mpeg_play", Seed: 0x1B54, Routines: 45, PlainSites: 10, Loops: 3,
+		LoopBody: 2, TripMean: 3, TripJitter: 2, VariableTripFrac: 0.05,
+		ZipfSkew: 1.5,
+		Mix:      Mix{Biased: 0.50, Periodic: 0.14, Correlated: 0.22, Phase: 0.02, Random: 0.002},
+		NoiseLo:  0.00, NoiseHi: 0.015, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "nroff", Seed: 0x1B55, Routines: 60, PlainSites: 11, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 3, VariableTripFrac: 0.12,
+		ZipfSkew: 1.4,
+		Mix:      Mix{Biased: 0.48, Periodic: 0.1, Correlated: 0.23, Phase: 0.05, Random: 0.004},
+		NoiseLo:  0.00, NoiseHi: 0.02, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "real_gcc", Seed: 0x1B56, Routines: 160, PlainSites: 14, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 4, VariableTripFrac: 0.35,
+		ZipfSkew: 1.1,
+		Mix:      Mix{Biased: 0.40, Periodic: 0.12, Correlated: 0.24, Phase: 0.1, Random: 0.015},
+		NoiseLo:  0.02, NoiseHi: 0.035, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "sdet", Seed: 0x1B57, Routines: 110, PlainSites: 12, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 3, VariableTripFrac: 0.12,
+		ZipfSkew: 1.2,
+		Mix:      Mix{Biased: 0.44, Periodic: 0.1, Correlated: 0.24, Phase: 0.07, Random: 0.008},
+		NoiseLo:  0.01, NoiseHi: 0.015, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "verilog", Seed: 0x1B58, Routines: 85, PlainSites: 12, Loops: 2,
+		LoopBody: 2, TripMean: 4, TripJitter: 3, VariableTripFrac: 0.12,
+		ZipfSkew: 1.3,
+		Mix:      Mix{Biased: 0.45, Periodic: 0.12, Correlated: 0.24, Phase: 0.06, Random: 0.006},
+		NoiseLo:  0.00, NoiseHi: 0.02, DefaultBranches: 1_000_000,
+	},
+	{
+		Name: "video_play", Seed: 0x1B59, Routines: 40, PlainSites: 10, Loops: 3,
+		LoopBody: 2, TripMean: 3, TripJitter: 2, VariableTripFrac: 0.08,
+		ZipfSkew: 1.5,
+		Mix:      Mix{Biased: 0.52, Periodic: 0.22, Correlated: 0.21, Phase: 0.015, Random: 0.002},
+		NoiseLo:  0.00, NoiseHi: 0.012, DefaultBranches: 1_000_000,
+	},
+}
+
+// Suite returns the standard benchmark suite in a fresh slice (callers may
+// reorder or modify their copy).
+func Suite() []Spec {
+	out := make([]Spec, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// Names returns the sorted benchmark names of the standard suite.
+func Names() []string {
+	names := make([]string, len(suite))
+	for i, s := range suite {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named standard benchmark.
+func ByName(name string) (Spec, error) {
+	for _, s := range suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (available: %v)", name, Names())
+}

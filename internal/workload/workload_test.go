@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+func testSpec() Spec {
+	s, err := ByName("groff")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s := testSpec()
+	p1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.StaticBranches() != p2.StaticBranches() || p1.Routines() != p2.Routines() {
+		t.Fatalf("rebuild differs: %d/%d vs %d/%d sites/routines",
+			p1.StaticBranches(), p1.Routines(), p2.StaticBranches(), p2.Routines())
+	}
+	for i := range p1.sites {
+		if p1.sites[i].PC != p2.sites[i].PC || p1.sites[i].Target != p2.sites[i].Target {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	s := testSpec()
+	src1, err := s.FiniteSource(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := s.FiniteSource(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := trace.Collect(src1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := trace.Collect(src2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 20000 || len(t2) != 20000 {
+		t.Fatalf("lengths %d %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestRecordsWellFormed(t *testing.T) {
+	s := testSpec()
+	src, err := s.FiniteSource(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr {
+		if r.PC < programBase {
+			t.Fatalf("record %d: PC %x below program base", i, r.PC)
+		}
+		if r.PC%siteStride != 0 {
+			t.Fatalf("record %d: PC %x misaligned", i, r.PC)
+		}
+		if r.Target == r.PC {
+			t.Fatalf("record %d: self-targeting branch", i)
+		}
+		if r.Gap < 2 || r.Gap > 10 {
+			t.Fatalf("record %d: gap %d outside [2,10]", i, r.Gap)
+		}
+	}
+}
+
+func TestLoopBranchesAreBackwardAndMostlyTaken(t *testing.T) {
+	s := testSpec()
+	src, err := s.FiniteSource(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back, backTaken uint64
+	for _, r := range tr {
+		if r.Backward() {
+			back++
+			if r.Taken {
+				backTaken++
+			}
+		}
+	}
+	if back == 0 {
+		t.Fatal("no backward branches in a loopy workload")
+	}
+	rate := float64(backTaken) / float64(back)
+	// Loops with mean trip ~7 should have their closing branch taken at
+	// roughly (trip-1)/trip.
+	if rate < 0.6 || rate > 0.98 {
+		t.Fatalf("backward-branch taken rate %v outside [0.6, 0.98]", rate)
+	}
+}
+
+func TestStaticFootprint(t *testing.T) {
+	for _, s := range Suite() {
+		p, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if p.StaticBranches() < 200 {
+			t.Fatalf("%s: only %d static branches; too small to exercise tables", s.Name, p.StaticBranches())
+		}
+		if p.StaticBranches() > 50000 {
+			t.Fatalf("%s: %d static branches; unrealistically large", s.Name, p.StaticBranches())
+		}
+	}
+}
+
+func TestDynamicCoverage(t *testing.T) {
+	// The walk must actually visit a sizeable share of the static sites.
+	s := testSpec()
+	src, err := s.FiniteSource(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.Measure(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Build()
+	frac := float64(st.StaticPCs) / float64(p.StaticBranches())
+	if frac < 0.5 {
+		t.Fatalf("walk covered only %.0f%% of static sites", 100*frac)
+	}
+}
+
+func TestSuiteIntegrity(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9", len(specs))
+	}
+	seenName := map[string]bool{}
+	seenSeed := map[uint64]bool{}
+	for _, s := range specs {
+		if seenName[s.Name] {
+			t.Fatalf("duplicate name %s", s.Name)
+		}
+		if seenSeed[s.Seed] {
+			t.Fatalf("duplicate seed %x", s.Seed)
+		}
+		seenName[s.Name] = true
+		seenSeed[s.Seed] = true
+		if s.DefaultBranches == 0 {
+			t.Fatalf("%s: zero DefaultBranches", s.Name)
+		}
+	}
+	// Fig. 9's named extremes must be present.
+	for _, want := range []string{"jpeg_play", "real_gcc"} {
+		if !seenName[want] {
+			t.Fatalf("suite missing %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("real_gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestSuiteReturnsCopy(t *testing.T) {
+	a := Suite()
+	a[0].Name = "mutated"
+	b := Suite()
+	if b[0].Name == "mutated" {
+		t.Fatal("Suite exposes shared backing array")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Routines: 1},
+		{Name: "x", Routines: 1, PlainSites: 2, Loops: 1},
+		{Name: "x", Routines: 1, PlainSites: 2, Loops: 1, LoopBody: 2, TripMean: 1},
+		{Name: "x", Routines: 1, PlainSites: 2, ZipfSkew: -1},
+		{Name: "x", Routines: 1, PlainSites: 2, NoiseLo: -0.1},
+		{Name: "x", Routines: 1, PlainSites: 2, NoiseHi: 1.5, NoiseLo: 0.2},
+		{Name: "x", Routines: 1, PlainSites: 2, VariableTripFrac: 2},
+		{Name: "x", Routines: 1, PlainSites: 2, Mix: Mix{Biased: -1}},
+		{Name: "x", Routines: 1, PlainSites: 2, Mix: Mix{}},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Fatalf("case %d: invalid spec built successfully: %+v", i, s)
+		}
+	}
+}
+
+func TestSpecialisedSeedsIndependent(t *testing.T) {
+	// Different seeds on the same structure yield different traces.
+	a := testSpec()
+	b := a
+	b.Seed++
+	sa, _ := a.FiniteSource(1000)
+	sb, _ := b.FiniteSource(1000)
+	ta, _ := trace.Collect(sa, 0)
+	tb, _ := trace.Collect(sb, 0)
+	same := 0
+	for i := range ta {
+		if ta[i].Taken == tb[i].Taken {
+			same++
+		}
+	}
+	if same > 950 {
+		t.Fatalf("seed change left %d/1000 outcomes identical", same)
+	}
+}
+
+func TestCensusCoversEverySite(t *testing.T) {
+	for _, s := range Suite() {
+		p, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.Census()
+		total := c.Biased + c.Periodic + c.Correlated + c.Phase + c.Random + c.LoopBranch
+		if total != p.StaticBranches() {
+			t.Fatalf("%s: census %d sites, program has %d", s.Name, total, p.StaticBranches())
+		}
+		if c.LoopBranch == 0 && s.Loops > 0 {
+			t.Fatalf("%s: no loop branches counted", s.Name)
+		}
+		if c.Biased == 0 {
+			t.Fatalf("%s: no biased sites", s.Name)
+		}
+	}
+}

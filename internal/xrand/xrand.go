@@ -1,0 +1,172 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators and distributions used throughout the simulator.
+//
+// The standard library's math/rand is avoided deliberately: experiment
+// reproducibility requires generators whose sequences are stable across Go
+// releases and platforms, and the simulator draws billions of variates, so
+// the generators here are minimal and allocation-free. All generators are
+// seeded explicitly; the same seed always yields the same sequence.
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 is used to expand user seeds into full-entropy internal state,
+// following the recommendation of Vigna for seeding xorshift-family PRNGs.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a xorshift128+ pseudo-random generator. The zero value is not
+// usable; construct with New. RNG is not safe for concurrent use; each
+// goroutine should own its generator (see Split).
+type RNG struct {
+	s0, s1 uint64
+}
+
+// New returns a generator deterministically derived from seed. Distinct
+// seeds give independent-looking streams; the same seed always gives the
+// same stream.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator to the state derived from seed.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	// xorshift128+ requires a nonzero state; splitMix64 of any seed is
+	// astronomically unlikely to produce two zeros, but guard anyway.
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Split derives a new independent generator from r's current state. The
+// parent stream is advanced, so successive Split calls give distinct
+// children. Useful for handing sub-generators to benchmark components so
+// that adding draws in one component does not perturb another.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits.
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p. Values of p outside [0,1] clamp to
+// always-false / always-true respectively.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar (Marsaglia) method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		// Box-Muller polar transform.
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		return u * m
+	}
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success, i.e. a geometric variate with support {0, 1, 2, ...}. p must be
+// in (0, 1]; p >= 1 always returns 0.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("xrand: Geometric called with p <= 0")
+	}
+	// Inversion: floor(ln(U) / ln(1-p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}

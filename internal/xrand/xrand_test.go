@@ -1,0 +1,331 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestReseedRestartsSequence(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d/64 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("two Split children produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-square-ish sanity check over a small modulus.
+	r := New(6)
+	const n, draws = 10, 1000000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Fatalf("bucket %d: %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(8)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%v) hit rate %v", p, got)
+		}
+	}
+}
+
+func TestBoolClamps(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		m := int(n%64) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(11)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d want %d", got, sum)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	p := 0.25
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) != 0")
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(15)
+	z := NewZipf(r, 50, 1.1)
+	if z.N() != 50 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 100000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 50 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 must dominate rank 50 heavily under s=1.2.
+	if counts[0] < counts[50]*10 {
+		t.Fatalf("Zipf insufficiently skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Monotone-ish decrease between far-apart ranks.
+	if counts[0] <= counts[99] {
+		t.Fatalf("Zipf not decreasing: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	want := float64(n) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d: %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(18)
+	for _, fn := range []func(){
+		func() { NewZipf(r, 0, 1) },
+		func() { NewZipf(r, 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1024, 1.1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Draw()
+	}
+	_ = sink
+}
+
+func TestUint32Range(t *testing.T) {
+	r := New(20)
+	var hi, lo int
+	for i := 0; i < 100000; i++ {
+		v := r.Uint32()
+		if v >= 1<<31 {
+			hi++
+		} else {
+			lo++
+		}
+	}
+	// Top bit should be set about half the time.
+	if hi < 45000 || hi > 55000 {
+		t.Fatalf("Uint32 top-bit bias: %d/%d", hi, lo)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split()
+	b := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split children from equal parents diverged")
+		}
+	}
+}
