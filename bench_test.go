@@ -20,6 +20,7 @@ import (
 	"branchconf/internal/core"
 	"branchconf/internal/exp"
 	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
 	"branchconf/internal/trace"
 	"branchconf/internal/workload"
 )
@@ -46,7 +47,7 @@ func runExperiment(b *testing.B, id string, metrics ...string) {
 	var out *exp.Output
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err = e.Run(cfg)
+		out, err = e.RunOnce(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,6 +258,67 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := src.Next(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures per-branch replay cost from a materialized
+// buffer — the read path every cached simulation pass rides on (compare
+// BenchmarkWorkloadGeneration for the walk it replaces).
+func BenchmarkTraceReplay(b *testing.B) {
+	spec, err := workload.ByName("groff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := workload.Materialize(spec, 1<<17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Source()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Next(); err != nil {
+			src = buf.Source() // wrap around at EOF
+		}
+	}
+}
+
+// BenchmarkRunBatch measures the single-pass fan-out: one trace, one
+// predictor, N mechanisms per pass. One op is one dynamic branch through
+// the whole batch, so ns/op at width 8 vs 8× the width-1 figure is the
+// saving from sharing the predictor and trace walk across mechanisms.
+func BenchmarkRunBatch(b *testing.B) {
+	tr := benchTrace(b)
+	for _, width := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(width)+"mechs", func(b *testing.B) {
+			b.ReportAllocs()
+			for done := 0; done < b.N; done += len(tr) {
+				mechs := make([]core.Mechanism, width)
+				for i := range mechs {
+					mechs[i] = core.PaperResetting()
+				}
+				if _, err := sim.RunBatch(tr.Source(), predictor.Gshare64K(), mechs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeparateRuns is the pre-batching baseline for BenchmarkRunBatch/
+// 8mechs: the same eight mechanisms simulated as eight independent passes,
+// each regenerating predictor state and re-walking the trace.
+func BenchmarkSeparateRuns(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(tr) {
+		for i := 0; i < 8; i++ {
+			if _, err := sim.RunBatch(tr.Source(), predictor.Gshare64K(),
+				[]core.Mechanism{core.PaperResetting()}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

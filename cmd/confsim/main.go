@@ -62,7 +62,7 @@ func appMain(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "running %s: %s\n(paper: %s)\n\n", e.ID, e.Title, e.Paper)
-	out, err := e.Run(exp.Config{Branches: *branches})
+	out, err := e.RunOnce(exp.Config{Branches: *branches})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"branchconf/internal/workload"
+)
+
+// benchReport runs writeReport over a fixed experiment subset at the given
+// parallelism with a cold trace cache, the end-to-end unit the single-pass
+// engine was built to speed up. The serial sub-benchmark stands in for the
+// pre-engine pipeline shape (one experiment at a time); the parallel one is
+// the shipped default.
+func benchReport(b *testing.B, parallel int) {
+	cfg := reportConfig{
+		branches: 50000,
+		filter: map[string]bool{
+			"fig2": true, "fig5": true, "fig6": true, "fig7": true,
+			"fig8": true, "table1": true, "fig9": true, "thresholds": true,
+		},
+		parallel: parallel,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		workload.ResetMaterializeCache()
+		b.StartTimer()
+		if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaperreproSerial(b *testing.B) { benchReport(b, 1) }
+
+func BenchmarkPaperreproParallel(b *testing.B) { benchReport(b, runtime.NumCPU()) }

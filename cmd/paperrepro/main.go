@@ -2,9 +2,18 @@
 // evaluation in one run and writes a consolidated report, the data behind
 // EXPERIMENTS.md.
 //
+// The run is a single-pass pipeline: benchmark traces are materialized once
+// into compact replay buffers, experiments declare their (predictor,
+// mechanism) needs against a shared session that batches them into one
+// predictor pass per benchmark, and a bounded worker pool executes
+// experiments in parallel. Parallelism and sharing never change the report:
+// output is byte-identical to a serial, uncached run.
+//
 // Usage:
 //
-//	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations] [-only fig5,table1]
+//	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations]
+//	           [-only fig5,table1] [-parallel N]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -12,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -34,9 +45,24 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		out           = fs.String("o", "", "write the report to this file instead of stdout")
 		skipAblations = fs.Bool("skip-ablations", false, "run only the paper's own artefacts")
 		only          = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		parallel      = fs.Int("parallel", runtime.NumCPU(), "max concurrent experiments and per-benchmark simulation units")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	w := stdout
@@ -55,12 +81,29 @@ func appMain(args []string, stdout, errW io.Writer) error {
 			filter[strings.TrimSpace(id)] = true
 		}
 	}
-	return writeReport(w, errW, reportConfig{
+	err := writeReport(w, errW, reportConfig{
 		branches:      *branches,
 		skipAblations: *skipAblations,
 		filter:        filter,
 		progress:      *out != "",
+		parallel:      *parallel,
 	})
+	if err != nil {
+		return err
+	}
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		runtime.GC() // materialized caches and final results, not transients
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			return fmt.Errorf("writing heap profile: %w", ferr)
+		}
+	}
+	return nil
 }
 
 func budget(n uint64) string {

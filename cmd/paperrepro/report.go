@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"branchconf/internal/exp"
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
 )
 
 // reportConfig controls which experiments run and how output is produced.
@@ -14,15 +17,17 @@ type reportConfig struct {
 	skipAblations bool
 	filter        map[string]bool // nil = all
 	progress      bool            // emit per-experiment progress to errW
+	parallel      int             // max concurrent experiments (<=1 = serial)
 }
 
-// writeReport runs the selected experiments and renders the consolidated
-// markdown report.
+// writeReport runs the selected experiments against one shared session and
+// renders the consolidated markdown report. Experiments execute on a
+// bounded worker pool claiming work in registration order; sections are
+// assembled in registration order regardless of completion order, so the
+// report bytes do not depend on the parallelism level.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
-	runCfg := exp.Config{Branches: cfg.branches}
-	fmt.Fprintf(w, "# Paper reproduction report\n\n")
-	fmt.Fprintf(w, "Per-benchmark branch budget: %s\n\n", budget(cfg.branches))
-	ran := 0
+	session := exp.NewSession(exp.Config{Branches: cfg.branches})
+	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
 			continue
@@ -30,29 +35,74 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		if cfg.filter != nil && !cfg.filter[e.ID] {
 			continue
 		}
-		start := now()
-		o, err := e.Run(runCfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments matched the filter")
+	}
+
+	workers := cfg.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	sim.SetParallelism(cfg.parallel)
+
+	type outcome struct {
+		out     *exp.Output
+		err     error
+		elapsed float64
+	}
+	results := make([]outcome, len(selected))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				e := selected[idx]
+				start := now()
+				o, err := e.Run(session)
+				elapsed := now().Sub(start).Seconds()
+				results[idx] = outcome{out: o, err: err, elapsed: elapsed}
+				if cfg.progress {
+					fmt.Fprintf(errW, "%-20s done in %.1fs\n", e.ID, elapsed)
+				}
+			}
+		}()
+	}
+	for idx := range selected {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	fmt.Fprintf(w, "# Paper reproduction report\n\n")
+	fmt.Fprintf(w, "Per-benchmark branch budget: %s\n\n", budget(cfg.branches))
+	for i, e := range selected {
+		r := results[i]
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", e.ID, r.err)
 		}
-		ran++
 		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
 		fmt.Fprintf(w, "Paper: %s\n\n", e.Paper)
-		fmt.Fprintf(w, "```\n%s```\n", ensureNewline(o.Text))
-		if len(o.Scalars) > 0 {
+		fmt.Fprintf(w, "```\n%s```\n", ensureNewline(r.out.Text))
+		if len(r.out.Scalars) > 0 {
 			fmt.Fprintf(w, "\n| metric | value |\n|---|---|\n")
-			for _, k := range sortedKeys(o.Scalars) {
-				fmt.Fprintf(w, "| %s | %.3f |\n", k, o.Scalars[k])
+			for _, k := range sortedKeys(r.out.Scalars) {
+				fmt.Fprintf(w, "| %s | %.3f |\n", k, r.out.Scalars[k])
 			}
 		}
-		elapsed := now().Sub(start).Seconds()
-		fmt.Fprintf(w, "\n_(ran in %.1fs)_\n\n", elapsed)
-		if cfg.progress {
-			fmt.Fprintf(errW, "%-20s done in %.1fs\n", e.ID, elapsed)
-		}
+		fmt.Fprintf(w, "\n_(ran in %.1fs)_\n\n", r.elapsed)
 	}
-	if ran == 0 {
-		return fmt.Errorf("no experiments matched the filter")
+	if cfg.progress {
+		pHits, pMisses := session.Stats()
+		tHits, tMisses := workload.MaterializeStats()
+		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident)\n",
+			pHits, pMisses, tHits, tMisses, float64(workload.MaterializeFootprint())/(1<<20))
 	}
 	return nil
 }

@@ -33,26 +33,33 @@ func BuildCurve(ws WeightedStats) Curve {
 	if totalE == 0 {
 		return nil
 	}
-	keys := make([]Key, 0, len(ws))
+	// Sort a flat (key, tally, rate) view: comparator map lookups on the
+	// 128-bit Key are the hot spot otherwise. The order is exactly the old
+	// one — same rates, same total tie-break — so curves are unchanged.
+	type entry struct {
+		key  Key
+		t    *WTally
+		rate float64
+	}
+	entries := make([]entry, 0, len(ws))
 	for k, t := range ws {
 		if t.Events > 0 {
-			keys = append(keys, k)
+			entries = append(entries, entry{key: k, t: t, rate: t.Rate()})
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		ri, rj := ws[keys[i]].Rate(), ws[keys[j]].Rate()
-		if ri != rj {
-			return ri > rj
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].rate != entries[j].rate {
+			return entries[i].rate > entries[j].rate
 		}
-		if keys[i].Run != keys[j].Run {
-			return keys[i].Run < keys[j].Run
+		if entries[i].key.Run != entries[j].key.Run {
+			return entries[i].key.Run < entries[j].key.Run
 		}
-		return keys[i].Bucket < keys[j].Bucket
+		return entries[i].key.Bucket < entries[j].key.Bucket
 	})
-	curve := make(Curve, len(keys))
+	curve := make(Curve, len(entries))
 	var cumE, cumM float64
-	for i, k := range keys {
-		t := ws[k]
+	for i, e := range entries {
+		k, t := e.key, e.t
 		cumE += t.Events
 		cumM += t.Misses
 		missesPct := 0.0

@@ -136,3 +136,93 @@ func RunGating(src trace.Source, pred predictor.Predictor, est *core.Estimator, 
 		window = append(window, p)
 	}
 }
+
+// gateState is one threshold's private bookkeeping in a batched run.
+type gateState struct {
+	cfg            GateConfig
+	res            GateResult
+	window         []pendingBranch
+	lowInFlight    int
+	wrongPathDepth int
+}
+
+// RunGatingBatch evaluates several gate configurations over a single trace
+// walk through one shared predictor and estimator. The gate only defers
+// fetch — it never alters what the predictor or estimator observe — so the
+// (confident, incorrect) stream is the same for every threshold and each
+// configuration's result is byte-identical to its solo RunGating run.
+func RunGatingBatch(src trace.Source, pred predictor.Predictor, est *core.Estimator, cfgs []GateConfig) ([]GateResult, error) {
+	states := make([]gateState, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.ResolveDistance < 1 {
+			return nil, fmt.Errorf("apps: ResolveDistance must be >= 1, got %d", cfg.ResolveDistance)
+		}
+		if cfg.Threshold < 0 {
+			return nil, fmt.Errorf("apps: Threshold must be >= 0, got %d", cfg.Threshold)
+		}
+		states[i].cfg = cfg
+	}
+	finish := func() []GateResult {
+		out := make([]GateResult, len(states))
+		for i := range states {
+			out[i] = states[i].res
+		}
+		return out
+	}
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return finish(), nil
+		}
+		if err != nil {
+			return finish(), err
+		}
+		confident := est.Confident(r)
+		incorrect := pred.Predict(r) != r.Taken
+		pred.Update(r)
+		est.Update(r, incorrect)
+		work := uint64(r.Gap) + 1
+
+		for i := range states {
+			st := &states[i]
+			kept := st.window[:0]
+			for _, p := range st.window {
+				p.remaining--
+				if p.remaining <= 0 {
+					if p.lowConf {
+						st.lowInFlight--
+					}
+					if p.mispred {
+						st.wrongPathDepth--
+					}
+					continue
+				}
+				kept = append(kept, p)
+			}
+			st.window = kept
+
+			gated := st.cfg.Threshold > 0 && st.lowInFlight >= st.cfg.Threshold
+			switch {
+			case gated:
+				st.res.Stalled += work
+			case st.wrongPathDepth > 0:
+				st.res.Wasted += work
+			default:
+				st.res.Useful += work
+			}
+
+			st.res.Branches++
+			if incorrect {
+				st.res.Misses++
+			}
+			p := pendingBranch{remaining: st.cfg.ResolveDistance, lowConf: !confident, mispred: incorrect && !gated}
+			if p.lowConf {
+				st.lowInFlight++
+			}
+			if p.mispred {
+				st.wrongPathDepth++
+			}
+			st.window = append(st.window, p)
+		}
+	}
+}

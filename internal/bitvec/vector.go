@@ -1,0 +1,58 @@
+package bitvec
+
+import "fmt"
+
+// Vector is a growable bit array packed into 64-bit words. It backs the
+// outcome bitvector of materialized replay buffers (internal/trace), where
+// one bit per dynamic branch records the resolved direction, and is general
+// enough for any dense boolean-per-event store.
+//
+// The zero value is an empty vector ready for use. Vector is append-only:
+// bits are added with Append and read back with Bit; there is no in-place
+// mutation, so a fully built vector may be read from many goroutines
+// concurrently.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// NewVector returns an empty vector with capacity for n bits preallocated.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		n = 0
+	}
+	return &Vector{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// Append adds one bit at index Len().
+func (v *Vector) Append(bit bool) {
+	if v.n&63 == 0 {
+		v.words = append(v.words, 0)
+	}
+	if bit {
+		v.words[v.n>>6] |= 1 << uint(v.n&63)
+	}
+	v.n++
+}
+
+// Bit returns the bit at index i. It panics when i is out of range, like a
+// slice access: replay offsets are maintained by the caller and an
+// out-of-range read is a programming error.
+func (v *Vector) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Vector index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]>>uint(i&63)&1 == 1
+}
+
+// Word returns the i-th 64-bit word of the packed bit array (bits
+// [64i, 64i+64), low bit first). Readers iterating long runs can fetch one
+// word per 64 bits instead of calling Bit per index. It panics when the
+// word index is out of range.
+func (v *Vector) Word(i int) uint64 { return v.words[i] }
+
+// Len returns the number of bits appended.
+func (v *Vector) Len() int { return v.n }
+
+// Bytes returns the memory footprint of the packed words in bytes.
+func (v *Vector) Bytes() uint64 { return uint64(len(v.words)) * 8 }

@@ -1,0 +1,54 @@
+package bitvec
+
+import "testing"
+
+func TestVectorRoundTrip(t *testing.T) {
+	v := NewVector(1000)
+	bits := make([]bool, 1000)
+	for i := range bits {
+		bits[i] = i%3 == 0 || i%7 == 2
+		v.Append(bits[i])
+	}
+	if v.Len() != len(bits) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(bits))
+	}
+	for i, want := range bits {
+		if v.Bit(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Bit(i), want)
+		}
+	}
+}
+
+func TestVectorZeroValue(t *testing.T) {
+	var v Vector
+	v.Append(true)
+	v.Append(false)
+	if !v.Bit(0) || v.Bit(1) {
+		t.Fatalf("zero-value vector misread: %v %v", v.Bit(0), v.Bit(1))
+	}
+}
+
+func TestVectorWordBoundaries(t *testing.T) {
+	v := NewVector(0)
+	for i := 0; i < 130; i++ {
+		v.Append(i == 63 || i == 64 || i == 127 || i == 128)
+	}
+	for i := 0; i < 130; i++ {
+		want := i == 63 || i == 64 || i == 127 || i == 128
+		if v.Bit(i) != want {
+			t.Fatalf("bit %d across word boundary = %v, want %v", i, v.Bit(i), want)
+		}
+	}
+	if v.Bytes() != 3*8 {
+		t.Fatalf("Bytes = %d, want 24 (three words)", v.Bytes())
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Bit did not panic")
+		}
+	}()
+	NewVector(4).Bit(0)
+}

@@ -46,6 +46,11 @@ type CounterTable struct {
 	table     []uint8
 	bhr       bitvec.BHR
 	gcir      bitvec.CIR
+
+	// Index memo: valid from Bucket until the histories advance in Update.
+	cachePC  uint64
+	cacheIdx uint64
+	cacheOK  bool
 }
 
 // CounterConfig configures a CounterTable. Zero geometry values select the
@@ -115,7 +120,12 @@ func SmallResetting(bits uint) *CounterTable {
 }
 
 func (m *CounterTable) index(pc uint64) uint64 {
-	return schemeIndex(m.scheme, m.tableBits, pc, m.bhr.Bits(), m.gcir.Bits())
+	if m.cacheOK && m.cachePC == pc {
+		return m.cacheIdx
+	}
+	i := schemeIndex(m.scheme, m.tableBits, pc, m.bhr.Bits(), m.gcir.Bits())
+	m.cachePC, m.cacheIdx, m.cacheOK = pc, i, true
+	return i
 }
 
 // Bucket returns the counter value read for this branch (0..Max).
@@ -146,6 +156,7 @@ func (m *CounterTable) Update(r trace.Record, incorrect bool) {
 	m.table[i] = v
 	m.bhr.Record(r.Taken)
 	m.gcir.Record(incorrect)
+	m.cacheOK = false
 }
 
 // Reset restores counters to the initial value and clears histories.
@@ -155,6 +166,7 @@ func (m *CounterTable) Reset() {
 	}
 	m.bhr.Set(0)
 	m.gcir.Set(0)
+	m.cacheOK = false
 }
 
 // Max returns the saturation ceiling (buckets are 0..Max).

@@ -21,6 +21,11 @@ type OneLevel struct {
 	bhr       bitvec.BHR
 	gcir      bitvec.CIR
 	initSeed  uint64
+
+	// Index memo: valid from Bucket until the histories advance in Update.
+	cachePC  uint64
+	cacheIdx uint64
+	cacheOK  bool
 }
 
 // OneLevelConfig configures a one-level mechanism. Zero values select the
@@ -86,7 +91,12 @@ func PaperOneLevel(scheme IndexScheme) *OneLevel {
 // with identical state from Bucket and Update (the Bucket-then-Update
 // contract guarantees this).
 func (m *OneLevel) index(pc uint64) uint64 {
-	return schemeIndex(m.scheme, m.tableBits, pc, m.bhr.Bits(), m.gcir.Bits())
+	if m.cacheOK && m.cachePC == pc {
+		return m.cacheIdx
+	}
+	i := schemeIndex(m.scheme, m.tableBits, pc, m.bhr.Bits(), m.gcir.Bits())
+	m.cachePC, m.cacheIdx, m.cacheOK = pc, i, true
+	return i
 }
 
 // schemeIndex maps (pc, bhr, gcir) to a table index under scheme.
@@ -124,6 +134,7 @@ func (m *OneLevel) Update(r trace.Record, incorrect bool) {
 	m.table[i].Record(incorrect)
 	m.bhr.Record(r.Taken)
 	m.gcir.Record(incorrect)
+	m.cacheOK = false
 }
 
 // Reset restores the configured initial table state and clears histories.
@@ -136,6 +147,7 @@ func (m *OneLevel) Reset() {
 	}
 	m.bhr.Set(0)
 	m.gcir.Set(0)
+	m.cacheOK = false
 }
 
 // MarkOldest sets the oldest bit of every CIR in the table, leaving the

@@ -56,6 +56,15 @@ type TwoLevel struct {
 	t2        []bitvec.CIR
 	bhr       bitvec.BHR
 	gcir      bitvec.CIR
+
+	// Index memo: both levels' indices are pure functions of (PC,
+	// histories, first-level table), all of which only change in Update, so
+	// the pair computed by Bucket is still valid for the Update that
+	// follows it.
+	cachePC uint64
+	cacheI1 uint64
+	cacheI2 uint64
+	cacheOK bool
 }
 
 // TwoLevelConfig configures a two-level mechanism. Zero geometry values
@@ -158,17 +167,25 @@ func (m *TwoLevel) index2(pc, cir uint64) uint64 {
 
 // Bucket returns the second-level CIR pattern read for this branch.
 func (m *TwoLevel) Bucket(r trace.Record) uint64 {
-	cir := m.t1[m.index1(r.PC)].Bits()
-	return m.t2[m.index2(r.PC, cir)].Bits()
+	i1 := m.index1(r.PC)
+	cir := m.t1[i1].Bits()
+	i2 := m.index2(r.PC, cir)
+	m.cachePC, m.cacheI1, m.cacheI2, m.cacheOK = r.PC, i1, i2, true
+	return m.t2[i2].Bits()
 }
 
 // Update shifts the outcome into both levels and advances the histories.
 // The second-level index is computed from the first-level CIR before it is
 // updated, consistent with Bucket.
 func (m *TwoLevel) Update(r trace.Record, incorrect bool) {
-	i1 := m.index1(r.PC)
-	cir := m.t1[i1].Bits()
-	i2 := m.index2(r.PC, cir)
+	var i1, i2 uint64
+	if m.cacheOK && m.cachePC == r.PC {
+		i1, i2 = m.cacheI1, m.cacheI2
+	} else {
+		i1 = m.index1(r.PC)
+		i2 = m.index2(r.PC, m.t1[i1].Bits())
+	}
+	m.cacheOK = false
 	m.t1[i1].Record(incorrect)
 	m.t2[i2].Record(incorrect)
 	m.bhr.Record(r.Taken)
@@ -190,6 +207,7 @@ func (m *TwoLevel) Reset() {
 	}
 	m.bhr.Set(0)
 	m.gcir.Set(0)
+	m.cacheOK = false
 }
 
 // Name implements Mechanism, matching Figure 6's legend style

@@ -5,7 +5,6 @@ import (
 
 	"branchconf/internal/analysis"
 	"branchconf/internal/core"
-	"branchconf/internal/predictor"
 )
 
 // Ablations check the design claims the paper makes in passing: that xor
@@ -17,17 +16,22 @@ func init() {
 		ID:    "ablation-index",
 		Title: "Index-scheme ablation: every one-level scheme incl. dismissed GCIR and concatenation",
 		Paper: "§3.1: xor beats concatenation; global CIR of little value",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-index", Title: "index schemes", Scalars: map[string]float64{}}
 			schemes := []core.IndexScheme{
 				core.IndexPC, core.IndexBHR, core.IndexPCxorBHR,
 				core.IndexGCIR, core.IndexPCxorGCIR, core.IndexPCconcatBHR,
 			}
-			for _, scheme := range schemes {
-				c, err := oneLevelCurve(cfg, scheme)
-				if err != nil {
-					return nil, err
-				}
+			mechs := make([]MechSpec, len(schemes))
+			for i, scheme := range schemes {
+				mechs[i] = mechOneLevel(scheme)
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, scheme := range schemes {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				o.Series = append(o.Series, analysis.Series{Label: scheme.String(), Curve: c})
 				o.Scalars[scheme.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -40,19 +44,22 @@ func init() {
 		ID:    "ablation-cirwidth",
 		Title: "CIR width ablation on the best one-level method (ideal reduction)",
 		Paper: "the paper fixes n=16; this sweeps 4..32 to expose the trade-off",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-cirwidth", Title: "CIR widths", Scalars: map[string]float64{}}
-			for _, width := range []uint{4, 8, 12, 16, 24, 32} {
+			widths := []uint{4, 8, 12, 16, 24, 32}
+			mechs := make([]MechSpec, len(widths))
+			for i, width := range widths {
 				width := width
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, CIRBits: width})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				mechs[i] = Mech(func() core.Mechanism {
+					return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, CIRBits: width})
+				})
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, width := range widths {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				label := fmt.Sprintf("cir%d", width)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -66,19 +73,19 @@ func init() {
 		ID:    "ablation-l2index",
 		Title: "Second-level index ablation: all four L2 hash variants",
 		Paper: "§3.2 explores 12 combinations and settles on three; this covers the L2 axis",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-l2index", Title: "second-level indices", Scalars: map[string]float64{}}
-			for _, s2 := range []core.SecondIndex{core.L2CIR, core.L2CIRxorPC, core.L2CIRxorBHR, core.L2CIRxorPCxorBHR} {
-				s2 := s2
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: core.IndexPCxorBHR, Scheme2: s2})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+			variants := []core.SecondIndex{core.L2CIR, core.L2CIRxorPC, core.L2CIRxorBHR, core.L2CIRxorPCxorBHR}
+			mechs := make([]MechSpec, len(variants))
+			for i, s2 := range variants {
+				mechs[i] = mechTwoLevel(core.IndexPCxorBHR, s2)
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, s2 := range variants {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				o.Series = append(o.Series, analysis.Series{Label: s2.String(), Curve: c})
 				o.Scalars[s2.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -91,19 +98,22 @@ func init() {
 		ID:    "ablation-countermax",
 		Title: "Resetting-counter ceiling ablation (threshold granularity, §5.2)",
 		Paper: "larger counters buy slightly finer granularity; the approach is limited",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-countermax", Title: "counter ceilings", Scalars: map[string]float64{}}
-			for _, max := range []uint8{4, 8, 16, 32, 64} {
+			maxes := []uint8{4, 8, 16, 32, 64}
+			mechs := make([]MechSpec, len(maxes))
+			for i, max := range maxes {
 				max := max
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewCounterTable(core.CounterConfig{Kind: core.Resetting, Scheme: core.IndexPCxorBHR, Max: max})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				mechs[i] = Mech(func() core.Mechanism {
+					return core.NewCounterTable(core.CounterConfig{Kind: core.Resetting, Scheme: core.IndexPCxorBHR, Max: max})
+				})
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, max := range maxes {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				label := fmt.Sprintf("max%d", max)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)

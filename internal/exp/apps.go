@@ -16,7 +16,7 @@ func init() {
 		ID:    "apps",
 		Title: "The four §1 applications driven by the recommended estimator",
 		Paper: "§6: forking after ~20% of predictions captures >80% of mispredictions; reverser contingent on >50% buckets",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "apps", Title: "applications", Scalars: map[string]float64{}}
 			var b strings.Builder
 
@@ -24,7 +24,7 @@ func init() {
 			var forkRate, coverage, savings float64
 			n := 0
 			for _, spec := range workload.Suite() {
-				src, err := spec.FiniteSource(cfg.Branches)
+				src, err := s.Source(spec)
 				if err != nil {
 					return nil, err
 				}
@@ -53,7 +53,7 @@ func init() {
 					if err != nil {
 						return nil, err
 					}
-					src, err := spec.FiniteSource(cfg.Branches)
+					src, err := s.Source(spec)
 					if err != nil {
 						return nil, err
 					}
@@ -66,7 +66,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			base, err := apps.RunSMT(threads, smtCfg, 4*cfgBranches(cfg))
+			base, err := apps.RunSMT(threads, smtCfg, 4*s.Branches())
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +75,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			gated, err := apps.RunSMT(threads, smtCfg, 4*cfgBranches(cfg))
+			gated, err := apps.RunSMT(threads, smtCfg, 4*s.Branches())
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +87,7 @@ func init() {
 			// 3) Hybrid selector vs tournament, averaged over the suite.
 			var confRate, tourRate, bimRate, gshRate float64
 			for _, spec := range workload.Suite() {
-				src, err := spec.FiniteSource(cfg.Branches)
+				src, err := s.Source(spec)
 				if err != nil {
 					return nil, err
 				}
@@ -114,7 +114,7 @@ func init() {
 			var deltaSum float64
 			var setSum int
 			for _, spec := range workload.Suite() {
-				mkSrc := func() (trace.Source, error) { return spec.FiniteSource(cfg.Branches) }
+				mkSrc := func() (trace.Source, error) { return s.Source(spec) }
 				p1, err := mkSrc()
 				if err != nil {
 					return nil, err
@@ -140,12 +140,4 @@ func init() {
 			return o, nil
 		},
 	})
-}
-
-// cfgBranches resolves the per-benchmark budget for slot math.
-func cfgBranches(cfg Config) uint64 {
-	if cfg.Branches == 0 {
-		return 1_000_000
-	}
-	return cfg.Branches
 }

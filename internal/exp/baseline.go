@@ -7,7 +7,6 @@ import (
 	"branchconf/internal/core"
 	"branchconf/internal/predictor"
 	"branchconf/internal/sim"
-	"branchconf/internal/workload"
 )
 
 func init() {
@@ -15,21 +14,22 @@ func init() {
 		ID:    "baseline",
 		Title: "Underlying predictor misprediction rates (composite, equal-weight)",
 		Paper: "gshare-64K: 3.85%; gshare-4K: 8.6%",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "baseline", Title: "predictor baselines", Scalars: map[string]float64{}}
 			var b strings.Builder
 			b.WriteString("baseline — composite misprediction rates\n")
 			for _, name := range predictor.Names() {
 				name := name
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor {
+				sr, err := s.SuiteOne(PredSpec{
+					Key: name,
+					New: func() predictor.Predictor {
 						p, err := predictor.Build(name)
 						if err != nil {
 							panic(err) // registry names are valid by construction
 						}
 						return p
 					},
-					func() core.Mechanism { return core.NewStaticProfile() })
+				}, mechStatic)
 				if err != nil {
 					return nil, err
 				}
@@ -46,22 +46,23 @@ func init() {
 		ID:    "thresholds",
 		Title: "Practical estimator operating points (resetting counters, thresholds 1..16)",
 		Paper: "Table 1 cumulative rows read as thresholds: 1 → 41.7%/4.28%, 16 → 89.3%/20.3%",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "thresholds", Title: "estimator operating points", Scalars: map[string]float64{}}
+			// One cached resetting-counter pass supplies every threshold:
+			// an estimator's low/high split is an exact partition of the
+			// per-bucket statistics (sim.DeriveEstimator), so no further
+			// simulation is needed.
+			sr, err := s.SuiteOne(predGshare64K, mechResetting)
+			if err != nil {
+				return nil, err
+			}
 			var b strings.Builder
 			b.WriteString("threshold  low-set%branches  coverage%mispreds    PVN%\n")
 			for _, thr := range []uint64{1, 2, 4, 8, 12, 16} {
 				var lowSum, covSum, pvnSum float64
 				runs := 0
-				for _, spec := range workload.Suite() {
-					src, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
-					}
-					res, err := sim.RunEstimator(src, predictor.Gshare64K(), core.PaperEstimator(thr))
-					if err != nil {
-						return nil, err
-					}
+				for _, run := range sr.Runs {
+					res := sim.DeriveEstimator(run, core.CounterReducer{Threshold: thr})
 					lowSum += res.LowFrac()
 					covSum += res.Coverage()
 					pvnSum += res.PVN()

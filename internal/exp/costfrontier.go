@@ -24,7 +24,7 @@ func init() {
 		ID:    "ablation-costsplit",
 		Title: "Fixed hardware budget split between predictor and confidence table",
 		Paper: "answers §5.3's open cost-effectiveness question with the dual-path application as the utility model",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-costsplit", Title: "cost split", Scalars: map[string]float64{}}
 			var b strings.Builder
 			b.WriteString("budget 128Kbit: predictor 2-bit counters + CT 4-bit resetting counters\n")
@@ -37,60 +37,63 @@ func init() {
 				{14, 14}, // smaller predictor, same CT
 				{13, 15}, // confidence-heavy
 			}
-			for _, s := range splits {
+			for _, split := range splits {
+				split := split
+				histBits := split.predBits
+				mkPred := func() predictor.Predictor { return predictor.NewGshare(split.predBits, histBits) }
 				var missSum, covSum, saveSum float64
 				n := 0
-				for _, spec := range workload.Suite() {
-					histBits := s.predBits
-					mkPred := func() predictor.Predictor { return predictor.NewGshare(s.predBits, histBits) }
-					if s.ctBits == 0 {
-						src, err := spec.FiniteSource(cfg.Branches)
-						if err != nil {
-							return nil, err
-						}
-						res, err := sim.PredictOnly(src, mkPred())
-						if err != nil {
-							return nil, err
-						}
-						missSum += res.MissRate()
+				if split.ctBits == 0 {
+					// The all-predictor split only needs miss rates, which
+					// any cached pass under this predictor supplies.
+					sr, err := s.SuiteOne(Pred(mkPred), mechStatic)
+					if err != nil {
+						return nil, err
+					}
+					for _, run := range sr.Runs {
+						missSum += run.MissRate()
 						n++
-						continue
+					}
+				} else {
+					mech := Mech(func() core.Mechanism {
+						return core.NewCounterTable(core.CounterConfig{
+							Kind: core.Resetting, Scheme: core.IndexPCxorBHR,
+							TableBits: split.ctBits, HistoryBits: histBits,
+						})
+					})
+					sr, err := s.SuiteOne(Pred(mkPred), mech)
+					if err != nil {
+						return nil, err
 					}
 					est := func() *core.Estimator {
-						return core.NewEstimator(
-							core.NewCounterTable(core.CounterConfig{
-								Kind: core.Resetting, Scheme: core.IndexPCxorBHR,
-								TableBits: s.ctBits, HistoryBits: histBits,
-							}),
-							core.CounterReducer{Threshold: 16})
+						return core.NewEstimator(mech.New(), core.CounterReducer{Threshold: 16})
 					}
-					src, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
+					for _, spec := range workload.Suite() {
+						run, err := sr.ByName(spec.Name)
+						if err != nil {
+							return nil, err
+						}
+						eres := sim.DeriveEstimator(run, core.CounterReducer{Threshold: 16})
+						src, err := s.Source(spec)
+						if err != nil {
+							return nil, err
+						}
+						dres, err := apps.RunDualPath(src, mkPred(), est(), apps.DefaultDualPath())
+						if err != nil {
+							return nil, err
+						}
+						missSum += float64(eres.Misses) / float64(eres.Branches)
+						covSum += eres.Coverage()
+						saveSum += dres.PenaltySavings()
+						n++
 					}
-					eres, err := sim.RunEstimator(src, mkPred(), est())
-					if err != nil {
-						return nil, err
-					}
-					src2, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
-					}
-					dres, err := apps.RunDualPath(src2, mkPred(), est(), apps.DefaultDualPath())
-					if err != nil {
-						return nil, err
-					}
-					missSum += float64(eres.Misses) / float64(eres.Branches)
-					covSum += eres.Coverage()
-					saveSum += dres.PenaltySavings()
-					n++
 				}
 				miss := 100 * missSum / float64(n)
 				cov := 100 * covSum / float64(n)
 				save := 100 * saveSum / float64(n)
-				label := fmt.Sprintf("2^%d+2^%d", s.predBits, s.ctBits)
+				label := fmt.Sprintf("2^%d+2^%d", split.predBits, split.ctBits)
 				fmt.Fprintf(&b, "%12d  %10d  %5.2f  %15.1f  %17.1f\n",
-					1<<s.predBits, ctEntries(s.ctBits), miss, cov, save)
+					1<<split.predBits, ctEntries(split.ctBits), miss, cov, save)
 				o.Scalars[label+"-miss%"] = miss
 				o.Scalars[label+"-savings%"] = save
 			}

@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// The session engine is the single-pass heart of the experiment registry.
+// Experiments no longer run private suite sweeps; they declare the
+// (predictor, mechanism-set) pairs they need against a shared Session,
+// which
+//
+//   - replays benchmarks from the process-wide materialized-trace cache
+//     (workload.Materialize) instead of regenerating the synthetic walk,
+//   - batches the requested mechanisms into one predictor pass per
+//     benchmark (sim.RunBatch), and
+//   - memoizes every (predictor, mechanism) suite pass, so experiments
+//     sharing a configuration — concurrent or sequential — reuse results
+//     instead of resimulating.
+//
+// All sharing is exact: replay, batching and result derivation are
+// bit-identical to the direct streaming path (see internal/sim tests and
+// determinism_test.go), so a report produced through a shared Session is
+// byte-identical to one produced by isolated per-experiment runs.
+
+// PredSpec names a predictor configuration and how to build fresh
+// instances of it. Key must be unique per configuration; Pred derives it
+// from the instance's Name().
+type PredSpec struct {
+	Key string
+	New func() predictor.Predictor
+}
+
+// Pred builds a PredSpec keyed by the constructor's instance name.
+func Pred(new func() predictor.Predictor) PredSpec {
+	return PredSpec{Key: new().Name(), New: new}
+}
+
+// MechSpec names a confidence-mechanism configuration and how to build
+// fresh instances of it.
+type MechSpec struct {
+	Key string
+	New func() core.Mechanism
+}
+
+// Mech builds a MechSpec keyed by the constructor's instance name.
+func Mech(new func() core.Mechanism) MechSpec {
+	return MechSpec{Key: new().Name(), New: new}
+}
+
+// passEntry is one memoized (predictor, mechanism) suite pass. done is
+// closed when res/err are final; claimants that find an existing entry
+// wait on it instead of resimulating.
+type passEntry struct {
+	done chan struct{}
+	res  sim.SuiteResult
+	err  error
+}
+
+// Session owns the pass cache for one report run. It is safe for
+// concurrent use by experiments running in parallel.
+type Session struct {
+	cfg Config
+
+	mu     sync.Mutex
+	passes map[string]*passEntry
+
+	hits, misses atomic.Uint64
+}
+
+// NewSession returns an empty session for the given configuration.
+func NewSession(cfg Config) *Session {
+	return &Session{cfg: cfg, passes: make(map[string]*passEntry)}
+}
+
+// Config returns the session's run configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Branches resolves the per-benchmark branch budget (the suite default
+// when the config leaves it zero).
+func (s *Session) Branches() uint64 {
+	if s.cfg.Branches == 0 {
+		return workload.DefaultBranches
+	}
+	return s.cfg.Branches
+}
+
+// Source returns a replay cursor over spec's materialized trace at the
+// session budget. Repeated calls (and concurrent experiments) share one
+// cached buffer; each cursor replays from the beginning.
+func (s *Session) Source(spec workload.Spec) (trace.Source, error) {
+	buf, err := workload.Materialize(spec, s.cfg.Branches)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Source(), nil
+}
+
+// suiteConfig is the session's whole-suite run configuration: the
+// session budget with benchmarks fed from the materialized-trace cache.
+func (s *Session) suiteConfig() sim.SuiteConfig {
+	return sim.SuiteConfig{
+		Branches: s.cfg.Branches,
+		Source: func(spec workload.Spec, branches uint64) (trace.Source, error) {
+			buf, err := workload.Materialize(spec, branches)
+			if err != nil {
+				return nil, err
+			}
+			return buf.Source(), nil
+		},
+	}
+}
+
+// Suite returns one whole-suite result per mechanism, all simulated under
+// pred, batching every mechanism not already cached into a single
+// predictor pass per benchmark. Results are index-aligned with mechs and
+// identical to per-mechanism sim.RunSuite calls.
+//
+// Concurrent callers requesting overlapping sets never duplicate a pass:
+// the first claimant of a (predictor, mechanism) key simulates it, later
+// ones block on the entry.
+func (s *Session) Suite(pred PredSpec, mechs ...MechSpec) ([]sim.SuiteResult, error) {
+	entries := make([]*passEntry, len(mechs))
+	var missing []int // indices whose entries this call must fill
+	s.mu.Lock()
+	for i, m := range mechs {
+		key := pred.Key + "\x1f" + m.Key
+		e := s.passes[key]
+		if e == nil {
+			e = &passEntry{done: make(chan struct{})}
+			s.passes[key] = e
+			missing = append(missing, i)
+			s.misses.Add(1)
+		} else {
+			s.hits.Add(1)
+		}
+		entries[i] = e
+	}
+	s.mu.Unlock()
+
+	if len(missing) > 0 {
+		newMechs := make([]func() core.Mechanism, len(missing))
+		for j, i := range missing {
+			newMechs[j] = mechs[i].New
+		}
+		res, err := sim.RunSuiteBatch(s.suiteConfig(), pred.New, newMechs)
+		for j, i := range missing {
+			e := entries[i]
+			if err != nil {
+				e.err = err
+			} else {
+				e.res = res[j]
+			}
+			close(e.done)
+		}
+	}
+
+	out := make([]sim.SuiteResult, len(mechs))
+	for i, e := range entries {
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		out[i] = e.res
+	}
+	return out, nil
+}
+
+// SuiteOne is Suite for a single mechanism.
+func (s *Session) SuiteOne(pred PredSpec, mech MechSpec) (sim.SuiteResult, error) {
+	rs, err := s.Suite(pred, mech)
+	if err != nil {
+		return sim.SuiteResult{}, err
+	}
+	return rs[0], nil
+}
+
+// Stats reports the session's pass-cache hits and misses so far.
+func (s *Session) Stats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Shared predictor and mechanism specs for the paper's two standard
+// predictors and the recurring mechanisms.
+var (
+	predGshare64K = Pred(func() predictor.Predictor { return predictor.Gshare64K() })
+	predGshare4K  = Pred(func() predictor.Predictor { return predictor.Gshare4K() })
+
+	mechStatic    = Mech(func() core.Mechanism { return core.NewStaticProfile() })
+	mechResetting = Mech(func() core.Mechanism { return core.PaperResetting() })
+)
+
+// mechOneLevel is the paper one-level CIR mechanism for a given index
+// scheme.
+func mechOneLevel(scheme core.IndexScheme) MechSpec {
+	return Mech(func() core.Mechanism { return core.PaperOneLevel(scheme) })
+}
+
+// mechTwoLevel is a two-level mechanism variant.
+func mechTwoLevel(s1 core.IndexScheme, s2 core.SecondIndex) MechSpec {
+	return Mech(func() core.Mechanism {
+		return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: s1, Scheme2: s2})
+	})
+}

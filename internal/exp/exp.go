@@ -43,8 +43,18 @@ type Experiment struct {
 	Title string
 	// Paper summarises the paper's reported result for comparison.
 	Paper string
-	// Run executes the experiment.
-	Run func(Config) (*Output, error)
+	// Run executes the experiment against a session. Experiments declare
+	// their (predictor, mechanism-set) needs through the session so
+	// simulation passes are batched and shared; a session may be shared by
+	// many experiments, concurrently.
+	Run func(*Session) (*Output, error)
+}
+
+// RunOnce executes the experiment against a fresh private session — the
+// one-shot form for callers outside a report run. Materialized traces are
+// still shared process-wide; only the pass cache is private.
+func (e Experiment) RunOnce(cfg Config) (*Output, error) {
+	return e.Run(NewSession(cfg))
 }
 
 var registry = map[string]Experiment{}

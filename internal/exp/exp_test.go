@@ -46,7 +46,7 @@ func TestByID(t *testing.T) {
 
 func TestFig2Static(t *testing.T) {
 	e, _ := ByID("fig2")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestFig2Static(t *testing.T) {
 
 func TestFig5OneLevelOrdering(t *testing.T) {
 	e, _ := ByID("fig5")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFig5OneLevelOrdering(t *testing.T) {
 
 func TestFig7OneLevelMatchesTwoLevel(t *testing.T) {
 	e, _ := ByID("fig7")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestFig7OneLevelMatchesTwoLevel(t *testing.T) {
 
 func TestFig8ReductionOrdering(t *testing.T) {
 	e, _ := ByID("fig8")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestFig8ReductionOrdering(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	e, _ := ByID("table1")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestFig9Extremes(t *testing.T) {
 	e, _ := ByID("fig9")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestFig9Extremes(t *testing.T) {
 
 func TestFig10SmallTablesDegradeGracefully(t *testing.T) {
 	e, _ := ByID("fig10")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestFig10SmallTablesDegradeGracefully(t *testing.T) {
 
 func TestFig11InitPolicies(t *testing.T) {
 	e, _ := ByID("fig11")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestFig11InitPolicies(t *testing.T) {
 
 func TestAblationIndexConfirmsPaperClaims(t *testing.T) {
 	e, _ := ByID("ablation-index")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestAblationIndexConfirmsPaperClaims(t *testing.T) {
 
 func TestThresholdsExperiment(t *testing.T) {
 	e, _ := ByID("thresholds")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestThresholdsExperiment(t *testing.T) {
 
 func TestMultilevelExperiment(t *testing.T) {
 	e, _ := ByID("multilevel")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestMultilevelExperiment(t *testing.T) {
 
 func TestCtxSwitchExperiment(t *testing.T) {
 	e, _ := ByID("ctxswitch")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestCtxSwitchExperiment(t *testing.T) {
 
 func TestGatingExperiment(t *testing.T) {
 	e, _ := ByID("gating")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestGatingExperiment(t *testing.T) {
 
 func TestPipelineExperiment(t *testing.T) {
 	e, _ := ByID("pipeline")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestPipelineExperiment(t *testing.T) {
 
 func TestPerbenchExperiment(t *testing.T) {
 	e, _ := ByID("perbench")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestPerbenchExperiment(t *testing.T) {
 
 func TestCtxSwitchMixExperiment(t *testing.T) {
 	e, _ := ByID("ctxswitch-mix")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestCtxSwitchMixExperiment(t *testing.T) {
 
 func TestStrengthExperiment(t *testing.T) {
 	e, _ := ByID("strength")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestStrengthExperiment(t *testing.T) {
 
 func TestReplicationExperiment(t *testing.T) {
 	e, _ := ByID("replication")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestReplicationExperiment(t *testing.T) {
 
 func TestCostSplitExperiment(t *testing.T) {
 	e, _ := ByID("ablation-costsplit")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestCostSplitExperiment(t *testing.T) {
 
 func TestStaticRealisticExperiment(t *testing.T) {
 	e, _ := ByID("static-realistic")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +416,7 @@ func TestStaticRealisticExperiment(t *testing.T) {
 
 func TestWeightedOnesExperiment(t *testing.T) {
 	e, _ := ByID("ablation-weighted")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +433,7 @@ func TestWeightedOnesExperiment(t *testing.T) {
 
 func TestDualPathIPCExperiment(t *testing.T) {
 	e, _ := ByID("dualpath-ipc")
-	o, err := e.Run(fastCfg)
+	o, err := e.RunOnce(fastCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

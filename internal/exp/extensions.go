@@ -40,36 +40,47 @@ func registerExtensions() {
 		ID:    "gating",
 		Title: "Pipeline gating: wrong-path work vs stall cost across gate thresholds",
 		Paper: "follow-on work (ISCA '98) built on this paper's estimators; gating should cut wasted work at small stall cost",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "gating", Title: "pipeline gating", Scalars: map[string]float64{}}
 			var b strings.Builder
 			b.WriteString("gate-threshold  wasted%work  stalled%demand  mispredict%\n")
-			for _, thr := range []int{0, 4, 2, 1} {
-				var wasted, stalled, miss float64
-				n := 0
-				for _, spec := range workload.Suite() {
-					src, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
-					}
-					res, err := apps.RunGating(src, predictor.Gshare4K(), core.PaperEstimator(8),
-						apps.GateConfig{ResolveDistance: 4, Threshold: thr})
-					if err != nil {
-						return nil, err
-					}
-					wasted += res.WastedFrac()
-					stalled += res.StallFrac()
-					miss += float64(res.Misses) / float64(res.Branches)
-					n++
+			// All thresholds share one predictor+estimator walk per benchmark
+			// (the gate never feeds back into either), so the whole study is
+			// one pass over the suite instead of len(thresholds) passes.
+			thresholds := []int{0, 4, 2, 1}
+			cfgs := make([]apps.GateConfig, len(thresholds))
+			for i, thr := range thresholds {
+				cfgs[i] = apps.GateConfig{ResolveDistance: 4, Threshold: thr}
+			}
+			wasted := make([]float64, len(thresholds))
+			stalled := make([]float64, len(thresholds))
+			miss := make([]float64, len(thresholds))
+			n := 0
+			for _, spec := range workload.Suite() {
+				src, err := s.Source(spec)
+				if err != nil {
+					return nil, err
 				}
-				wasted, stalled, miss = wasted/float64(n), stalled/float64(n), miss/float64(n)
+				results, err := apps.RunGatingBatch(src, predictor.Gshare4K(), core.PaperEstimator(8), cfgs)
+				if err != nil {
+					return nil, err
+				}
+				for i, res := range results {
+					wasted[i] += res.WastedFrac()
+					stalled[i] += res.StallFrac()
+					miss[i] += float64(res.Misses) / float64(res.Branches)
+				}
+				n++
+			}
+			for i, thr := range thresholds {
+				w, st, m := wasted[i]/float64(n), stalled[i]/float64(n), miss[i]/float64(n)
 				label := fmt.Sprintf("%d", thr)
 				if thr == 0 {
 					label = "off"
 				}
-				fmt.Fprintf(&b, "%14s  %11.2f  %14.2f  %11.2f\n", label, 100*wasted, 100*stalled, 100*miss)
-				o.Scalars[fmt.Sprintf("thr%s-wasted%%", label)] = 100 * wasted
-				o.Scalars[fmt.Sprintf("thr%s-stalled%%", label)] = 100 * stalled
+				fmt.Fprintf(&b, "%14s  %11.2f  %14.2f  %11.2f\n", label, 100*w, 100*st, 100*m)
+				o.Scalars[fmt.Sprintf("thr%s-wasted%%", label)] = 100 * w
+				o.Scalars[fmt.Sprintf("thr%s-stalled%%", label)] = 100 * st
 			}
 			o.Text = b.String()
 			return o, nil
@@ -79,12 +90,15 @@ func registerExtensions() {
 		ID:    "strength",
 		Title: "Counter-strength confidence (related work, Smith '81) vs a dedicated resetting-counter table",
 		Paper: "§1.1 cites confidence from counter saturation. Identity: a 2-bit counter is weak exactly when its entry last mispredicted, so strength ≡ resetting-counter==0 at congruent geometry; the dedicated table buys the finer thresholds",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "strength", Title: "counter-strength baseline", Scalars: map[string]float64{}}
-			// Strength mechanism (2 buckets) per benchmark, pooled.
-			var strengthRuns, resetRuns []analysis.BucketStats
+			// Strength mechanism (2 buckets) per benchmark, pooled. The
+			// mechanism reads the live predictor's counters, so it cannot
+			// share a pass with independent mechanisms; it streams its own
+			// replay of the cached traces.
+			var strengthRuns []analysis.BucketStats
 			for _, spec := range workload.Suite() {
-				src, err := spec.FiniteSource(cfg.Branches)
+				src, err := s.Source(spec)
 				if err != nil {
 					return nil, err
 				}
@@ -94,19 +108,13 @@ func registerExtensions() {
 					return nil, err
 				}
 				strengthRuns = append(strengthRuns, res.Buckets)
-
-				src2, err := spec.FiniteSource(cfg.Branches)
-				if err != nil {
-					return nil, err
-				}
-				res2, err := sim.Run(src2, predictor.Gshare64K(), core.PaperResetting())
-				if err != nil {
-					return nil, err
-				}
-				resetRuns = append(resetRuns, res2.Buckets)
+			}
+			resetSR, err := s.SuiteOne(predGshare64K, mechResetting)
+			if err != nil {
+				return nil, err
 			}
 			strength := analysis.BuildCurve(analysis.CompositePooled(strengthRuns))
-			reset := analysis.BuildCurve(analysis.CompositePooled(resetRuns))
+			reset := analysis.BuildCurve(analysis.CompositePooled(resetSR.Stats()))
 			// The strength method has one natural operating point: its
 			// weak-state set. Compare both methods at that set size.
 			weakPct := strength[0].CumEventsPct
@@ -134,7 +142,7 @@ func registerExtensions() {
 		ID:    "ctxswitch-mix",
 		Title: "Multiprogrammed mix: four benchmarks time-sliced through shared tables",
 		Paper: "§5.4 models switches as reinitialisation; this runs real interleaving (quantum sweep) to show table pollution directly",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ctxswitch-mix", Title: "multiprogrammed mix", Scalars: map[string]float64{}}
 			mixNames := []string{"groff", "real_gcc", "jpeg_play", "sdet"}
 			mkMix := func(quantum uint64) (trace.Source, error) {
@@ -144,7 +152,7 @@ func registerExtensions() {
 					if err != nil {
 						return nil, err
 					}
-					src, err := spec.FiniteSource(cfg.Branches)
+					src, err := s.Source(spec)
 					if err != nil {
 						return nil, err
 					}
@@ -153,18 +161,14 @@ func registerExtensions() {
 				return trace.Interleave(quantum, srcs...), nil
 			}
 			// Solo baseline: equal-weight composite of the four benchmarks
-			// run with private tables.
+			// run with private tables — read from the cached suite pass.
+			oneSR, err := s.SuiteOne(predGshare64K, mechOneLevel(core.IndexPCxorBHR))
+			if err != nil {
+				return nil, err
+			}
 			var soloRuns []analysis.BucketStats
 			for _, name := range mixNames {
-				spec, err := workload.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				src, err := spec.FiniteSource(cfg.Branches)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				res, err := oneSR.ByName(name)
 				if err != nil {
 					return nil, err
 				}
@@ -197,42 +201,56 @@ func registerExtensions() {
 		ID:    "replication",
 		Title: "Seed replication: headline scalars across independent workload seeds",
 		Paper: "robustness check — the paper's conclusions should not hinge on one trace sample",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "replication", Title: "seed replication", Scalars: map[string]float64{}}
 			const replicas = 3
 			var b strings.Builder
 			b.WriteString("replica  gshare64K-miss%  BHRxorPC@20%  Reset@20%\n")
 			var missMin, missMax, idealMin, idealMax, resetMin, resetMax float64
 			for rep := 0; rep < replicas; rep++ {
-				specs := workload.Suite()
-				for i := range specs {
-					specs[i].Seed += uint64(rep) * 0x9E37 // distinct structural+walk seeds
-				}
-				var missSum float64
 				var idealRuns, resetRuns []analysis.BucketStats
-				for _, spec := range specs {
-					src, err := spec.FiniteSource(cfg.Branches)
+				var missSum float64
+				var nspecs int
+				if rep == 0 {
+					// Replica 0 is the standard suite: read it from the
+					// session's pass cache.
+					rs, err := s.Suite(predGshare64K, mechOneLevel(core.IndexPCxorBHR), mechResetting)
 					if err != nil {
 						return nil, err
 					}
-					res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
-					if err != nil {
-						return nil, err
+					for _, run := range rs[0].Runs {
+						missSum += run.MissRate()
 					}
-					missSum += res.MissRate()
-					idealRuns = append(idealRuns, res.Buckets)
-
-					src2, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
+					idealRuns = rs[0].Stats()
+					resetRuns = rs[1].Stats()
+					nspecs = len(rs[0].Runs)
+				} else {
+					// Mutated-seed replicas stream once each, training both
+					// mechanisms in a single batched pass; the buffers are
+					// not worth retaining, so they bypass the global cache.
+					specs := workload.Suite()
+					for i := range specs {
+						specs[i].Seed += uint64(rep) * 0x9E37 // distinct structural+walk seeds
 					}
-					res2, err := sim.Run(src2, predictor.Gshare64K(), core.PaperResetting())
-					if err != nil {
-						return nil, err
+					for _, spec := range specs {
+						src, err := spec.FiniteSource(s.Config().Branches)
+						if err != nil {
+							return nil, err
+						}
+						rs, err := sim.RunBatch(src, predictor.Gshare64K(), []core.Mechanism{
+							core.PaperOneLevel(core.IndexPCxorBHR),
+							core.PaperResetting(),
+						})
+						if err != nil {
+							return nil, err
+						}
+						missSum += rs[0].MissRate()
+						idealRuns = append(idealRuns, rs[0].Buckets)
+						resetRuns = append(resetRuns, rs[1].Buckets)
 					}
-					resetRuns = append(resetRuns, res2.Buckets)
+					nspecs = len(specs)
 				}
-				miss := 100 * missSum / float64(len(specs))
+				miss := 100 * missSum / float64(nspecs)
 				ideal := analysis.BuildCurve(analysis.CompositePooled(idealRuns)).MispredsAt(20)
 				reset := analysis.BuildCurve(analysis.CompositePooled(resetRuns)).MispredsAt(20)
 				fmt.Fprintf(&b, "%7d  %15.2f  %12.1f  %9.1f\n", rep, miss, ideal, reset)
@@ -261,24 +279,20 @@ func registerExtensions() {
 		ID:    "perbench",
 		Title: "Per-benchmark variation band (Fig. 9 generalised to the whole suite)",
 		Paper: "Fig. 9 shows only the extremes (JPEG best, GCC worst) and notes considerable variation",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "perbench", Title: "per-benchmark variation", Scalars: map[string]float64{}}
+			sr, err := s.SuiteOne(predGshare64K, mechOneLevel(core.IndexPCxorBHR))
+			if err != nil {
+				return nil, err
+			}
 			var curves []analysis.Curve
 			var names []string
-			for _, spec := range workload.Suite() {
-				src, err := spec.FiniteSource(cfg.Branches)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
-				if err != nil {
-					return nil, err
-				}
+			for _, res := range sr.Runs {
 				c := analysis.BuildCurve(analysis.Single(res.Buckets))
 				curves = append(curves, c)
-				names = append(names, spec.Name)
-				o.Series = append(o.Series, analysis.Series{Label: spec.Name, Curve: c})
-				o.Scalars[spec.Name+"@20%"] = c.MispredsAt(20)
+				names = append(names, res.Benchmark)
+				o.Series = append(o.Series, analysis.Series{Label: res.Benchmark, Curve: c})
+				o.Scalars[res.Benchmark+"@20%"] = c.MispredsAt(20)
 			}
 			xs := []float64{5, 10, 20, 40}
 			band := analysis.BuildBand(curves, xs)
@@ -294,20 +308,18 @@ func registerExtensions() {
 		ID:    "multilevel",
 		Title: "Multi-level confidence classes (the §1 generalisation, four levels)",
 		Paper: "\"one could divide the branches into multiple sets with a range of confidence levels\" — not pursued in the paper",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "multilevel", Title: "multi-level confidence", Scalars: map[string]float64{}}
 			ladder := []uint64{1, 8, 16}
+			// The level split is a pure partition of the resetting-counter
+			// buckets, so it derives exactly from the cached suite pass.
+			sr, err := s.SuiteOne(predGshare64K, mechResetting)
+			if err != nil {
+				return nil, err
+			}
 			agg := make([]sim.LevelTally, len(ladder)+1)
-			for _, spec := range workload.Suite() {
-				src, err := spec.FiniteSource(cfg.Branches)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.RunMulti(src, predictor.Gshare64K(),
-					core.NewMultiEstimator(core.PaperResetting(), ladder))
-				if err != nil {
-					return nil, err
-				}
+			for _, run := range sr.Runs {
+				res := sim.DeriveMulti(run, ladder)
 				// Equal-weight compositing: normalise each benchmark to
 				// unit branch mass before summing.
 				total := float64(res.Branches())
@@ -352,7 +364,7 @@ func registerExtensions() {
 		ID:    "ctxswitch",
 		Title: "Context-switch CT treatment: keep vs flush-to-ones vs flush-to-zeros vs mark-oldest (§5.4 conjecture)",
 		Paper: "conjecture: keeping CIRs but setting the oldest bit to 1 performs like full nonzero reinitialisation",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ctxswitch", Title: "context switches", Scalars: map[string]float64{}}
 			// Switch every 64k branches: a few dozen switches per run.
 			const interval = 64_000
@@ -368,23 +380,30 @@ func registerExtensions() {
 					m.(*core.OneLevel).MarkOldest()
 				}},
 			}
-			for _, pol := range policies {
-				pol := pol
-				var runs []analysis.BucketStats
-				for _, spec := range workload.Suite() {
-					src, err := spec.FiniteSource(cfg.Branches)
-					if err != nil {
-						return nil, err
-					}
-					mech := core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol.init})
-					res, err := sim.RunWithFlush(src, predictor.Gshare64K(), mech, interval,
-						sim.FlushPolicy{Name: pol.label, Apply: pol.apply})
-					if err != nil {
-						return nil, err
-					}
-					runs = append(runs, res.Buckets)
+			// One batched walk per benchmark: the flush policies only touch
+			// their own mechanism, so all four share the predictor pass.
+			perPolicy := make([][]analysis.BucketStats, len(policies))
+			for _, spec := range workload.Suite() {
+				src, err := s.Source(spec)
+				if err != nil {
+					return nil, err
 				}
-				c := analysis.BuildCurve(analysis.CompositePooled(runs))
+				mechs := make([]core.Mechanism, len(policies))
+				flushes := make([]sim.FlushPolicy, len(policies))
+				for i, pol := range policies {
+					mechs[i] = core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol.init})
+					flushes[i] = sim.FlushPolicy{Name: pol.label, Apply: pol.apply}
+				}
+				rs, err := sim.RunWithFlushBatch(src, predictor.Gshare64K(), mechs, interval, flushes)
+				if err != nil {
+					return nil, err
+				}
+				for i, r := range rs {
+					perPolicy[i] = append(perPolicy[i], r.Buckets)
+				}
+			}
+			for i, pol := range policies {
+				c := analysis.BuildCurve(analysis.CompositePooled(perPolicy[i]))
 				o.Series = append(o.Series, analysis.Series{Label: pol.label, Curve: c})
 				o.Scalars[pol.label+"@20%"] = c.MispredsAt(20)
 			}

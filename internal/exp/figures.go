@@ -6,23 +6,12 @@ import (
 
 	"branchconf/internal/analysis"
 	"branchconf/internal/core"
-	"branchconf/internal/predictor"
-	"branchconf/internal/sim"
-	"branchconf/internal/workload"
 )
-
-// suiteStats runs the whole suite with fresh per-benchmark instances and
-// returns the per-benchmark bucket statistics plus the suite result.
-func suiteStats(cfg Config, newPred func() predictor.Predictor, newMech func() core.Mechanism) (sim.SuiteResult, error) {
-	return sim.RunSuite(sim.SuiteConfig{Branches: cfg.Branches}, newPred, newMech)
-}
 
 // staticCurve computes the Fig. 2 static-profile curve: per-static-branch
 // statistics under the 64K gshare, composited with distinct bucket spaces.
-func staticCurve(cfg Config) (analysis.Curve, error) {
-	sr, err := suiteStats(cfg,
-		func() predictor.Predictor { return predictor.Gshare64K() },
-		func() core.Mechanism { return core.NewStaticProfile() })
+func staticCurve(s *Session) (analysis.Curve, error) {
+	sr, err := s.SuiteOne(predGshare64K, mechStatic)
 	if err != nil {
 		return nil, err
 	}
@@ -31,10 +20,8 @@ func staticCurve(cfg Config) (analysis.Curve, error) {
 
 // oneLevelCurve computes a pooled-composite curve for a one-level CIR
 // mechanism under the 64K gshare with the ideal (sorted) reduction.
-func oneLevelCurve(cfg Config, scheme core.IndexScheme) (analysis.Curve, error) {
-	sr, err := suiteStats(cfg,
-		func() predictor.Predictor { return predictor.Gshare64K() },
-		func() core.Mechanism { return core.PaperOneLevel(scheme) })
+func oneLevelCurve(s *Session, scheme core.IndexScheme) (analysis.Curve, error) {
+	sr, err := s.SuiteOne(predGshare64K, mechOneLevel(scheme))
 	if err != nil {
 		return nil, err
 	}
@@ -46,8 +33,8 @@ func init() {
 		ID:    "fig2",
 		Title: "Static (profile) confidence: cumulative mispredictions vs dynamic branches",
 		Paper: "knee near (25.2, 70.6); 20% of branches capture ~63% of mispredictions",
-		Run: func(cfg Config) (*Output, error) {
-			c, err := staticCurve(cfg)
+		Run: func(s *Session) (*Output, error) {
+			c, err := staticCurve(s)
 			if err != nil {
 				return nil, err
 			}
@@ -65,18 +52,23 @@ func init() {
 		ID:    "fig5",
 		Title: "One-level dynamic confidence (ideal reduction): PC vs BHR vs PCxorBHR",
 		Paper: "at 20%: PCxorBHR 89%, BHR 85%, PC 72%; static ~63%; zero bucket ~80% of branches",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig5", Title: "one-level methods", Scalars: map[string]float64{}}
-			static, err := staticCurve(cfg)
+			schemes := core.OneLevelSchemes()
+			// One batched declaration: static plus all three index schemes
+			// share a single predictor pass per benchmark.
+			mechs := []MechSpec{mechStatic}
+			for _, scheme := range schemes {
+				mechs = append(mechs, mechOneLevel(scheme))
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
 			if err != nil {
 				return nil, err
 			}
+			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
 			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
-			for _, scheme := range core.OneLevelSchemes() {
-				c, err := oneLevelCurve(cfg, scheme)
-				if err != nil {
-					return nil, err
-				}
+			for i, scheme := range schemes {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
 				o.Series = append(o.Series, analysis.Series{Label: scheme.String(), Curve: c})
 				o.Scalars[scheme.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -98,13 +90,8 @@ func init() {
 		ID:    "fig6",
 		Title: "Two-level dynamic confidence (ideal reduction): three variants",
 		Paper: "best: PCxorBHR→CIR; PC→CIR briefly competitive in the 5-10% region",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig6", Title: "two-level methods", Scalars: map[string]float64{}}
-			static, err := staticCurve(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
 			variants := []struct {
 				s1 core.IndexScheme
 				s2 core.SecondIndex
@@ -113,16 +100,18 @@ func init() {
 				{core.IndexPCxorBHR, core.L2CIR},
 				{core.IndexPCxorBHR, core.L2CIRxorPCxorBHR},
 			}
+			mechs := []MechSpec{mechStatic}
 			for _, v := range variants {
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: v.s1, Scheme2: v.s2})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				mechs = append(mechs, mechTwoLevel(v.s1, v.s2))
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
+			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
+			for i, v := range variants {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
 				label := fmt.Sprintf("%s-%s", v.s1, v.s2)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -136,25 +125,18 @@ func init() {
 		ID:    "fig7",
 		Title: "Best one-level vs best two-level vs static",
 		Paper: "one- and two-level nearly identical (two-level slightly worse); both beat static",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig7", Title: "method comparison", Scalars: map[string]float64{}}
-			static, err := staticCurve(cfg)
+			rs, err := s.Suite(predGshare64K,
+				mechStatic,
+				mechOneLevel(core.IndexPCxorBHR),
+				mechTwoLevel(core.IndexPCxorBHR, core.L2CIR))
 			if err != nil {
 				return nil, err
 			}
-			one, err := oneLevelCurve(cfg, core.IndexPCxorBHR)
-			if err != nil {
-				return nil, err
-			}
-			sr, err := suiteStats(cfg,
-				func() predictor.Predictor { return predictor.Gshare64K() },
-				func() core.Mechanism {
-					return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: core.IndexPCxorBHR, Scheme2: core.L2CIR})
-				})
-			if err != nil {
-				return nil, err
-			}
-			two := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
+			one := analysis.BuildCurve(analysis.CompositePooled(rs[1].Stats()))
+			two := analysis.BuildCurve(analysis.CompositePooled(rs[2].Stats()))
 			o.Series = []analysis.Series{
 				{Label: "static", Curve: static},
 				{Label: "BHRxorPC", Curve: one},
@@ -172,16 +154,22 @@ func init() {
 		ID:    "fig8",
 		Title: "Reduction functions on the best one-level method",
 		Paper: "resetting tracks ideal closely (same zero bucket); saturating's max bucket absorbs too many mispredictions; ones-count between",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig8", Title: "reduction functions", Scalars: map[string]float64{}}
-			// Ideal and ones-count derive from the same full-CIR run.
-			sr, err := suiteStats(cfg,
-				func() predictor.Predictor { return predictor.Gshare64K() },
-				func() core.Mechanism { return core.PaperOneLevel(core.IndexPCxorBHR) })
+			kinds := []core.CounterKind{core.Saturating, core.Resetting}
+			mechs := []MechSpec{mechOneLevel(core.IndexPCxorBHR)}
+			for _, kind := range kinds {
+				kind := kind
+				mechs = append(mechs, Mech(func() core.Mechanism {
+					return core.NewCounterTable(core.CounterConfig{Kind: kind, Scheme: core.IndexPCxorBHR})
+				}))
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
 			if err != nil {
 				return nil, err
 			}
-			pooled := analysis.CompositePooled(sr.Stats())
+			// Ideal and ones-count derive from the same full-CIR run.
+			pooled := analysis.CompositePooled(rs[0].Stats())
 			ideal := analysis.BuildCurve(pooled)
 			ones := analysis.BuildCurve(pooled.MergeBuckets(func(b uint64) uint64 {
 				return uint64(bits.OnesCount64(b))
@@ -190,17 +178,8 @@ func init() {
 				analysis.Series{Label: "BHRxorPC (ideal)", Curve: ideal},
 				analysis.Series{Label: "BHRxorPC.1Cnt", Curve: ones},
 			)
-			for _, kind := range []core.CounterKind{core.Saturating, core.Resetting} {
-				kind := kind
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewCounterTable(core.CounterConfig{Kind: kind, Scheme: core.IndexPCxorBHR})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+			for i, kind := range kinds {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
 				o.Series = append(o.Series, analysis.Series{Label: "BHRxorPC." + kind.String(), Curve: c})
 				o.Scalars[kind.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -215,10 +194,8 @@ func init() {
 		ID:    "table1",
 		Title: "Resetting-counter statistics (17 rows, counts 0-16)",
 		Paper: "count 0: 41.7% of mispreds in 4.28% of refs; counts 0-15: 89.3% in 20.3%",
-		Run: func(cfg Config) (*Output, error) {
-			sr, err := suiteStats(cfg,
-				func() predictor.Predictor { return predictor.Gshare64K() },
-				func() core.Mechanism { return core.PaperResetting() })
+		Run: func(s *Session) (*Output, error) {
+			sr, err := s.SuiteOne(predGshare64K, mechResetting)
 			if err != nil {
 				return nil, err
 			}
@@ -243,18 +220,15 @@ func init() {
 		ID:    "fig9",
 		Title: "Best vs worst benchmark (jpeg_play vs real_gcc), best one-level + ideal reduction",
 		Paper: "considerable variation; zero buckets hold similar misprediction fractions but different branch fractions",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig9", Title: "per-benchmark extremes", Scalars: map[string]float64{}}
+			// Per-benchmark runs come straight out of the cached suite pass.
+			sr, err := s.SuiteOne(predGshare64K, mechOneLevel(core.IndexPCxorBHR))
+			if err != nil {
+				return nil, err
+			}
 			for _, name := range []string{"jpeg_play", "real_gcc"} {
-				spec, err := workload.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				src, err := spec.FiniteSource(cfg.Branches)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(src, predictor.Gshare64K(), core.PaperOneLevel(core.IndexPCxorBHR))
+				res, err := sr.ByName(name)
 				if err != nil {
 					return nil, err
 				}
@@ -272,17 +246,20 @@ func init() {
 		ID:    "fig10",
 		Title: "Small CIR tables (resetting counters, PCxorBHR) under the 4K gshare",
 		Paper: "graceful degradation; 4096-entry CT captures ~75% of mispredictions at 20% of branches",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig10", Title: "small tables", Scalars: map[string]float64{}}
-			for _, bitsN := range []uint{12, 11, 10, 9, 8, 7} {
+			sizes := []uint{12, 11, 10, 9, 8, 7}
+			mechs := make([]MechSpec, len(sizes))
+			for i, bitsN := range sizes {
 				bitsN := bitsN
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare4K() },
-					func() core.Mechanism { return core.SmallResetting(bitsN) })
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				mechs[i] = Mech(func() core.Mechanism { return core.SmallResetting(bitsN) })
+			}
+			rs, err := s.Suite(predGshare4K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, bitsN := range sizes {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				label := fmt.Sprintf("%d", 1<<bitsN)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -296,19 +273,22 @@ func init() {
 		ID:    "fig11",
 		Title: "CT initialisation: ones vs zeros vs lastbit vs random (ideal reduction)",
 		Paper: "ones, lastbit and random similar; zeros clearly worse",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "fig11", Title: "initial state", Scalars: map[string]float64{}}
-			for _, pol := range core.InitPolicies() {
+			policies := core.InitPolicies()
+			mechs := make([]MechSpec, len(policies))
+			for i, pol := range policies {
 				pol := pol
-				sr, err := suiteStats(cfg,
-					func() predictor.Predictor { return predictor.Gshare64K() },
-					func() core.Mechanism {
-						return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol})
-					})
-				if err != nil {
-					return nil, err
-				}
-				c := analysis.BuildCurve(analysis.CompositePooled(sr.Stats()))
+				mechs[i] = Mech(func() core.Mechanism {
+					return core.NewOneLevel(core.OneLevelConfig{Scheme: core.IndexPCxorBHR, Init: pol})
+				})
+			}
+			rs, err := s.Suite(predGshare64K, mechs...)
+			if err != nil {
+				return nil, err
+			}
+			for i, pol := range policies {
+				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
 				o.Series = append(o.Series, analysis.Series{Label: pol.String(), Curve: c})
 				o.Scalars[pol.String()+"@20%"] = c.MispredsAt(20)
 			}

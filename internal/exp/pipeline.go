@@ -29,7 +29,7 @@ func init() {
 		ID:    "pipeline",
 		Title: "Cycle-level pipeline: IPC and wrong-path work under confidence-gated fetch",
 		Paper: "IPC framing of the gating trade-off follow-on work quantified; oracle row bounds any estimator",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "pipeline", Title: "pipeline gating at cycle level", Scalars: map[string]float64{}}
 			var b strings.Builder
 			b.WriteString("policy          IPC    waste%fetch   gate-stall%cycles\n")
@@ -51,7 +51,7 @@ func init() {
 				var ipc, waste, stall float64
 				n := 0
 				for _, spec := range workload.Suite() {
-					src, err := spec.FiniteSource(cfg.Branches)
+					src, err := s.Source(spec)
 					if err != nil {
 						return nil, err
 					}
@@ -87,7 +87,7 @@ func init() {
 		ID:    "dualpath-ipc",
 		Title: "Cycle-level selective dual-path execution: IPC vs baseline (application 1 in time)",
 		Paper: "§1/§6: fork the non-predicted path on low confidence; coverage should convert into recovered cycles",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "dualpath-ipc", Title: "dual-path at cycle level", Scalars: map[string]float64{}}
 			var b strings.Builder
 			b.WriteString("policy            IPC    covered%misses   fork%slots\n")
@@ -108,7 +108,7 @@ func init() {
 				var ipc, covered, forkSlots float64
 				n := 0
 				for _, spec := range workload.Suite() {
-					src, err := spec.FiniteSource(cfg.Branches)
+					src, err := s.Source(spec)
 					if err != nil {
 						return nil, err
 					}

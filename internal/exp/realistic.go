@@ -27,21 +27,21 @@ func init() {
 		ID:    "static-realistic",
 		Title: "Static confidence with an out-of-sample profile (de-idealising §2)",
 		Paper: "§2: \"the graph ... provides an optimistic estimate ... we are executing the programs with exactly the same data as for the profile\"",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "static-realistic", Title: "realistic static confidence", Scalars: map[string]float64{}}
-			var trainRuns, evalRuns []analysis.BucketStats
+			// The training half is the standard walk under the standard
+			// predictor — exactly the cached static suite pass.
+			trainSR, err := s.SuiteOne(predGshare64K, mechStatic)
+			if err != nil {
+				return nil, err
+			}
+			trainRuns := trainSR.Stats()
+			// The evaluation half walks each program along a disjoint
+			// dynamic path (different walk seed, same build). It is used
+			// once, so it streams instead of entering the replay cache.
+			var evalRuns []analysis.BucketStats
 			for _, spec := range workload.Suite() {
-				trainSrc, err := spec.FiniteSource(cfg.Branches) // default walk
-				if err != nil {
-					return nil, err
-				}
-				trainRes, err := sim.Run(trainSrc, predictor.Gshare64K(), core.NewStaticProfile())
-				if err != nil {
-					return nil, err
-				}
-				trainRuns = append(trainRuns, trainRes.Buckets)
-
-				evalSrc, err := spec.FiniteSourceSeeded(cfg.Branches, spec.Seed^0xE7A1_0A7E)
+				evalSrc, err := spec.FiniteSourceSeeded(s.Config().Branches, spec.Seed^0xE7A1_0A7E)
 				if err != nil {
 					return nil, err
 				}
@@ -74,11 +74,9 @@ func init() {
 		ID:    "ablation-weighted",
 		Title: "Recency-weighted ones counting (the refinement §5.1's analysis points at)",
 		Paper: "§5.1: recent CIR bits correlate better than old ones, yet ones counting weighs them equally",
-		Run: func(cfg Config) (*Output, error) {
+		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "ablation-weighted", Title: "weighted ones counting", Scalars: map[string]float64{}}
-			sr, err := suiteStats(cfg,
-				func() predictor.Predictor { return predictor.Gshare64K() },
-				func() core.Mechanism { return core.PaperOneLevel(core.IndexPCxorBHR) })
+			sr, err := s.SuiteOne(predGshare64K, mechOneLevel(core.IndexPCxorBHR))
 			if err != nil {
 				return nil, err
 			}

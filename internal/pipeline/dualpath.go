@@ -60,7 +60,10 @@ func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSigna
 	}
 	var st DualPathStats
 	stream := &instrStream{src: src}
+	// Consumed from head, appended at the tail; compacted when drained so
+	// the hot loop stays allocation-free (see Run).
 	var window []outBranch
+	head := 0
 	// forkUntil is the resolve cycle of the live fork (0 = no live fork);
 	// forkCovers reports whether the forked branch was mispredicted.
 	var forkUntil uint64
@@ -69,12 +72,15 @@ func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSigna
 	streamDone := false
 
 	for cycle := uint64(0); ; cycle++ {
-		for len(window) > 0 && window[0].resolveAt <= cycle {
-			b := window[0]
-			window = window[1:]
+		for head < len(window) && window[head].resolveAt <= cycle {
+			b := window[head]
+			head++
 			if b.mispred {
 				wrongPath = false
 			}
+		}
+		if head == len(window) {
+			window, head = window[:0], 0
 		}
 		if forkUntil != 0 && forkUntil <= cycle {
 			// Fork resolves: a covered misprediction redirects instantly
@@ -84,7 +90,7 @@ func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSigna
 			forkCovers = false
 		}
 
-		if streamDone && len(window) == 0 && forkUntil == 0 {
+		if streamDone && head == len(window) && forkUntil == 0 {
 			st.Cycles = cycle
 			return st, nil
 		}
@@ -94,15 +100,15 @@ func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSigna
 			width -= cfg.ForkWidth
 			st.ForkSlots += uint64(cfg.ForkWidth)
 		}
-		for slot := 0; slot < width; slot++ {
+		for slot := 0; slot < width; {
 			if wrongPath {
-				st.WrongPath++
-				continue
+				st.WrongPath += uint64(width - slot)
+				break
 			}
 			if streamDone {
 				break
 			}
-			isBranch, rec, ok, err := stream.next()
+			gap, isBranch, rec, ok, err := stream.nextBulk(width - slot)
 			if err != nil {
 				return st, err
 			}
@@ -110,10 +116,13 @@ func RunDualPath(src trace.Source, pred predictor.Predictor, est ConfidenceSigna
 				streamDone = true
 				break
 			}
-			st.Retired++
 			if !isBranch {
+				st.Retired += uint64(gap)
+				slot += gap
 				continue
 			}
+			st.Retired++
+			slot++
 			st.Branches++
 			confident := est.Confident(rec)
 			incorrect := pred.Predict(rec) != rec.Taken

@@ -92,32 +92,39 @@ type instrStream struct {
 	done    bool
 }
 
-// next returns the next instruction: isBranch reports whether it is the
-// stream's next conditional branch (in which case rec is its record), and
-// ok is false once the stream is exhausted.
-func (s *instrStream) next() (isBranch bool, rec trace.Record, ok bool, err error) {
+// nextBulk returns the next fetch group from the stream: either gap > 0
+// non-branch instructions (at most max of them — the remaining fetch slots
+// this cycle), or the next conditional branch (gap == 0, rec valid). ok is
+// false once the stream is exhausted. Consuming gap instructions in bulk
+// instead of one call per instruction keeps the per-cycle cost at O(fetch
+// groups), not O(instructions); the counts produced are identical.
+func (s *instrStream) nextBulk(max int) (gap int, isBranch bool, rec trace.Record, ok bool, err error) {
 	if s.done {
-		return false, trace.Record{}, false, nil
+		return 0, false, trace.Record{}, false, nil
 	}
 	if !s.loaded {
 		r, err := s.src.Next()
 		if err == io.EOF {
 			s.done = true
-			return false, trace.Record{}, false, nil
+			return 0, false, trace.Record{}, false, nil
 		}
 		if err != nil {
-			return false, trace.Record{}, false, err
+			return 0, false, trace.Record{}, false, err
 		}
 		s.cur = r
 		s.gapLeft = int(r.Gap)
 		s.loaded = true
 	}
 	if s.gapLeft > 0 {
-		s.gapLeft--
-		return false, trace.Record{}, true, nil
+		k := s.gapLeft
+		if k > max {
+			k = max
+		}
+		s.gapLeft -= k
+		return k, false, trace.Record{}, true, nil
 	}
 	s.loaded = false
-	return true, s.cur, true, nil
+	return 0, true, s.cur, true, nil
 }
 
 // Run drives the machine over src. The estimator may be nil when gating is
@@ -137,16 +144,20 @@ func Run(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg C
 	}
 	var st Stats
 	stream := &instrStream{src: src}
+	// window is consumed from head and appended at the tail; compacting once
+	// drained (instead of re-slicing) reuses its capacity, keeping the hot
+	// loop allocation-free.
 	var window []outBranch
+	head := 0
 	lowInFlight := 0
 	wrongPath := false
 	streamDone := false
 
 	for cycle := uint64(0); ; cycle++ {
 		// Resolve branches due this cycle (in fetch order).
-		for len(window) > 0 && window[0].resolveAt <= cycle {
-			b := window[0]
-			window = window[1:]
+		for head < len(window) && window[head].resolveAt <= cycle {
+			b := window[head]
+			head++
 			if b.lowConf {
 				lowInFlight--
 			}
@@ -157,8 +168,11 @@ func Run(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg C
 				wrongPath = false
 			}
 		}
+		if head == len(window) {
+			window, head = window[:0], 0
+		}
 
-		if streamDone && len(window) == 0 {
+		if streamDone && head == len(window) {
 			st.Cycles = cycle
 			return st, nil
 		}
@@ -170,16 +184,17 @@ func Run(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg C
 		}
 
 		// Fetch up to FetchWidth instructions.
-		for slot := 0; slot < cfg.FetchWidth; slot++ {
+		for slot := 0; slot < cfg.FetchWidth; {
 			if wrongPath {
-				// Fetching down the mispredicted path: pure waste.
-				st.WrongPath++
-				continue
+				// Fetching down the mispredicted path: pure waste for the
+				// rest of the group.
+				st.WrongPath += uint64(cfg.FetchWidth - slot)
+				break
 			}
 			if streamDone {
 				break
 			}
-			isBranch, rec, ok, err := stream.next()
+			gap, isBranch, rec, ok, err := stream.nextBulk(cfg.FetchWidth - slot)
 			if err != nil {
 				return st, err
 			}
@@ -187,10 +202,13 @@ func Run(src trace.Source, pred predictor.Predictor, est ConfidenceSignal, cfg C
 				streamDone = true
 				break
 			}
-			st.Retired++
 			if !isBranch {
+				st.Retired += uint64(gap)
+				slot += gap
 				continue
 			}
+			st.Retired++
+			slot++
 			st.Branches++
 			confident := true
 			if est != nil {

@@ -21,6 +21,13 @@ type Gshare struct {
 	bhr         bitvec.BHR
 	tableBits   uint
 	historyBits uint
+
+	// Index memo for the predict-then-train protocol: the index depends
+	// only on PC and history, and history advances only in Update, so the
+	// index computed by Predict is still valid for the Update that follows.
+	cachePC  uint64
+	cacheIdx uint64
+	cacheOK  bool
 }
 
 // NewGshare returns a gshare predictor with 2^tableBits counters and
@@ -44,9 +51,15 @@ func NewGshare(tableBits, historyBits uint) *Gshare {
 	return g
 }
 
-// index computes the table index for the current history and branch PC.
+// index computes the table index for the current history and branch PC,
+// memoizing it until the history next advances.
 func (g *Gshare) index(pc uint64) uint64 {
-	return bitvec.XORIndex(g.tableBits, bitvec.PCIndexBits(pc, g.tableBits), g.bhr.Bits())
+	if g.cacheOK && g.cachePC == pc {
+		return g.cacheIdx
+	}
+	i := bitvec.XORIndex(g.tableBits, bitvec.PCIndexBits(pc, g.tableBits), g.bhr.Bits())
+	g.cachePC, g.cacheIdx, g.cacheOK = pc, i, true
+	return i
 }
 
 // Predict reads the counter selected by PC xor BHR.
@@ -67,6 +80,7 @@ func (g *Gshare) Update(r trace.Record) {
 	if g.historyBits > 0 {
 		g.bhr.Record(r.Taken)
 	}
+	g.cacheOK = false
 }
 
 // Reset restores counters to weakly taken and clears the history.
@@ -79,6 +93,7 @@ func (g *Gshare) Reset() {
 		w = 1 // zero-width registers are unsupported; an unrecorded 1-bit BHR stays zero
 	}
 	g.bhr = bitvec.NewBHR(w)
+	g.cacheOK = false
 }
 
 // History exposes the current global history bits; confidence mechanisms

@@ -1,0 +1,50 @@
+package sim
+
+import "branchconf/internal/analysis"
+
+// denseBuckets bounds the dense fast path of bucketAccum. Counter values
+// (≤ CounterMax), ones counts, and CIR patterns up to 16 bits land in a
+// flat array — one indexed add per branch instead of a map probe, which
+// profiling shows dominating the simulation loop otherwise. Wider CIR
+// patterns and static branch addresses spill to the map.
+const denseBuckets = 1 << 16
+
+// bucketAccum accumulates per-bucket tallies with a dense fast path. It
+// produces exactly the integer counts BucketStats.Add would, so swapping it
+// into a simulation loop cannot perturb any artefact.
+type bucketAccum struct {
+	dense  []analysis.Tally // lazily allocated on the first small bucket
+	sparse analysis.BucketStats
+}
+
+func newBucketAccum() *bucketAccum {
+	return &bucketAccum{sparse: make(analysis.BucketStats)}
+}
+
+func (a *bucketAccum) add(bucket uint64, incorrect bool) {
+	if bucket < denseBuckets {
+		if a.dense == nil {
+			a.dense = make([]analysis.Tally, denseBuckets)
+		}
+		t := &a.dense[bucket]
+		t.Events++
+		if incorrect {
+			t.Misses++
+		}
+		return
+	}
+	a.sparse.Add(bucket, incorrect)
+}
+
+// stats folds the dense array into the sparse map and returns it. The
+// accumulator must not be used afterwards.
+func (a *bucketAccum) stats() analysis.BucketStats {
+	bs := a.sparse
+	for b := range a.dense {
+		if t := a.dense[b]; t.Events != 0 {
+			bs[uint64(b)] = &analysis.Tally{Events: t.Events, Misses: t.Misses}
+		}
+	}
+	a.dense, a.sparse = nil, nil
+	return bs
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"branchconf/internal/analysis"
 	"branchconf/internal/core"
 	"branchconf/internal/predictor"
 	"branchconf/internal/trace"
@@ -87,14 +86,17 @@ func RunWithFlush(src trace.Source, pred predictor.Predictor, mech core.Mechanis
 	if interval == 0 {
 		return Result{}, fmt.Errorf("sim: flush interval must be positive")
 	}
-	res := Result{Buckets: make(analysis.BucketStats)}
+	var res Result
+	acc := newBucketAccum()
 	sinceFlush := uint64(0)
 	for {
 		r, err := src.Next()
 		if err == io.EOF {
+			res.Buckets = acc.stats()
 			return res, nil
 		}
 		if err != nil {
+			res.Buckets = acc.stats()
 			return res, fmt.Errorf("sim: reading trace: %w", err)
 		}
 		if sinceFlush == interval {
@@ -104,7 +106,7 @@ func RunWithFlush(src trace.Source, pred predictor.Predictor, mech core.Mechanis
 			sinceFlush = 0
 		}
 		incorrect := pred.Predict(r) != r.Taken
-		res.Buckets.Add(mech.Bucket(r), incorrect)
+		acc.add(mech.Bucket(r), incorrect)
 		pred.Update(r)
 		mech.Update(r, incorrect)
 		res.Branches++
@@ -112,5 +114,63 @@ func RunWithFlush(src trace.Source, pred predictor.Predictor, mech core.Mechanis
 		if incorrect {
 			res.Misses++
 		}
+	}
+}
+
+// RunWithFlushBatch is the batched counterpart of RunWithFlush: one trace
+// walk through one predictor, applying flushes[i] to mechs[i] at every
+// interval. Flush policies touch only their mechanism — the predictor is
+// deliberately undisturbed by context switches in the §5.4 study — so each
+// mechanism observes exactly the stream its solo RunWithFlush would, and
+// the results are byte-identical to len(mechs) separate runs.
+func RunWithFlushBatch(src trace.Source, pred predictor.Predictor, mechs []core.Mechanism, interval uint64, flushes []FlushPolicy) ([]Result, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("sim: flush interval must be positive")
+	}
+	if len(mechs) != len(flushes) {
+		return nil, fmt.Errorf("sim: %d mechanisms but %d flush policies", len(mechs), len(flushes))
+	}
+	results := make([]Result, len(mechs))
+	accums := make([]*bucketAccum, len(mechs))
+	for i := range accums {
+		accums[i] = newBucketAccum()
+	}
+	finish := func() {
+		for i := range results {
+			results[i].Buckets = accums[i].stats()
+		}
+	}
+	sinceFlush := uint64(0)
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			finish()
+			return results, nil
+		}
+		if err != nil {
+			finish()
+			return results, fmt.Errorf("sim: reading trace: %w", err)
+		}
+		if sinceFlush == interval {
+			for i, f := range flushes {
+				if f.Apply != nil {
+					f.Apply(mechs[i])
+				}
+			}
+			sinceFlush = 0
+		}
+		incorrect := pred.Predict(r) != r.Taken
+		for i, m := range mechs {
+			accums[i].add(m.Bucket(r), incorrect)
+		}
+		pred.Update(r)
+		for i, m := range mechs {
+			m.Update(r, incorrect)
+			results[i].Branches++
+			if incorrect {
+				results[i].Misses++
+			}
+		}
+		sinceFlush++
 	}
 }

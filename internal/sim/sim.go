@@ -6,7 +6,6 @@ package sim
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"branchconf/internal/analysis"
 	"branchconf/internal/core"
@@ -37,17 +36,20 @@ func (r Result) MissRate() float64 {
 // protocol: predict, read the confidence bucket, resolve, then train both
 // structures with the outcome.
 func Run(src trace.Source, pred predictor.Predictor, mech core.Mechanism) (Result, error) {
-	res := Result{Buckets: make(analysis.BucketStats)}
+	var res Result
+	acc := newBucketAccum()
 	for {
 		r, err := src.Next()
 		if err == io.EOF {
+			res.Buckets = acc.stats()
 			return res, nil
 		}
 		if err != nil {
+			res.Buckets = acc.stats()
 			return res, fmt.Errorf("sim: reading trace: %w", err)
 		}
 		incorrect := pred.Predict(r) != r.Taken
-		res.Buckets.Add(mech.Bucket(r), incorrect)
+		acc.add(mech.Bucket(r), incorrect)
 		pred.Update(r)
 		mech.Update(r, incorrect)
 		res.Branches++
@@ -162,6 +164,11 @@ type SuiteConfig struct {
 	Branches uint64
 	// Specs selects the benchmarks (default: the standard suite).
 	Specs []workload.Spec
+	// Source, when non-nil, supplies the trace for each benchmark instead
+	// of spec.FiniteSource — typically a materialized-trace cache. It must
+	// produce a stream identical to the streaming walk for the same
+	// (spec, branches) and be safe for concurrent calls.
+	Source func(spec workload.Spec, branches uint64) (trace.Source, error)
 }
 
 func (c SuiteConfig) specs() []workload.Spec {
@@ -169,6 +176,13 @@ func (c SuiteConfig) specs() []workload.Spec {
 		return c.Specs
 	}
 	return workload.Suite()
+}
+
+func (c SuiteConfig) source(spec workload.Spec) (trace.Source, error) {
+	if c.Source != nil {
+		return c.Source(spec, c.Branches)
+	}
+	return spec.FiniteSource(c.Branches)
 }
 
 // SuiteResult aggregates per-benchmark results in suite order.
@@ -219,36 +233,11 @@ func (s SuiteResult) ByName(name string) (Result, error) {
 // multi-run experiments. newPred and newMech are invoked from multiple
 // goroutines and must be safe for concurrent calls (pure constructors
 // returning fresh instances are; closures over shared mutable state are
-// not).
+// not). Per-benchmark failures are aggregated with errors.Join.
 func RunSuite(cfg SuiteConfig, newPred func() predictor.Predictor, newMech func() core.Mechanism) (SuiteResult, error) {
-	specs := cfg.specs()
-	results := make([]Result, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		i, spec := i, spec
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			src, err := spec.FiniteSource(cfg.Branches)
-			if err != nil {
-				errs[i] = fmt.Errorf("sim: building %s: %w", spec.Name, err)
-				return
-			}
-			res, err := Run(src, newPred(), newMech())
-			if err != nil {
-				errs[i] = fmt.Errorf("sim: running %s: %w", spec.Name, err)
-				return
-			}
-			res.Benchmark = spec.Name
-			results[i] = res
-		}()
+	res, err := RunSuiteBatch(cfg, newPred, []func() core.Mechanism{newMech})
+	if err != nil {
+		return SuiteResult{}, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return SuiteResult{}, err
-		}
-	}
-	return SuiteResult{Runs: results}, nil
+	return res[0], nil
 }

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// randomishTrace builds a trace exercising the encoder's edge cases:
+// backward deltas, large address jumps, zero and large gaps.
+func randomishTrace(n int) Trace {
+	tr := make(Trace, 0, n)
+	pc := uint64(0x10_0000)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			pc += 16
+		case 1:
+			pc -= 64 // backward delta
+		case 2:
+			pc += 1 << 20 // routine jump
+		case 3:
+			pc = uint64(i) * 0x9E3779B97F4A7C15 // wild address
+		case 4:
+			pc += 4
+		}
+		tr = append(tr, Record{
+			PC:     pc,
+			Target: pc + uint64(int64(i%7-3))*8,
+			Taken:  i%3 != 0,
+			Gap:    uint32(i % 1000),
+		})
+	}
+	return tr
+}
+
+func TestReplayBufferRoundTrip(t *testing.T) {
+	tr := randomishTrace(5000)
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(tr) {
+		t.Fatalf("Len = %d, want %d", buf.Len(), len(tr))
+	}
+	got, err := Collect(buf.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestReplayBufferLimit(t *testing.T) {
+	tr := randomishTrace(100)
+	buf, err := Materialize(tr.Source(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", buf.Len())
+	}
+}
+
+func TestReplayBufferIndependentSources(t *testing.T) {
+	tr := randomishTrace(64)
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := buf.Source(), buf.Source()
+	// Advance a; b must still start from the beginning.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := b.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != tr[0] {
+		t.Fatalf("second source started at %+v, want %+v", r, tr[0])
+	}
+}
+
+func TestReplayBufferEOF(t *testing.T) {
+	buf, err := Materialize(Trace{}.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.Source().Next(); err != io.EOF {
+		t.Fatalf("empty buffer Next err = %v, want io.EOF", err)
+	}
+}
+
+func TestMaterializePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	src := FuncSource(func() (Record, error) {
+		calls++
+		if calls > 3 {
+			return Record{}, boom
+		}
+		return Record{PC: 0x100}, nil
+	})
+	if _, err := Materialize(src, 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestReplayBufferFootprintCompact(t *testing.T) {
+	// A realistic-looking loop trace must encode well under the 24 bytes
+	// per record of []Record.
+	tr := make(Trace, 10000)
+	for i := range tr {
+		pc := 0x40_0000 + uint64(i%50)*4
+		tr[i] = Record{PC: pc, Target: pc + 32, Taken: i%2 == 0, Gap: uint32(2 + i%9)}
+	}
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Footprint()) / float64(len(tr))
+	if perRecord > 8 {
+		t.Fatalf("%.1f bytes/record, want compact (< 8)", perRecord)
+	}
+}

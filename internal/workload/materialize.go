@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"branchconf/internal/trace"
+)
+
+// Process-wide materialized-trace cache. Every experiment over a given
+// (benchmark, seed, branch budget) consumes the identical record stream, so
+// the walk is generated once and replayed from a compact ReplayBuffer
+// thereafter. Entries are keyed by the full Spec (which embeds the
+// benchmark name and seed) plus the resolved budget; a Spec is a pure value
+// type, so equal keys guarantee byte-identical traces.
+
+type memoKey struct {
+	spec Spec
+	n    uint64
+}
+
+type memoEntry struct {
+	once sync.Once
+	buf  *trace.ReplayBuffer
+	err  error
+}
+
+var memo struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoEntry
+}
+
+// Cache observability counters (atomic: bumped on the Materialize fast
+// path).
+var memoHits, memoMisses atomic.Uint64
+
+// Materialize returns the shared replay buffer for spec's finite trace of n
+// records (DefaultBranches when n == 0), generating it on first use. It is
+// safe for concurrent use: callers racing on the same key block on a single
+// generation and share its result, including any error.
+//
+// Buffers stay cached for the life of the process (about 4-5 bytes per
+// branch; ~5 MB for a default one-million-branch benchmark). Callers
+// needing a one-shot materialization without retention should use
+// trace.Materialize directly.
+func Materialize(spec Spec, n uint64) (*trace.ReplayBuffer, error) {
+	if n == 0 {
+		n = spec.DefaultBranches
+	}
+	key := memoKey{spec: spec, n: n}
+	memo.mu.Lock()
+	e := memo.m[key]
+	if e == nil {
+		if memo.m == nil {
+			memo.m = make(map[memoKey]*memoEntry)
+		}
+		e = &memoEntry{}
+		memo.m[key] = e
+		memoMisses.Add(1)
+	} else {
+		memoHits.Add(1)
+	}
+	memo.mu.Unlock()
+	e.once.Do(func() {
+		src, err := spec.FiniteSource(n)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.buf, e.err = trace.Materialize(src, 0)
+	})
+	return e.buf, e.err
+}
+
+// MaterializeStats reports cache hits and misses since process start (or
+// the last ResetMaterializeCache).
+func MaterializeStats() (hits, misses uint64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
+// MaterializeFootprint returns the total payload bytes held by cached
+// replay buffers.
+func MaterializeFootprint() uint64 {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	var total uint64
+	for _, e := range memo.m {
+		if e.buf != nil {
+			total += e.buf.Footprint()
+		}
+	}
+	return total
+}
+
+// ResetMaterializeCache drops every cached buffer and zeroes the counters.
+// Intended for tests and long-lived processes that want to bound memory
+// between experiment batches.
+func ResetMaterializeCache() {
+	memo.mu.Lock()
+	memo.m = nil
+	memo.mu.Unlock()
+	memoHits.Store(0)
+	memoMisses.Store(0)
+}

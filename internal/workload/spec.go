@@ -7,6 +7,10 @@ import (
 	"branchconf/internal/trace"
 )
 
+// DefaultBranches is the standard per-benchmark dynamic branch budget:
+// every suite benchmark defaults to one million branches, as in the paper.
+const DefaultBranches uint64 = 1_000_000
+
 // Mix gives the relative weights of the plain-site behaviour classes when a
 // program is built. Weights need not sum to 1; they are normalised.
 type Mix struct {
