@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"branchconf/internal/sim"
 	"branchconf/internal/workload"
 )
 
@@ -37,3 +38,72 @@ func benchReport(b *testing.B, parallel int) {
 func BenchmarkPaperreproSerial(b *testing.B) { benchReport(b, 1) }
 
 func BenchmarkPaperreproParallel(b *testing.B) { benchReport(b, runtime.NumCPU()) }
+
+// figureMix is the multi-variant figure set: every experiment whose passes
+// sweep mechanism variants over the shared predictor configs.
+var figureMix = map[string]bool{
+	"fig2": true, "fig5": true, "fig6": true, "fig7": true,
+	"fig8": true, "fig9": true, "fig11": true,
+}
+
+// fullMix adds the derived tables and predictor-coupled experiments on top
+// of the figures — a whole-report shape.
+var fullMix = map[string]bool{
+	"fig2": true, "fig5": true, "fig6": true, "fig7": true,
+	"fig8": true, "table1": true, "fig9": true, "fig11": true,
+	"thresholds": true, "multilevel": true, "strength": true,
+}
+
+// benchEngines compares the two-stage annotated engine against the
+// interleaved single-pass engine on the given experiment mix. The trace
+// cache is warmed outside the timer (both engines replay materialized
+// traces); the annotated cache is reset per iteration unless warmAnnotated,
+// so the cold case measures one report run from scratch and the warm case
+// the incremental rerun (predictor evolution skipped entirely on cache
+// hits).
+func benchEngines(b *testing.B, filter map[string]bool, noAnnotate, warmAnnotated bool, parallel int) {
+	cfg := reportConfig{
+		branches:   200000,
+		filter:     filter,
+		parallel:   parallel,
+		noAnnotate: noAnnotate,
+	}
+	// Warm the trace cache so neither engine pays the synthetic walk.
+	sim.ResetAnnotatedCache()
+	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if !warmAnnotated {
+		sim.ResetAnnotatedCache()
+	}
+	b.Cleanup(sim.ResetAnnotatedCache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warmAnnotated {
+			b.StopTimer()
+			sim.ResetAnnotatedCache()
+			b.StartTimer()
+		}
+		if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnginesInterleaved(b *testing.B) { benchEngines(b, figureMix, true, false, 2) }
+
+func BenchmarkEnginesAnnotated(b *testing.B) { benchEngines(b, figureMix, false, false, 2) }
+
+// BenchmarkEnginesAnnotatedWarm reruns the figures against a warm annotated
+// cache — the incremental-variant scenario: every predictor pass is a cache
+// hit, so only mechanism replay remains.
+func BenchmarkEnginesAnnotatedWarm(b *testing.B) { benchEngines(b, figureMix, false, true, 2) }
+
+// The Full variants run the whole-report mix, adding the derived tables and
+// the predictor-coupled strength experiment.
+func BenchmarkEnginesFullInterleaved(b *testing.B) { benchEngines(b, fullMix, true, false, 2) }
+
+func BenchmarkEnginesFullAnnotated(b *testing.B) { benchEngines(b, fullMix, false, false, 2) }
+
+func BenchmarkEnginesFullAnnotatedWarm(b *testing.B) { benchEngines(b, fullMix, false, true, 2) }

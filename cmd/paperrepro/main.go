@@ -13,6 +13,7 @@
 //
 //	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations]
 //	           [-only fig5,table1] [-parallel N]
+//	           [-annotate-cache-mb 256] [-no-annotate]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -46,6 +47,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		skipAblations = fs.Bool("skip-ablations", false, "run only the paper's own artefacts")
 		only          = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 		parallel      = fs.Int("parallel", runtime.NumCPU(), "max concurrent experiments and per-benchmark simulation units")
+		annCacheMB    = fs.Uint64("annotate-cache-mb", 256, "resident bound for the annotated-stream cache in MiB (0 = unbounded)")
+		noAnnotate    = fs.Bool("no-annotate", false, "disable the two-stage annotated engine (byte-identical, for benchmarking)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -87,6 +90,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		filter:        filter,
 		progress:      *out != "",
 		parallel:      *parallel,
+		annCacheBytes: *annCacheMB << 20,
+		noAnnotate:    *noAnnotate,
 	})
 	if err != nil {
 		return err

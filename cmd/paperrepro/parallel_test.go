@@ -51,6 +51,24 @@ func TestParallelReportMatchesSerial(t *testing.T) {
 			t.Errorf("report at -parallel=%d differs from serial output", parallel)
 		}
 	}
+
+	// The annotated two-stage engine and the interleaved engine must also
+	// agree byte for byte, at any worker count.
+	renderNoAnnotate := func(parallel int) string {
+		var out, errW strings.Builder
+		c := cfg
+		c.parallel = parallel
+		c.noAnnotate = true
+		if err := writeReport(&out, &errW, c); err != nil {
+			t.Fatalf("no-annotate parallel=%d: %v", parallel, err)
+		}
+		return out.String()
+	}
+	for _, parallel := range []int{1, 2, 8} {
+		if got := renderNoAnnotate(parallel); got != serial {
+			t.Errorf("interleaved-engine report at -parallel=%d differs from annotated serial output", parallel)
+		}
+	}
 }
 
 // TestReportCacheStats checks the progress stream reports the session's
@@ -68,7 +86,8 @@ func TestReportCacheStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	progress := errW.String()
-	if !strings.Contains(progress, "pass cache:") || !strings.Contains(progress, "trace cache:") {
+	if !strings.Contains(progress, "pass cache:") || !strings.Contains(progress, "trace cache:") ||
+		!strings.Contains(progress, "annotated cache:") {
 		t.Fatalf("progress output missing cache stats:\n%s", progress)
 	}
 }

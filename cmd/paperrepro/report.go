@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -18,6 +20,8 @@ type reportConfig struct {
 	filter        map[string]bool // nil = all
 	progress      bool            // emit per-experiment progress to errW
 	parallel      int             // max concurrent experiments (<=1 = serial)
+	annCacheBytes uint64          // annotated-cache resident bound (0 = unbounded)
+	noAnnotate    bool            // force the interleaved single-pass engine
 }
 
 // writeReport runs the selected experiments against one shared session and
@@ -26,7 +30,8 @@ type reportConfig struct {
 // assembled in registration order regardless of completion order, so the
 // report bytes do not depend on the parallelism level.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
-	session := exp.NewSession(exp.Config{Branches: cfg.branches})
+	sim.SetAnnotatedCacheBound(cfg.annCacheBytes)
+	session := exp.NewSession(exp.Config{Branches: cfg.branches, NoAnnotate: cfg.noAnnotate})
 	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
@@ -65,7 +70,13 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 			for idx := range work {
 				e := selected[idx]
 				start := now()
-				o, err := e.Run(session)
+				var o *exp.Output
+				var err error
+				// Label the experiment's goroutine (and, via propagation,
+				// the simulation units it schedules) for CPU profiles.
+				pprof.Do(context.Background(), pprof.Labels("experiment", e.ID), func(context.Context) {
+					o, err = e.Run(session)
+				})
 				elapsed := now().Sub(start).Seconds()
 				results[idx] = outcome{out: o, err: err, elapsed: elapsed}
 				if cfg.progress {
@@ -101,8 +112,10 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	if cfg.progress {
 		pHits, pMisses := session.Stats()
 		tHits, tMisses := workload.MaterializeStats()
-		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident)\n",
-			pHits, pMisses, tHits, tMisses, float64(workload.MaterializeFootprint())/(1<<20))
+		aHits, aMisses, aResident := sim.AnnotatedCacheStats()
+		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident); annotated cache: %d hits, %d misses (%.1f MB resident)\n",
+			pHits, pMisses, tHits, tMisses, float64(workload.MaterializeFootprint())/(1<<20),
+			aHits, aMisses, float64(aResident)/(1<<20))
 	}
 	return nil
 }

@@ -3,7 +3,7 @@ package analysis
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -29,32 +29,89 @@ type Curve []Point
 // the cumulative percentages. Buckets with zero weighted events are
 // dropped.
 func BuildCurve(ws WeightedStats) Curve {
-	totalE, totalM := ws.Totals()
-	if totalE == 0 {
-		return nil
-	}
-	// Sort a flat (key, tally, rate) view: comparator map lookups on the
-	// 128-bit Key are the hot spot otherwise. The order is exactly the old
-	// one — same rates, same total tie-break — so curves are unchanged.
+	// Work on a flat (key, tally, rate) view: comparator map lookups on the
+	// 128-bit Key are the hot spot otherwise.
 	type entry struct {
 		key  Key
-		t    *WTally
+		t    WTally
 		rate float64
 	}
 	entries := make([]entry, 0, len(ws))
+	allRunZero := true
 	for k, t := range ws {
 		if t.Events > 0 {
-			entries = append(entries, entry{key: k, t: t, rate: t.Rate()})
+			entries = append(entries, entry{key: k, t: *t, rate: t.Rate()})
+			allRunZero = allRunZero && k.Run == 0
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].rate != entries[j].rate {
-			return entries[i].rate > entries[j].rate
+	if len(entries) == 0 {
+		return nil
+	}
+	// Totals must accumulate in canonical key order to reproduce
+	// ws.Totals() bit for bit (float addition is order-sensitive), so sort
+	// canonically and sum. The zero-event buckets excluded above each
+	// contribute exactly +0.0 to two nonnegative running sums — dropping
+	// them cannot change either total's bits. Summing the entries here
+	// saves a second map iteration and a probe per key.
+	if allRunZero {
+		// Pooled composite: Run is uniformly zero, order by bucket alone.
+		slices.SortFunc(entries, func(a, b entry) int {
+			if a.key.Bucket != b.key.Bucket {
+				if a.key.Bucket < b.key.Bucket {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+	} else {
+		slices.SortFunc(entries, func(a, b entry) int {
+			if a.key.Run != b.key.Run {
+				if a.key.Run < b.key.Run {
+					return -1
+				}
+				return 1
+			}
+			if a.key.Bucket != b.key.Bucket {
+				if a.key.Bucket < b.key.Bucket {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+	}
+	var totalE, totalM float64
+	for i := range entries {
+		totalE += entries[i].t.Events
+		totalM += entries[i].t.Misses
+	}
+	if totalE == 0 {
+		return nil
+	}
+	// Now order worst bucket first. (rate, Run, Bucket) is a unique total
+	// order, so SortFunc — no reflective swaps — yields exactly the
+	// original order and curves are unchanged.
+	slices.SortFunc(entries, func(a, b entry) int {
+		if a.rate != b.rate {
+			if a.rate > b.rate {
+				return -1
+			}
+			return 1
 		}
-		if entries[i].key.Run != entries[j].key.Run {
-			return entries[i].key.Run < entries[j].key.Run
+		if a.key.Run != b.key.Run {
+			if a.key.Run < b.key.Run {
+				return -1
+			}
+			return 1
 		}
-		return entries[i].key.Bucket < entries[j].key.Bucket
+		if a.key.Bucket != b.key.Bucket {
+			if a.key.Bucket < b.key.Bucket {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	curve := make(Curve, len(entries))
 	var cumE, cumM float64

@@ -12,7 +12,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Tally counts dynamic branches and mispredictions for one bucket.
@@ -101,23 +101,74 @@ func compositeWeight(bs BucketStats) float64 {
 	return 1 / float64(events)
 }
 
+// wtallyArena hands out WTally slots from chunked blocks, replacing one
+// heap allocation per bucket with one per chunk. Compositors over wide-CIR
+// runs create tens of thousands of buckets per call, and the per-object
+// allocations dominated their profile.
+type wtallyArena []WTally
+
+func (a *wtallyArena) get() *WTally {
+	if len(*a) == 0 {
+		*a = make([]WTally, 1024)
+	}
+	wt := &(*a)[0]
+	*a = (*a)[1:]
+	return wt
+}
+
+// pooledDenseLimit bounds CompositePooled's dense fast path: bucket spaces
+// up to 16 bits (counter values, ones counts, CIR patterns) accumulate into
+// a flat array indexed by bucket instead of probing a 128-bit-keyed map per
+// (run, bucket). Contributions to each bucket still arrive in run order, so
+// the float accumulation — and hence every downstream byte — is unchanged.
+const pooledDenseLimit = 1 << 16
+
 // CompositePooled combines runs with equal dynamic-branch weight, pooling
 // identical buckets across runs — the paper's treatment of dynamic
 // mechanisms, where a CIR pattern means the same thing in every benchmark
 // (§1.2, §4).
 func CompositePooled(runs []BucketStats) WeightedStats {
-	ws := make(WeightedStats)
+	size := 0
+	for _, bs := range runs {
+		if len(bs) > size {
+			size = len(bs)
+		}
+	}
+	ws := make(WeightedStats, size)
+	var arena wtallyArena
+	var dense []WTally // indexed by bucket for small buckets
+	maxSmall := -1
+	for _, bs := range runs {
+		for b := range bs {
+			if b < pooledDenseLimit && int(b) > maxSmall {
+				maxSmall = int(b)
+			}
+		}
+	}
+	if maxSmall >= 0 {
+		dense = make([]WTally, maxSmall+1)
+	}
 	for _, bs := range runs {
 		w := compositeWeight(bs)
 		for b, t := range bs {
+			if b < pooledDenseLimit {
+				dense[b].Events += w * float64(t.Events)
+				dense[b].Misses += w * float64(t.Misses)
+				continue
+			}
 			k := Key{Bucket: b}
 			wt := ws[k]
 			if wt == nil {
-				wt = &WTally{}
+				wt = arena.get()
 				ws[k] = wt
 			}
 			wt.Events += w * float64(t.Events)
 			wt.Misses += w * float64(t.Misses)
+		}
+	}
+	for b := range dense {
+		if dense[b].Events != 0 || dense[b].Misses != 0 {
+			ws[Key{Bucket: uint64(b)}] = &dense[b]
 		}
 	}
 	return ws
@@ -127,14 +178,20 @@ func CompositePooled(runs []BucketStats) WeightedStats {
 // run's buckets distinct — required for the static method, where bucket
 // identity is a branch address private to one benchmark (§2).
 func CompositeDistinct(runs []BucketStats) WeightedStats {
-	ws := make(WeightedStats, len(runs)*16)
+	total := 0
+	for _, bs := range runs {
+		total += len(bs)
+	}
+	ws := make(WeightedStats, total)
+	block := make([]WTally, 0, total)
 	for i, bs := range runs {
 		w := compositeWeight(bs)
 		for b, t := range bs {
-			ws[Key{Run: i, Bucket: b}] = &WTally{
+			block = append(block, WTally{
 				Events: w * float64(t.Events),
 				Misses: w * float64(t.Misses),
-			}
+			})
+			ws[Key{Run: i, Bucket: b}] = &block[len(block)-1]
 		}
 	}
 	return ws
@@ -144,8 +201,10 @@ func CompositeDistinct(runs []BucketStats) WeightedStats {
 // per-benchmark curves (Figure 9).
 func Single(bs BucketStats) WeightedStats {
 	ws := make(WeightedStats, len(bs))
+	block := make([]WTally, 0, len(bs))
 	for b, t := range bs {
-		ws[Key{Bucket: b}] = &WTally{Events: float64(t.Events), Misses: float64(t.Misses)}
+		block = append(block, WTally{Events: float64(t.Events), Misses: float64(t.Misses)})
+		ws[Key{Bucket: b}] = &block[len(block)-1]
 	}
 	return ws
 }
@@ -156,14 +215,40 @@ func Single(bs BucketStats) WeightedStats {
 // byte-reproducible across runs (Go randomises map iteration).
 func (ws WeightedStats) sortedKeys() []Key {
 	keys := make([]Key, 0, len(ws))
+	allRunZero := true
 	for k := range ws {
 		keys = append(keys, k)
+		allRunZero = allRunZero && k.Run == 0
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Run != keys[j].Run {
-			return keys[i].Run < keys[j].Run
+	// (Run, Bucket) is unique per key, so the canonical total order is the
+	// same whatever sort implements it. Pooled composites (every Run zero —
+	// the common and largest case, up to 2^16 CIR patterns) order by bucket
+	// alone, where the specialized uint64 sort beats the comparator one.
+	if allRunZero {
+		buckets := make([]uint64, len(keys))
+		for i, k := range keys {
+			buckets[i] = k.Bucket
 		}
-		return keys[i].Bucket < keys[j].Bucket
+		slices.Sort(buckets)
+		for i, b := range buckets {
+			keys[i] = Key{Bucket: b}
+		}
+		return keys
+	}
+	slices.SortFunc(keys, func(a, b Key) int {
+		if a.Run != b.Run {
+			if a.Run < b.Run {
+				return -1
+			}
+			return 1
+		}
+		if a.Bucket != b.Bucket {
+			if a.Bucket < b.Bucket {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	return keys
 }
@@ -175,12 +260,13 @@ func (ws WeightedStats) sortedKeys() []Key {
 // ones-count statistics (§5.1) without re-simulating.
 func (ws WeightedStats) MergeBuckets(fn func(uint64) uint64) WeightedStats {
 	out := make(WeightedStats)
+	var arena wtallyArena
 	for _, k := range ws.sortedKeys() {
 		t := ws[k]
 		nk := Key{Run: k.Run, Bucket: fn(k.Bucket)}
 		wt := out[nk]
 		if wt == nil {
-			wt = &WTally{}
+			wt = arena.get()
 			out[nk] = wt
 		}
 		wt.Events += t.Events

@@ -1,0 +1,72 @@
+package bitvec
+
+import "testing"
+
+func TestDenseRoundTrip(t *testing.T) {
+	for _, width := range []uint{1, 2, 3, 7, 8, 13, 32} {
+		d := NewDense(width, 10)
+		mask := (uint64(1) << width) - 1
+		const n = 1000
+		for i := 0; i < n; i++ {
+			d.Append(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+		if d.Len() != n {
+			t.Fatalf("width %d: Len = %d, want %d", width, d.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			want := uint64(i) * 0x9E3779B97F4A7C15 & mask
+			if got := d.At(i); got != want {
+				t.Fatalf("width %d: At(%d) = %#x, want %#x", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseTruncatesToWidth(t *testing.T) {
+	d := NewDense(2, 0)
+	d.Append(0xFF) // only the low 2 bits survive
+	if got := d.At(0); got != 3 {
+		t.Fatalf("At(0) = %d, want 3", got)
+	}
+}
+
+func TestDensePacking(t *testing.T) {
+	// 2-bit values: 32 per word, so 64 values must occupy exactly 2 words.
+	d := NewDense(2, 64)
+	for i := 0; i < 64; i++ {
+		d.Append(uint64(i))
+	}
+	if d.Bytes() != 16 {
+		t.Fatalf("Bytes = %d, want 16", d.Bytes())
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	d := NewDense(4, 0)
+	d.Append(1)
+	for _, i := range []int{-1, 1} {
+		i := i
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			d.At(i)
+		}()
+	}
+}
+
+func TestDenseBadWidthPanics(t *testing.T) {
+	for _, w := range []uint{0, 33} {
+		w := w
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDense(%d) did not panic", w)
+				}
+			}()
+			NewDense(w, 0)
+		}()
+	}
+}

@@ -47,6 +47,16 @@ type Mechanism interface {
 	Name() string
 }
 
+// Fused is an optional Mechanism fast path for replay loops that always
+// pair the two calls: BucketUpdate must behave exactly like Bucket(r)
+// immediately followed by Update(r, incorrect), returning Bucket's value.
+// Implementations can skip the cross-call index memo the split protocol
+// needs, saving a dynamic dispatch and an index recomputation per branch.
+type Fused interface {
+	Mechanism
+	BucketUpdate(r trace.Record, incorrect bool) uint64
+}
+
 // IndexScheme selects how a confidence table is addressed, the axis
 // explored in Section 3.1 and Figure 5.
 type IndexScheme int

@@ -133,6 +133,35 @@ func (m *CounterTable) Bucket(r trace.Record) uint64 {
 	return uint64(m.table[m.index(r.PC)])
 }
 
+// BucketUpdate implements Fused: one index computation serves both the
+// read and the train, with no memo traffic.
+func (m *CounterTable) BucketUpdate(r trace.Record, incorrect bool) uint64 {
+	i := schemeIndex(m.scheme, m.tableBits, r.PC, m.bhr.Bits(), m.gcir.Bits())
+	v := m.table[i]
+	b := uint64(v)
+	switch m.kind {
+	case Resetting:
+		if incorrect {
+			v = 0
+		} else if v < m.max {
+			v++
+		}
+	case Saturating:
+		if incorrect {
+			if v > 0 {
+				v--
+			}
+		} else if v < m.max {
+			v++
+		}
+	}
+	m.table[i] = v
+	m.bhr.Record(r.Taken)
+	m.gcir.Record(incorrect)
+	m.cacheOK = false
+	return b
+}
+
 // Update trains the indexed counter and advances the histories.
 func (m *CounterTable) Update(r trace.Record, incorrect bool) {
 	i := m.index(r.PC)

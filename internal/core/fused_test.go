@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"branchconf/internal/xrand"
+)
+
+// TestFusedMatchesSplit drives each Fused implementation and a twin
+// instance of the same configuration through an identical pseudo-random
+// branch stream, one via BucketUpdate and one via the split
+// Bucket-then-Update protocol. Every bucket must agree at every step —
+// the replay kernel relies on the fused path being observably identical.
+func TestFusedMatchesSplit(t *testing.T) {
+	builders := map[string]func() Mechanism{
+		"static":            func() Mechanism { return NewStaticProfile() },
+		"onelevel-pcxorbhr": func() Mechanism { return PaperOneLevel(IndexPCxorBHR) },
+		"onelevel-gcir": func() Mechanism {
+			return NewOneLevel(OneLevelConfig{Scheme: IndexPCxorGCIR, TableBits: 10, CIRBits: 8, Init: InitRandom, InitSeed: 7})
+		},
+		"twolevel": func() Mechanism {
+			return NewTwoLevel(TwoLevelConfig{Scheme1: IndexPCxorBHR, Scheme2: L2CIRxorPCxorBHR})
+		},
+		"resetting": func() Mechanism { return PaperResetting() },
+		"saturating": func() Mechanism {
+			return NewCounterTable(CounterConfig{Kind: Saturating, Scheme: IndexPCxorBHR, TableBits: 12})
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			split := build()
+			fused, ok := build().(Fused)
+			if !ok {
+				t.Fatalf("%s does not implement Fused", split.Name())
+			}
+			rng := xrand.New(0xF05ED)
+			for i := 0; i < 20000; i++ {
+				r := rec(0x1000+16*(rng.Uint64()%512), rng.Uint64()%3 != 0)
+				incorrect := rng.Uint64()%5 == 0
+				want := split.Bucket(r)
+				split.Update(r, incorrect)
+				if got := fused.BucketUpdate(r, incorrect); got != want {
+					t.Fatalf("step %d: BucketUpdate=%d, Bucket-then-Update=%d", i, got, want)
+				}
+			}
+		})
+	}
+}

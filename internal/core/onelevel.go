@@ -127,6 +127,18 @@ func (m *OneLevel) Bucket(r trace.Record) uint64 {
 	return m.table[m.index(r.PC)].Bits()
 }
 
+// BucketUpdate implements Fused: one index computation serves both the
+// read and the train, with no memo traffic.
+func (m *OneLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
+	i := schemeIndex(m.scheme, m.tableBits, r.PC, m.bhr.Bits(), m.gcir.Bits())
+	b := m.table[i].Bits()
+	m.table[i].Record(incorrect)
+	m.bhr.Record(r.Taken)
+	m.gcir.Record(incorrect)
+	m.cacheOK = false
+	return b
+}
+
 // Update shifts the prediction outcome into the indexed CIR and advances
 // the global history registers.
 func (m *OneLevel) Update(r trace.Record, incorrect bool) {

@@ -20,6 +20,9 @@ func NewStaticProfile() StaticProfile { return StaticProfile{} }
 // Bucket keys every prediction by its static branch address.
 func (StaticProfile) Bucket(r trace.Record) uint64 { return r.PC }
 
+// BucketUpdate implements Fused.
+func (StaticProfile) BucketUpdate(r trace.Record, _ bool) uint64 { return r.PC }
+
 // Update is a no-op: the static method has no dynamic state.
 func (StaticProfile) Update(trace.Record, bool) {}
 

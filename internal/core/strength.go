@@ -5,6 +5,22 @@ import (
 	"branchconf/internal/trace"
 )
 
+// StateCoupled is implemented by mechanisms whose confidence signal is read
+// from live predictor state rather than private tables. Such mechanisms
+// cannot share an independent-observer pass through Bucket alone; instead
+// the simulation engine captures the predictor's annotation state
+// (predictor.StateAnnotator) before each update and feeds it to
+// BucketWithState. This keeps predictor-coupled mechanisms batchable and —
+// via annotated streams — replayable with no predictor in the loop.
+type StateCoupled interface {
+	Mechanism
+	// BucketWithState returns the bucket for this branch given the
+	// pre-update predictor state captured by the annotation hook. It must
+	// agree with Bucket whenever the mechanism also holds a live reference
+	// to the predictor that produced the state.
+	BucketWithState(r trace.Record, state uint8) uint64
+}
+
 // CounterStrength is the zero-cost confidence heuristic from the paper's
 // related work (§1.1, citing Smith '81): read confidence straight from the
 // saturation of the predictor's own 2-bit counter — strong states
@@ -15,6 +31,11 @@ import (
 // The bucket is the counter's distance from its nearest rail: 0 for weak
 // states (counter 1 or 2), 1 for strong states (0 or 3), so per-bucket
 // analysis and the CounterReducer threshold (>= 1) work unchanged.
+//
+// CounterStrength implements StateCoupled: under the batched and annotated
+// engines the counter value is captured by the predictor's annotation hook
+// and delivered through BucketWithState, so the mechanism needs no live
+// predictor reference at all (NewAnnotatedStrength).
 type CounterStrength struct {
 	pred *predictor.Gshare
 }
@@ -27,15 +48,36 @@ func NewCounterStrength(pred *predictor.Gshare) *CounterStrength {
 	return &CounterStrength{pred: pred}
 }
 
-// Bucket returns 1 when the counter the prediction will come from is in a
-// strong state, 0 when weak.
-func (c *CounterStrength) Bucket(r trace.Record) uint64 {
-	switch c.pred.CounterState(r.PC) {
+// NewAnnotatedStrength returns a counter-strength mechanism with no live
+// predictor reference, usable only through BucketWithState — i.e. under
+// sim.RunBatch with a state-annotating predictor, or annotated replay.
+func NewAnnotatedStrength() *CounterStrength {
+	return &CounterStrength{}
+}
+
+// strengthBucket maps a 2-bit counter value to the strength bucket.
+func strengthBucket(state uint8) uint64 {
+	switch state {
 	case 0, 3:
 		return 1
 	default:
 		return 0
 	}
+}
+
+// Bucket returns 1 when the counter the prediction will come from is in a
+// strong state, 0 when weak. It requires a live predictor reference; the
+// annotated form answers only through BucketWithState.
+func (c *CounterStrength) Bucket(r trace.Record) uint64 {
+	if c.pred == nil {
+		panic("core: annotated CounterStrength has no live predictor; run it under the batched or annotated engine")
+	}
+	return strengthBucket(c.pred.CounterState(r.PC))
+}
+
+// BucketWithState implements StateCoupled from the captured counter value.
+func (c *CounterStrength) BucketWithState(_ trace.Record, state uint8) uint64 {
+	return strengthBucket(state)
 }
 
 // Update is a no-op: the signal lives entirely in the predictor's tables.

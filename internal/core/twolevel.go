@@ -174,6 +174,21 @@ func (m *TwoLevel) Bucket(r trace.Record) uint64 {
 	return m.t2[i2].Bits()
 }
 
+// BucketUpdate implements Fused: both indices are computed once, the
+// second-level index from the first-level CIR before either level trains,
+// exactly as the split Bucket/Update pair would.
+func (m *TwoLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
+	i1 := m.index1(r.PC)
+	i2 := m.index2(r.PC, m.t1[i1].Bits())
+	b := m.t2[i2].Bits()
+	m.t1[i1].Record(incorrect)
+	m.t2[i2].Record(incorrect)
+	m.bhr.Record(r.Taken)
+	m.gcir.Record(incorrect)
+	m.cacheOK = false
+	return b
+}
+
 // Update shifts the outcome into both levels and advances the histories.
 // The second-level index is computed from the first-level CIR before it is
 // updated, consistent with Bucket.

@@ -18,8 +18,12 @@ import (
 //
 //   - replays benchmarks from the process-wide materialized-trace cache
 //     (workload.Materialize) instead of regenerating the synthetic walk,
-//   - batches the requested mechanisms into one predictor pass per
-//     benchmark (sim.RunBatch), and
+//   - routes suite passes through the two-stage annotated engine
+//     (sim.RunSuiteAnnotated): the predictor walks each benchmark once per
+//     predictor config — memoized process-wide as a compact annotated
+//     stream — and mechanisms train by replaying the stream with no
+//     predictor in the loop (Config.NoAnnotate falls back to the
+//     interleaved sim.RunSuiteBatch engine), and
 //   - memoizes every (predictor, mechanism) suite pass, so experiments
 //     sharing a configuration — concurrent or sequential — reuse results
 //     instead of resimulating.
@@ -103,7 +107,9 @@ func (s *Session) Source(spec workload.Spec) (trace.Source, error) {
 }
 
 // suiteConfig is the session's whole-suite run configuration: the
-// session budget with benchmarks fed from the materialized-trace cache.
+// session budget with benchmarks fed from the materialized-trace cache,
+// for both the interleaved engine (Source) and the annotated two-stage
+// engine (Buffer).
 func (s *Session) suiteConfig() sim.SuiteConfig {
 	return sim.SuiteConfig{
 		Branches: s.cfg.Branches,
@@ -114,7 +120,18 @@ func (s *Session) suiteConfig() sim.SuiteConfig {
 			}
 			return buf.Source(), nil
 		},
+		Buffer: workload.Materialize,
 	}
+}
+
+// runSuite dispatches a suite pass to the configured engine: the annotated
+// two-stage engine by default, the interleaved single-pass engine under
+// Config.NoAnnotate. Both produce byte-identical results.
+func (s *Session) runSuite(pred PredSpec, newMechs []func() core.Mechanism) ([]sim.SuiteResult, error) {
+	if s.cfg.NoAnnotate {
+		return sim.RunSuiteBatch(s.suiteConfig(), pred.New, newMechs)
+	}
+	return sim.RunSuiteAnnotated(s.suiteConfig(), pred.Key, pred.New, newMechs)
 }
 
 // Suite returns one whole-suite result per mechanism, all simulated under
@@ -149,7 +166,7 @@ func (s *Session) Suite(pred PredSpec, mechs ...MechSpec) ([]sim.SuiteResult, er
 		for j, i := range missing {
 			newMechs[j] = mechs[i].New
 		}
-		res, err := sim.RunSuiteBatch(s.suiteConfig(), pred.New, newMechs)
+		res, err := s.runSuite(pred, newMechs)
 		for j, i := range missing {
 			e := entries[i]
 			if err != nil {
@@ -194,6 +211,11 @@ var (
 
 	mechStatic    = Mech(func() core.Mechanism { return core.NewStaticProfile() })
 	mechResetting = Mech(func() core.Mechanism { return core.PaperResetting() })
+
+	// mechStrength is the predictor-coupled counter-strength mechanism in
+	// its annotated form: it reads the captured pre-update counter state,
+	// so it batches into shared passes like any independent mechanism.
+	mechStrength = Mech(func() core.Mechanism { return core.NewAnnotatedStrength() })
 )
 
 // mechOneLevel is the paper one-level CIR mechanism for a given index

@@ -17,6 +17,11 @@ type Config struct {
 	// Branches is the per-benchmark dynamic branch budget; 0 uses each
 	// benchmark's default (1M).
 	Branches uint64
+	// NoAnnotate disables the two-stage annotated engine and runs every
+	// suite pass through the interleaved single-pass engine instead.
+	// Results are byte-identical either way; the switch exists for
+	// benchmarking the engines against each other and as an escape hatch.
+	NoAnnotate bool
 }
 
 // Output is an experiment's regenerated artefact.

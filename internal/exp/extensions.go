@@ -93,26 +93,16 @@ func registerExtensions() {
 		Run: func(s *Session) (*Output, error) {
 			o := &Output{ID: "strength", Title: "counter-strength baseline", Scalars: map[string]float64{}}
 			// Strength mechanism (2 buckets) per benchmark, pooled. The
-			// mechanism reads the live predictor's counters, so it cannot
-			// share a pass with independent mechanisms; it streams its own
-			// replay of the cached traces.
-			var strengthRuns []analysis.BucketStats
-			for _, spec := range workload.Suite() {
-				src, err := s.Source(spec)
-				if err != nil {
-					return nil, err
-				}
-				pred := predictor.Gshare64K().(*predictor.Gshare)
-				res, err := sim.Run(src, pred, core.NewCounterStrength(pred))
-				if err != nil {
-					return nil, err
-				}
-				strengthRuns = append(strengthRuns, res.Buckets)
-			}
-			resetSR, err := s.SuiteOne(predGshare64K, mechResetting)
+			// mechanism reads the predictor's own counters, but in its
+			// annotated form that read comes from the captured pre-update
+			// state lane, so it shares a session pass with the resetting
+			// table like any independent mechanism.
+			srs, err := s.Suite(predGshare64K, mechStrength, mechResetting)
 			if err != nil {
 				return nil, err
 			}
+			strengthRuns := srs[0].Stats()
+			resetSR := srs[1]
 			strength := analysis.BuildCurve(analysis.CompositePooled(strengthRuns))
 			reset := analysis.BuildCurve(analysis.CompositePooled(resetSR.Stats()))
 			// The strength method has one natural operating point: its

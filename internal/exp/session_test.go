@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
+)
+
+// TestSessionConcurrentClaimants exercises the pass cache's claim-then-run
+// path under contention: many goroutines request the same (predictor,
+// mechanism) pass simultaneously; exactly one must simulate it (counted via
+// the constructors) while the rest block on the entry and share the result.
+// Run under -race in CI.
+func TestSessionConcurrentClaimants(t *testing.T) {
+	sim.ResetAnnotatedCache()
+	defer sim.ResetAnnotatedCache()
+	defer workload.ResetMaterializeCache()
+
+	var predBuilds, mechBuilds atomic.Int64
+	pred := PredSpec{Key: "gshare-64K", New: func() predictor.Predictor {
+		predBuilds.Add(1)
+		return predictor.Gshare64K()
+	}}
+	mech := MechSpec{Key: "resetting", New: func() core.Mechanism {
+		mechBuilds.Add(1)
+		return core.PaperResetting()
+	}}
+
+	s := NewSession(Config{Branches: 3456})
+	const claimants = 8
+	results := make([]sim.SuiteResult, claimants)
+	errs := make([]error, claimants)
+	var wg sync.WaitGroup
+	for g := 0; g < claimants; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g], errs[g] = s.SuiteOne(pred, mech)
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("claimant %d: %v", g, err)
+		}
+	}
+	for g := 1; g < claimants; g++ {
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("claimant %d got a different result", g)
+		}
+	}
+
+	// One pass over the suite, regardless of how many claimants raced: the
+	// mechanism is constructed once (its instance is Reset and reused
+	// across benchmarks), the predictor once per benchmark (one annotation
+	// walk each).
+	n := int64(len(workload.Suite()))
+	if got := mechBuilds.Load(); got != 1 {
+		t.Errorf("mechanism constructor ran %d times, want 1 (reset-and-reuse across benchmarks)", got)
+	}
+	if got := predBuilds.Load(); got != n {
+		t.Errorf("predictor constructor ran %d times, want %d (one annotate per benchmark)", got, n)
+	}
+	hits, misses := s.Stats()
+	if misses != 1 {
+		t.Errorf("pass-cache misses = %d, want exactly 1", misses)
+	}
+	if hits != claimants-1 {
+		t.Errorf("pass-cache hits = %d, want %d", hits, claimants-1)
+	}
+}
+
+// TestAnnotatedMatchesInterleavedArtefacts pins the engine switch: a report
+// artefact produced through the annotated two-stage engine must be
+// byte-identical to the interleaved single-pass engine's output for the
+// same configuration.
+func TestAnnotatedMatchesInterleavedArtefacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a registry slice twice")
+	}
+	sim.ResetAnnotatedCache()
+	defer sim.ResetAnnotatedCache()
+	defer workload.ResetMaterializeCache()
+
+	// baseline matters here: it sweeps every registered predictor,
+	// including the target-reading BTFN and agree predictors.
+	ids := []string{"fig2", "fig5", "table1", "strength", "thresholds", "baseline"}
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(cfg Config) []byte {
+			o, err := e.RunOnce(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			return artefactBytes(t, o)
+		}
+		annotated := run(Config{Branches: 30000})
+		interleaved := run(Config{Branches: 30000, NoAnnotate: true})
+		if !bytes.Equal(annotated, interleaved) {
+			t.Errorf("%s: annotated-engine artefact differs from interleaved engine", id)
+		}
+	}
+	if hits, misses, _ := sim.AnnotatedCacheStats(); hits == 0 && misses == 0 {
+		t.Error("annotated engine did not touch the annotated cache")
+	}
+}

@@ -108,6 +108,15 @@ func (g *Gshare) CounterState(pc uint64) uint8 {
 	return g.table[g.index(pc)].Value()
 }
 
+// AnnotationState implements StateAnnotator: the pre-update 2-bit counter
+// value the prediction for this branch reads, the state counter-strength
+// confidence estimation consumes.
+func (g *Gshare) AnnotationState(r trace.Record) uint8 { return g.CounterState(r.PC) }
+
+// AnnotationBits implements StateAnnotator: gshare annotations are the
+// 2-bit counter value.
+func (g *Gshare) AnnotationBits() uint { return 2 }
+
 // TableBits returns log2 of the table size.
 func (g *Gshare) TableBits() uint { return g.tableBits }
 

@@ -37,6 +37,26 @@ type Predictor interface {
 	Name() string
 }
 
+// StateAnnotator is the annotation capture hook on a predictor: it exposes
+// the few bits of pre-update predictor state that predictor-coupled
+// confidence mechanisms read for a branch (for gshare, the 2-bit value of
+// the counter the prediction comes from).
+//
+// The two-stage simulation engine (internal/sim) records these bits next
+// to the mispredict bit while walking the predictor, so mechanisms like
+// core.CounterStrength can later replay the stream with no predictor in
+// the loop. AnnotationState must be called before Update for the same
+// record, mirroring the Predict-then-Update contract, and must not perturb
+// predictor state.
+type StateAnnotator interface {
+	Predictor
+	// AnnotationState returns the pre-update state bits for this branch.
+	AnnotationState(r trace.Record) uint8
+	// AnnotationBits returns how many low bits of AnnotationState are
+	// meaningful — the packed width of the recorded state lane.
+	AnnotationBits() uint
+}
+
 // Gshare64K returns the paper's main predictor: 2^16 two-bit counters,
 // 16 bits of global history XORed with PC bits 17..2 (§1.2).
 func Gshare64K() Predictor { return NewGshare(16, 16) }

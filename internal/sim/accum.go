@@ -1,6 +1,10 @@
 package sim
 
-import "branchconf/internal/analysis"
+import (
+	"sync"
+
+	"branchconf/internal/analysis"
+)
 
 // denseBuckets bounds the dense fast path of bucketAccum. Counter values
 // (≤ CounterMax), ones counts, and CIR patterns up to 16 bits land in a
@@ -21,10 +25,18 @@ func newBucketAccum() *bucketAccum {
 	return &bucketAccum{sparse: make(analysis.BucketStats)}
 }
 
+// densePool recycles the 1 MiB dense arrays between passes. A report run
+// makes hundreds of passes; without the pool each one allocates and zeroes
+// its own array, and the churn shows up as both GC time and memclr. Arrays
+// are re-zeroed (only at occupied slots) before being returned to the pool.
+var densePool = sync.Pool{
+	New: func() any { return make([]analysis.Tally, denseBuckets) },
+}
+
 func (a *bucketAccum) add(bucket uint64, incorrect bool) {
 	if bucket < denseBuckets {
 		if a.dense == nil {
-			a.dense = make([]analysis.Tally, denseBuckets)
+			a.dense = densePool.Get().([]analysis.Tally)
 		}
 		t := &a.dense[bucket]
 		t.Events++
@@ -37,13 +49,29 @@ func (a *bucketAccum) add(bucket uint64, incorrect bool) {
 }
 
 // stats folds the dense array into the sparse map and returns it. The
-// accumulator must not be used afterwards.
+// accumulator must not be used afterwards. Occupied dense buckets share one
+// backing block instead of one heap object each; a wide CIR accumulator has
+// tens of thousands of them per (benchmark, mechanism) pass.
 func (a *bucketAccum) stats() analysis.BucketStats {
 	bs := a.sparse
+	occupied := 0
 	for b := range a.dense {
-		if t := a.dense[b]; t.Events != 0 {
-			bs[uint64(b)] = &analysis.Tally{Events: t.Events, Misses: t.Misses}
+		if a.dense[b].Events != 0 {
+			occupied++
 		}
+	}
+	if occupied > 0 {
+		block := make([]analysis.Tally, 0, occupied)
+		for b := range a.dense {
+			if t := a.dense[b]; t.Events != 0 {
+				block = append(block, t)
+				bs[uint64(b)] = &block[len(block)-1]
+				a.dense[b] = analysis.Tally{}
+			}
+		}
+	}
+	if a.dense != nil {
+		densePool.Put(a.dense)
 	}
 	a.dense, a.sparse = nil, nil
 	return bs

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+
+	"branchconf/internal/bitvec"
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// Two-stage simulation: the predictor stage walks a materialized trace
+// through the predictor exactly once per (benchmark, predictor-config) and
+// records everything mechanisms can observe — the mispredict bit and the
+// few bits of pre-update predictor state that predictor-coupled mechanisms
+// read — into a compact AnnotatedStream. The mechanism stage then replays
+// that stream into any number of confidence mechanisms with no predictor in
+// the loop: no counter-table lookups, no history shifts, no varint decode
+// (records come from a decoded trace.FlatView), just bucket-and-train per
+// mechanism.
+//
+// The split is exact because mechanisms are passive observers: every
+// Mechanism reads only the record and the mispredict outcome, and the only
+// predictor-coupled mechanism protocol (core.StateCoupled) reads state the
+// annotation lane captured before the predictor trained — precisely what a
+// live interleaved pass would have seen. Replay is therefore byte-identical
+// to Run/RunBatch under any chunking or parallelism.
+
+// AnnotatedStream is the predictor stage's output for one (benchmark,
+// predictor-config) pair: one mispredict bit per branch, plus an optional
+// packed lane of pre-update predictor state for StateCoupled mechanisms.
+// At 2 state bits (gshare) the stream costs 3/8 byte per branch — small
+// enough to memoize per predictor config (see SetAnnotatedCacheBound).
+//
+// A fully built stream is immutable and safe for concurrent replays.
+type AnnotatedStream struct {
+	miss   bitvec.Vector // mispredict bit per branch
+	state  *bitvec.Dense // pre-update predictor state lane; nil if the predictor exposes none
+	n      int
+	misses uint64
+}
+
+// Len returns the number of annotated branches.
+func (a *AnnotatedStream) Len() int { return a.n }
+
+// Misses returns the total mispredictions in the stream.
+func (a *AnnotatedStream) Misses() uint64 { return a.misses }
+
+// HasState reports whether the stream carries a predictor-state lane.
+func (a *AnnotatedStream) HasState() bool { return a.state != nil }
+
+// Footprint returns the stream's payload bytes (mispredict bits plus the
+// state lane).
+func (a *AnnotatedStream) Footprint() uint64 {
+	b := a.miss.Bytes()
+	if a.state != nil {
+		b += a.state.Bytes()
+	}
+	return b
+}
+
+// Annotate runs the predictor stage: it replays flat through pred once,
+// recording the mispredict bit per branch and, when pred implements
+// predictor.StateAnnotator, the pre-update state lane. pred is consumed
+// (trained) by the walk and must be fresh. The flat view hands out
+// complete decoded records — predictors like BTFN and agree read the
+// branch target, not just PC and direction — with no varint work.
+func Annotate(flat *trace.FlatView, pred predictor.Predictor) *AnnotatedStream {
+	a := &AnnotatedStream{}
+	annPred, _ := pred.(predictor.StateAnnotator)
+	if annPred != nil {
+		a.state = bitvec.NewDense(annPred.AnnotationBits(), flat.Len())
+	}
+	n := flat.Len()
+	for i := 0; i < n; i++ {
+		r := flat.Record(i)
+		incorrect := pred.Predict(r) != r.Taken
+		if annPred != nil {
+			a.state.Append(uint64(annPred.AnnotationState(r)))
+		}
+		pred.Update(r)
+		a.miss.Append(incorrect)
+		a.n++
+		if incorrect {
+			a.misses++
+		}
+	}
+	return a
+}
+
+// ReplayAnnotated runs the mechanism stage serially: it feeds every branch
+// of the annotated stream to each mechanism and returns per-mechanism
+// results index-aligned with mechs, byte-identical to RunBatch over the
+// original trace with the predictor that produced the stream. It fails if a
+// mechanism requires predictor state (core.StateCoupled) the stream does
+// not carry.
+func ReplayAnnotated(flat *trace.FlatView, ann *AnnotatedStream, mechs []core.Mechanism) ([]Result, error) {
+	if flat.Len() != ann.Len() {
+		return nil, fmt.Errorf("sim: flat view has %d branches, annotated stream %d", flat.Len(), ann.Len())
+	}
+	for _, m := range mechs {
+		if _, sc := m.(core.StateCoupled); sc && !ann.HasState() {
+			return nil, fmt.Errorf("sim: mechanism %s needs predictor state but the annotated stream carries none", m.Name())
+		}
+	}
+	accums := make([]*bucketAccum, len(mechs))
+	for i := range accums {
+		accums[i] = newBucketAccum()
+	}
+	replayAnnotated(flat, ann, mechs, accums)
+	results := make([]Result, len(mechs))
+	for i := range results {
+		results[i] = Result{
+			Branches: uint64(ann.n),
+			Misses:   ann.misses,
+			Buckets:  accums[i].stats(),
+		}
+	}
+	return results, nil
+}
+
+// replayAnnotated is the mechanism-stage kernel. Unlike the interleaved
+// engine — which must keep mechanisms in the inner loop because the
+// predictor walks the trace once — replay has no shared state across
+// mechanisms, so the loop nests mechanism-outer: each mechanism streams the
+// flat PC lane and the packed outcome/mispredict words sequentially with its
+// accumulator, coupled-dispatch decision, and devirtualization target all
+// loop-invariant. Each mechanism still observes every branch in trace order,
+// so results are byte-identical to the interleaved nesting. Mechanisms
+// receive the complete decoded record, exactly as RunBatch feeds them.
+func replayAnnotated(flat *trace.FlatView, ann *AnnotatedStream, mechs []core.Mechanism, accums []*bucketAccum) {
+	n := flat.Len()
+	for j, m := range mechs {
+		acc := accums[j]
+		var sc core.StateCoupled
+		if ann.state != nil {
+			sc, _ = m.(core.StateCoupled)
+		}
+		fm, fused := m.(core.Fused)
+		var missWd uint64
+		for i := 0; i < n; i++ {
+			sh := uint(i) & 63
+			if sh == 0 {
+				missWd = ann.miss.Word(i >> 6)
+			}
+			r := flat.Record(i)
+			incorrect := missWd>>sh&1 == 1
+			switch {
+			case sc != nil:
+				acc.add(sc.BucketWithState(r, uint8(ann.state.At(i))), incorrect)
+				m.Update(r, incorrect)
+			case fused:
+				acc.add(fm.BucketUpdate(r, incorrect), incorrect)
+			default:
+				acc.add(m.Bucket(r), incorrect)
+				m.Update(r, incorrect)
+			}
+		}
+	}
+}
+
+// RunSuiteAnnotated is the two-stage form of RunSuiteBatch: per benchmark it
+// obtains the (flat view, annotated stream) pair from the process-wide
+// annotated cache — walking the predictor only on a cache miss — and then
+// trains every mechanism by replaying the stream. The fan-out is
+// mechanism-major: mechanisms are partitioned into up to parallelism
+// chunks, and each chunk builds its mechanism instances once and walks
+// every benchmark sequentially, resetting them between benchmarks. That
+// reuse matters — CIR-table mechanisms carry megabyte tables, and building
+// them per (benchmark, mechanism) dominated the engine's allocation
+// profile. Reset restores exactly the constructed state, and the replayed
+// streams are immutable, so results are index-aligned with newMechs and
+// byte-identical to RunSuiteBatch (and hence to per-mechanism RunSuite
+// calls) for the same configuration.
+//
+// predKey must uniquely identify the predictor configuration built by
+// newPred; it keys the annotated cache. An empty predKey disables caching
+// and falls back to the interleaved single-pass engine. Benchmarks whose
+// mechanisms need predictor state the predictor cannot annotate also fall
+// back, per benchmark, to the interleaved engine.
+func RunSuiteAnnotated(cfg SuiteConfig, predKey string, newPred func() predictor.Predictor, newMechs []func() core.Mechanism) ([]SuiteResult, error) {
+	if predKey == "" {
+		return RunSuiteBatch(cfg, newPred, newMechs)
+	}
+	specs := cfg.specs()
+	perSpec := make([][]Result, len(specs))
+	for i := range perSpec {
+		perSpec[i] = make([]Result, len(newMechs))
+	}
+	chunks := chunkIndices(len(newMechs), currentParallelism())
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for c, chunk := range chunks {
+		c, chunk := c, chunk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := acquireSlot()
+			defer release()
+			errs[c] = runMechChunk(cfg, specs, predKey, newPred, newMechs, chunk, perSpec)
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	out := make([]SuiteResult, len(newMechs))
+	for j := range newMechs {
+		runs := make([]Result, len(specs))
+		for i := range specs {
+			runs[i] = perSpec[i][j]
+		}
+		out[j] = SuiteResult{Runs: runs}
+	}
+	return out, nil
+}
+
+// runMechChunk replays every benchmark through one chunk of mechanisms,
+// writing results into perSpec[spec][mech]. The chunk's mechanism instances
+// are built once and Reset between benchmarks. Stage labels "annotate" and
+// "replay" mark the work for CPU profiles; the first chunk to claim a
+// benchmark's cache entry pays the annotation walk, later chunks wait on
+// the entry and go straight to replay.
+func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPred func() predictor.Predictor, newMechs []func() core.Mechanism, chunk []int, perSpec [][]Result) error {
+	mechs := make([]core.Mechanism, len(chunk))
+	for k, j := range chunk {
+		mechs[k] = newMechs[j]()
+	}
+	accums := make([]*bucketAccum, len(chunk))
+	for i, spec := range specs {
+		var flat *trace.FlatView
+		var ann *AnnotatedStream
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "annotate"), func(context.Context) {
+			flat, ann, err = annotatedFor(cfg, spec, predKey, newPred)
+		})
+		if err != nil {
+			return fmt.Errorf("sim: annotating %s: %w", spec.Name, err)
+		}
+
+		for _, m := range mechs {
+			m.Reset()
+		}
+		if !ann.HasState() {
+			needsState := false
+			for _, m := range mechs {
+				if _, sc := m.(core.StateCoupled); sc {
+					needsState = true
+					break
+				}
+			}
+			if needsState {
+				// The predictor cannot annotate the state a mechanism in
+				// this chunk reads; run this benchmark interleaved instead.
+				rs, err := runInterleavedUnit(cfg, spec, newPred, mechs)
+				if err != nil {
+					return err
+				}
+				for k, j := range chunk {
+					perSpec[i][j] = rs[k]
+				}
+				continue
+			}
+		}
+
+		for k := range accums {
+			accums[k] = newBucketAccum()
+		}
+		pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "replay"), func(context.Context) {
+			replayAnnotated(flat, ann, mechs, accums)
+		})
+		for k, j := range chunk {
+			perSpec[i][j] = Result{
+				Benchmark: spec.Name,
+				Branches:  uint64(ann.n),
+				Misses:    ann.misses,
+				Buckets:   accums[k].stats(),
+			}
+		}
+	}
+	return nil
+}
+
+// chunkIndices partitions [0,n) into at most k contiguous chunks of
+// near-equal size; chunk 0 is never empty for n > 0.
+func chunkIndices(n, k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return [][]int{{}}
+	}
+	chunks := make([][]int, k)
+	for c := 0; c < k; c++ {
+		lo, hi := c*n/k, (c+1)*n/k
+		idx := make([]int, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			idx = append(idx, j)
+		}
+		chunks[c] = idx
+	}
+	return chunks
+}
+
+// runInterleavedUnit is the per-benchmark fallback to the single-pass
+// interleaved engine, for mechanisms the annotated stream cannot serve.
+func runInterleavedUnit(cfg SuiteConfig, spec workload.Spec, newPred func() predictor.Predictor, mechs []core.Mechanism) ([]Result, error) {
+	src, err := cfg.source(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building %s: %w", spec.Name, err)
+	}
+	rs, err := RunBatch(src, newPred(), mechs)
+	if err != nil {
+		return nil, fmt.Errorf("sim: running %s: %w", spec.Name, err)
+	}
+	for j := range rs {
+		rs[j].Benchmark = spec.Name
+	}
+	return rs, nil
+}

@@ -31,6 +31,22 @@ func RunBatch(src trace.Source, pred predictor.Predictor, mechs []core.Mechanism
 	for i := range accums {
 		accums[i] = newBucketAccum()
 	}
+	// Predictor-coupled mechanisms (core.StateCoupled) are fed the captured
+	// pre-update annotation state instead of reading the predictor live.
+	// For a live-coupled mechanism the two are the same value by the
+	// StateAnnotator contract; for an annotated mechanism with no predictor
+	// reference this is the only way to answer.
+	annPred, _ := pred.(predictor.StateAnnotator)
+	coupled := make([]core.StateCoupled, len(mechs))
+	anyCoupled := false
+	if annPred != nil {
+		for i, m := range mechs {
+			if sc, ok := m.(core.StateCoupled); ok {
+				coupled[i] = sc
+				anyCoupled = true
+			}
+		}
+	}
 	finish := func() {
 		for i := range results {
 			results[i].Buckets = accums[i].stats()
@@ -47,11 +63,19 @@ func RunBatch(src trace.Source, pred predictor.Predictor, mechs []core.Mechanism
 			return results, fmt.Errorf("sim: reading trace: %w", err)
 		}
 		incorrect := pred.Predict(r) != r.Taken
+		var st uint8
+		if anyCoupled {
+			st = annPred.AnnotationState(r)
+		}
 		// Buckets are read before the predictor trains, exactly as in Run,
 		// so predictor-coupled mechanisms (e.g. counter strength) see the
 		// same pre-update state.
 		for i, m := range mechs {
-			accums[i].add(m.Bucket(r), incorrect)
+			if coupled[i] != nil {
+				accums[i].add(coupled[i].BucketWithState(r, st), incorrect)
+			} else {
+				accums[i].add(m.Bucket(r), incorrect)
+			}
 		}
 		pred.Update(r)
 		for i, m := range mechs {
@@ -77,24 +101,45 @@ var (
 // running at once across every RunSuite/RunSuiteBatch call. n < 1 resets to
 // runtime.NumCPU(). Parallelism never affects results — each unit owns its
 // source, predictor and mechanisms — only wall-clock time.
+//
+// Resizing is safe mid-suite: the channel is rebuilt eagerly under the lock,
+// so units acquired before the resize release into the channel they drew
+// from (each acquire closes over its channel) while new acquisitions see the
+// new width immediately. Momentarily the two pools coexist, so in-flight
+// work may briefly exceed the smaller of the two bounds — never the sum
+// growing unboundedly — and the race detector sees only channel operations.
 func SetParallelism(n int) {
 	if n < 1 {
 		n = runtime.NumCPU()
 	}
 	parallelismMu.Lock()
 	parallelism = n
-	simSlots = nil // rebuilt lazily at the new width
+	simSlots = make(chan struct{}, n)
 	parallelismMu.Unlock()
 }
 
-// acquireSlot blocks until a simulation slot is free.
-func acquireSlot() func() {
+// slotChan returns the current slot channel, building it on first use.
+func slotChan() chan struct{} {
 	parallelismMu.Lock()
 	if simSlots == nil {
 		simSlots = make(chan struct{}, parallelism)
 	}
 	slots := simSlots
 	parallelismMu.Unlock()
+	return slots
+}
+
+// currentParallelism reports the configured bound, for schedulers sizing
+// their fan-out.
+func currentParallelism() int {
+	parallelismMu.Lock()
+	defer parallelismMu.Unlock()
+	return parallelism
+}
+
+// acquireSlot blocks until a simulation slot is free.
+func acquireSlot() func() {
+	slots := slotChan()
 	slots <- struct{}{}
 	return func() { <-slots }
 }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"branchconf/internal/core"
+	"branchconf/internal/predictor"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// Stage-kernel benchmarks for the two-stage engine, per pass over a 100k-
+// branch materialized trace. The interesting comparison is
+// RunBatchInterleaved (what every mechanism-variant pass cost under the
+// single-stage engine: varint decode + predictor walk + mechanism) against
+// AnnotateStage once plus ReplayStage per variant (flat fetch + mechanism).
+
+const benchBranches = 100_000
+
+func benchBuffer(b *testing.B) *trace.ReplayBuffer {
+	b.Helper()
+	spec, err := workload.ByName("groff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := spec.FiniteSource(benchBranches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := trace.Materialize(src, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf
+}
+
+func BenchmarkRunBatchInterleaved(b *testing.B) {
+	buf := benchBuffer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(buf.Source(), predictor.Gshare64K(), []core.Mechanism{core.PaperResetting()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnnotateStage(b *testing.B) {
+	flat := benchBuffer(b).Flatten()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Annotate(flat, predictor.Gshare64K())
+	}
+}
+
+func BenchmarkFlattenStage(b *testing.B) {
+	buf := benchBuffer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Flatten()
+	}
+}
+
+func BenchmarkReplayStage(b *testing.B) {
+	flat := benchBuffer(b).Flatten()
+	ann := Annotate(flat, predictor.Gshare64K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayAnnotated(flat, ann, []core.Mechanism{core.PaperResetting()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayStageCoupled replays the predictor-coupled strength
+// mechanism from the captured state lane — the pass that previously forced
+// its own interleaved predictor walk.
+func BenchmarkReplayStageCoupled(b *testing.B) {
+	flat := benchBuffer(b).Flatten()
+	ann := Annotate(flat, predictor.Gshare64K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayAnnotated(flat, ann, []core.Mechanism{core.NewAnnotatedStrength()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -169,6 +169,11 @@ type SuiteConfig struct {
 	// produce a stream identical to the streaming walk for the same
 	// (spec, branches) and be safe for concurrent calls.
 	Source func(spec workload.Spec, branches uint64) (trace.Source, error)
+	// Buffer, when non-nil, supplies the materialized replay buffer the
+	// two-stage engine (RunSuiteAnnotated) annotates and flattens. Nil
+	// falls back to the process-wide workload.Materialize cache. It must be
+	// deterministic per (spec, branches) and safe for concurrent calls.
+	Buffer func(spec workload.Spec, branches uint64) (*trace.ReplayBuffer, error)
 }
 
 func (c SuiteConfig) specs() []workload.Spec {
@@ -183,6 +188,13 @@ func (c SuiteConfig) source(spec workload.Spec) (trace.Source, error) {
 		return c.Source(spec, c.Branches)
 	}
 	return spec.FiniteSource(c.Branches)
+}
+
+func (c SuiteConfig) buffer(spec workload.Spec) (*trace.ReplayBuffer, error) {
+	if c.Buffer != nil {
+		return c.Buffer(spec, c.Branches)
+	}
+	return workload.Materialize(spec, c.Branches)
 }
 
 // SuiteResult aggregates per-benchmark results in suite order.

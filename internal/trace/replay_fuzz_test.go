@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzReplayRoundTrip drives the replay buffer's zigzag-varint codec with
+// fuzzer-chosen record streams: the fuzz input is consumed as a byte script
+// deriving PCs (including full-range deltas), targets, gaps and outcomes.
+// Every materialized stream must replay byte-identically, and the flat view
+// must agree with the replay cursor record for record.
+func FuzzReplayRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x01})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(i)*0x9E3779B97F4A7C15)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := traceFromScript(data)
+		buf, err := Materialize(tr.Source(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != len(tr) {
+			t.Fatalf("Len = %d, want %d", buf.Len(), len(tr))
+		}
+		got, err := Collect(buf.Source(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("record %d: got %+v, want %+v", i, got[i], tr[i])
+			}
+		}
+		flat := buf.Flatten()
+		if flat.Len() != len(tr) {
+			t.Fatalf("flat Len = %d, want %d", flat.Len(), len(tr))
+		}
+		for i := range tr {
+			if flat.Record(i) != tr[i] {
+				t.Fatalf("flat record %d: %+v, want %+v", i, flat.Record(i), tr[i])
+			}
+		}
+	})
+}
+
+// traceFromScript turns fuzz bytes into a record stream, steering PCs
+// through the delta encoder's whole range: small steps, sign flips, and
+// jumps to arbitrary 64-bit addresses assembled from the input.
+func traceFromScript(data []byte) Trace {
+	tr := make(Trace, 0, len(data))
+	var pc uint64
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		switch b % 4 {
+		case 0:
+			pc += uint64(b) * 4
+		case 1:
+			pc -= uint64(b) * 8
+		case 2:
+			// Assemble a raw 64-bit address from the next bytes.
+			var word [8]byte
+			copy(word[:], data[i+1:min(i+9, len(data))])
+			pc = binary.LittleEndian.Uint64(word[:])
+		case 3:
+			pc ^= math.MaxUint64 << (b % 64) // extreme delta, both signs
+		}
+		tr = append(tr, Record{
+			PC:     pc,
+			Target: pc + uint64(b)*2 - 255,
+			Taken:  b&0x10 != 0,
+			Gap:    uint32(b) << (b % 24),
+		})
+	}
+	return tr
+}
+
+// TestReplayBufferEmptyTrace: a zero-record materialization replays as an
+// immediate EOF and flattens to an empty view.
+func TestReplayBufferEmptyTrace(t *testing.T) {
+	buf, err := Materialize(Trace{}.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", buf.Len())
+	}
+	got, err := Collect(buf.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records from an empty buffer", len(got))
+	}
+	flat := buf.Flatten()
+	if flat.Len() != 0 || flat.Footprint() != 0 {
+		t.Fatalf("empty flat view: Len %d, Footprint %d", flat.Len(), flat.Footprint())
+	}
+}
+
+// TestReplayBufferSingleBranch: the one-record stream round-trips, covering
+// the first-record delta against the implicit zero previous PC.
+func TestReplayBufferSingleBranch(t *testing.T) {
+	tr := Trace{{PC: 0xFFFF_FFFF_FFFF_FFF0, Target: 0x10, Taken: true, Gap: 7}}
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(buf.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != tr[0] {
+		t.Fatalf("got %+v, want %+v", got, tr)
+	}
+	flat := buf.Flatten()
+	if flat.Record(0) != tr[0] {
+		t.Fatalf("flat: %+v, want %+v", flat.Record(0), tr[0])
+	}
+}
+
+// TestReplayBufferMaximalDeltas: PC deltas at the extremes of the zigzag
+// range — alternating between 0 and the largest addresses — must survive
+// the 10-byte varint path exactly.
+func TestReplayBufferMaximalDeltas(t *testing.T) {
+	pcs := []uint64{
+		0,
+		math.MaxUint64, // delta +MaxUint64 (zigzag wraps the full range)
+		0,              // delta -MaxUint64
+		math.MaxInt64,  // largest positive signed delta
+		1,              //
+		1 << 63,        // most negative signed delta territory
+		0xDEAD_BEEF_F00D_42}
+	tr := make(Trace, len(pcs))
+	for i, pc := range pcs {
+		tr[i] = Record{PC: pc, Target: pc, Taken: i%2 == 0, Gap: math.MaxUint32}
+	}
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(buf.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], tr[i])
+		}
+	}
+	flat := buf.Flatten()
+	for i := range tr {
+		if flat.Record(i) != tr[i] {
+			t.Fatalf("flat record %d: %+v, want %+v", i, flat.Record(i), tr[i])
+		}
+	}
+}
+
+// TestFlatViewFullRecords: the flat view must hand out complete records —
+// predictors read targets (BTFN, agree) and gating models read gaps — and
+// report a footprint matching its per-record cost.
+func TestFlatViewFullRecords(t *testing.T) {
+	tr := randomishTrace(1000)
+	buf, err := Materialize(tr.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := buf.Flatten()
+	for i := range tr {
+		if flat.Record(i) != tr[i] {
+			t.Fatalf("flat record %d: %+v, want %+v", i, flat.Record(i), tr[i])
+		}
+	}
+	if want := uint64(len(tr)) * flatRecordBytes; flat.Footprint() != want {
+		t.Fatalf("Footprint = %d, want %d", flat.Footprint(), want)
+	}
+}
