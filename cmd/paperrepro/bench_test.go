@@ -54,35 +54,41 @@ var fullMix = map[string]bool{
 	"thresholds": true, "multilevel": true, "strength": true,
 }
 
-// benchEngines compares the two-stage annotated engine against the
-// interleaved single-pass engine on the given experiment mix. The trace
-// cache is warmed outside the timer (both engines replay materialized
-// traces); the annotated cache is reset per iteration unless warmAnnotated,
-// so the cold case measures one report run from scratch and the warm case
-// the incremental rerun (predictor evolution skipped entirely on cache
-// hits).
-func benchEngines(b *testing.B, filter map[string]bool, noAnnotate, warmAnnotated bool, parallel int) {
+// benchEngines compares the engine stages against each other on the given
+// experiment mix. The trace cache is warmed outside the timer (every engine
+// replays materialized traces); the annotated and bucket-stream caches are
+// reset per iteration unless warmAnnotated, so the cold case measures one
+// report run from scratch and the warm case the incremental rerun
+// (predictor evolution and bucket-stream builds skipped entirely on cache
+// hits). noTally disables stage 3, leaving the PR 2 per-variant replay
+// path — the in-binary A/B that isolates the tally stage itself.
+func benchEngines(b *testing.B, filter map[string]bool, noAnnotate, noTally, warmAnnotated bool, parallel int) {
 	cfg := reportConfig{
 		branches:   200000,
 		filter:     filter,
 		parallel:   parallel,
 		noAnnotate: noAnnotate,
+		noTally:    noTally,
 	}
-	// Warm the trace cache so neither engine pays the synthetic walk.
-	sim.ResetAnnotatedCache()
+	resetCaches := func() {
+		sim.ResetAnnotatedCache()
+		sim.ResetBucketCache()
+	}
+	// Warm the trace cache so no engine pays the synthetic walk.
+	resetCaches()
 	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
 		b.Fatal(err)
 	}
 	if !warmAnnotated {
-		sim.ResetAnnotatedCache()
+		resetCaches()
 	}
-	b.Cleanup(sim.ResetAnnotatedCache)
+	b.Cleanup(resetCaches)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !warmAnnotated {
 			b.StopTimer()
-			sim.ResetAnnotatedCache()
+			resetCaches()
 			b.StartTimer()
 		}
 		if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
@@ -91,19 +97,34 @@ func benchEngines(b *testing.B, filter map[string]bool, noAnnotate, warmAnnotate
 	}
 }
 
-func BenchmarkEnginesInterleaved(b *testing.B) { benchEngines(b, figureMix, true, false, 2) }
+func BenchmarkEnginesInterleaved(b *testing.B) { benchEngines(b, figureMix, true, true, false, 2) }
 
-func BenchmarkEnginesAnnotated(b *testing.B) { benchEngines(b, figureMix, false, false, 2) }
+// BenchmarkEnginesAnnotated is the PR 2 shape: annotated streams, every
+// mechanism variant on the replay path.
+func BenchmarkEnginesAnnotated(b *testing.B) { benchEngines(b, figureMix, false, true, false, 2) }
+
+// BenchmarkEnginesTally adds stage 3: factorable variants served from
+// geometry-keyed bucket streams, counter tables still replayed.
+func BenchmarkEnginesTally(b *testing.B) { benchEngines(b, figureMix, false, false, false, 2) }
 
 // BenchmarkEnginesAnnotatedWarm reruns the figures against a warm annotated
 // cache — the incremental-variant scenario: every predictor pass is a cache
 // hit, so only mechanism replay remains.
-func BenchmarkEnginesAnnotatedWarm(b *testing.B) { benchEngines(b, figureMix, false, true, 2) }
+func BenchmarkEnginesAnnotatedWarm(b *testing.B) {
+	benchEngines(b, figureMix, false, true, true, 2)
+}
+
+// BenchmarkEnginesTallyWarm is the fully warm stage-3 rerun: annotated
+// streams and bucket streams both cached, so factorable variants cost one
+// histogram share each.
+func BenchmarkEnginesTallyWarm(b *testing.B) { benchEngines(b, figureMix, false, false, true, 2) }
 
 // The Full variants run the whole-report mix, adding the derived tables and
 // the predictor-coupled strength experiment.
-func BenchmarkEnginesFullInterleaved(b *testing.B) { benchEngines(b, fullMix, true, false, 2) }
+func BenchmarkEnginesFullInterleaved(b *testing.B) { benchEngines(b, fullMix, true, true, false, 2) }
 
-func BenchmarkEnginesFullAnnotated(b *testing.B) { benchEngines(b, fullMix, false, false, 2) }
+func BenchmarkEnginesFullAnnotated(b *testing.B) { benchEngines(b, fullMix, false, true, false, 2) }
 
-func BenchmarkEnginesFullAnnotatedWarm(b *testing.B) { benchEngines(b, fullMix, false, true, 2) }
+func BenchmarkEnginesFullTally(b *testing.B) { benchEngines(b, fullMix, false, false, false, 2) }
+
+func BenchmarkEnginesFullTallyWarm(b *testing.B) { benchEngines(b, fullMix, false, false, true, 2) }

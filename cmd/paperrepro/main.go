@@ -13,7 +13,8 @@
 //
 //	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations]
 //	           [-only fig5,table1] [-parallel N]
-//	           [-annotate-cache-mb 256] [-no-annotate]
+//	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
+//	           [-no-annotate] [-no-tally] [-cache-stats]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -27,6 +28,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"branchconf/internal/exp"
 )
 
 func main() {
@@ -48,12 +51,18 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		only          = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 		parallel      = fs.Int("parallel", runtime.NumCPU(), "max concurrent experiments and per-benchmark simulation units")
 		annCacheMB    = fs.Uint64("annotate-cache-mb", 256, "resident bound for the annotated-stream cache in MiB (0 = unbounded)")
+		bucketCacheMB = fs.Int64("bucket-cache-mb", -1, "resident bound for the bucket-stream cache in MiB (0 = unbounded, -1 = follow -annotate-cache-mb)")
 		noAnnotate    = fs.Bool("no-annotate", false, "disable the two-stage annotated engine (byte-identical, for benchmarking)")
+		noTally       = fs.Bool("no-tally", false, "disable the stage-3 tally engine (byte-identical, for benchmarking)")
+		cacheStats    = fs.Bool("cache-stats", false, "print per-cache hit/miss/eviction and resident-bytes counters to stderr at exit")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
 	}
 
 	if *cpuProfile != "" {
@@ -79,19 +88,34 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	}
 	var filter map[string]bool
 	if *only != "" {
+		valid := map[string]bool{}
+		for _, id := range exp.IDs() {
+			valid[id] = true
+		}
 		filter = map[string]bool{}
 		for _, id := range strings.Split(*only, ",") {
-			filter[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if !valid[id] {
+				return fmt.Errorf("-only: unknown experiment id %q (valid ids: %s)", id, strings.Join(exp.IDs(), ", "))
+			}
+			filter[id] = true
 		}
 	}
+	bucketCacheBytes := int64(-1)
+	if *bucketCacheMB >= 0 {
+		bucketCacheBytes = *bucketCacheMB << 20
+	}
 	err := writeReport(w, errW, reportConfig{
-		branches:      *branches,
-		skipAblations: *skipAblations,
-		filter:        filter,
-		progress:      *out != "",
-		parallel:      *parallel,
-		annCacheBytes: *annCacheMB << 20,
-		noAnnotate:    *noAnnotate,
+		branches:         *branches,
+		skipAblations:    *skipAblations,
+		filter:           filter,
+		progress:         *out != "",
+		parallel:         *parallel,
+		annCacheBytes:    *annCacheMB << 20,
+		bucketCacheBytes: bucketCacheBytes,
+		noAnnotate:       *noAnnotate,
+		noTally:          *noTally,
+		cacheStats:       *cacheStats,
 	})
 	if err != nil {
 		return err

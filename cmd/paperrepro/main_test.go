@@ -33,6 +33,75 @@ func TestReportEmptyFilter(t *testing.T) {
 	}
 }
 
+// TestRejectUnknownOnly: an unknown -only id must fail fast — before any
+// simulation — with an error naming the offender and listing the valid ids.
+func TestRejectUnknownOnly(t *testing.T) {
+	var out, errW strings.Builder
+	err := appMain([]string{"-only", "fig5,figg6"}, &out, &errW)
+	if err == nil {
+		t.Fatal("unknown -only id accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"figg6"`) {
+		t.Errorf("error does not name the unknown id: %v", err)
+	}
+	if !strings.Contains(msg, "valid ids:") || !strings.Contains(msg, "fig5") || !strings.Contains(msg, "table1") {
+		t.Errorf("error does not list the valid ids: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Error("report output produced despite invalid -only")
+	}
+}
+
+// TestRejectBadParallel: -parallel below 1 is a configuration error, not a
+// silent clamp.
+func TestRejectBadParallel(t *testing.T) {
+	for _, p := range []string{"0", "-3"} {
+		var out, errW strings.Builder
+		err := appMain([]string{"-parallel", p, "-only", "fig2"}, &out, &errW)
+		if err == nil {
+			t.Fatalf("-parallel %s accepted", p)
+		}
+		if !strings.Contains(err.Error(), "-parallel") {
+			t.Errorf("-parallel %s: error does not mention the flag: %v", p, err)
+		}
+	}
+}
+
+// TestCacheStatsFlag: -cache-stats must print one counter line per engine
+// cache to stderr, and a run that simulates anything must show the
+// counters moving (misses and resident bytes for both caches).
+func TestCacheStatsFlag(t *testing.T) {
+	var out, errW strings.Builder
+	err := appMain([]string{"-branches", "20000", "-only", "fig5", "-cache-stats"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := errW.String()
+	var annLine, bucketLine string
+	for _, line := range strings.Split(progress, "\n") {
+		if strings.HasPrefix(line, "cache-stats annotated-stream") {
+			annLine = line
+		}
+		if strings.HasPrefix(line, "cache-stats bucket-stream") {
+			bucketLine = line
+		}
+	}
+	if annLine == "" || bucketLine == "" {
+		t.Fatalf("cache-stats lines missing from stderr:\n%s", progress)
+	}
+	for _, line := range []string{annLine, bucketLine} {
+		if strings.Contains(line, "misses=0") || strings.Contains(line, "resident_bytes=0") {
+			t.Errorf("counters did not move: %s", line)
+		}
+		for _, field := range []string{"hits=", "misses=", "evictions=", "resident_bytes="} {
+			if !strings.Contains(line, field) {
+				t.Errorf("line missing %s counter: %s", field, line)
+			}
+		}
+	}
+}
+
 func TestReportToFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/r.md"

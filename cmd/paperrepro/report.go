@@ -15,13 +15,16 @@ import (
 
 // reportConfig controls which experiments run and how output is produced.
 type reportConfig struct {
-	branches      uint64
-	skipAblations bool
-	filter        map[string]bool // nil = all
-	progress      bool            // emit per-experiment progress to errW
-	parallel      int             // max concurrent experiments (<=1 = serial)
-	annCacheBytes uint64          // annotated-cache resident bound (0 = unbounded)
-	noAnnotate    bool            // force the interleaved single-pass engine
+	branches         uint64
+	skipAblations    bool
+	filter           map[string]bool // nil = all
+	progress         bool            // emit per-experiment progress to errW
+	parallel         int             // max concurrent experiments (<=1 = serial)
+	annCacheBytes    uint64          // annotated-cache resident bound (0 = unbounded)
+	bucketCacheBytes int64           // bucket-cache resident bound (-1 = follow annCacheBytes)
+	noAnnotate       bool            // force the interleaved single-pass engine
+	noTally          bool            // disable the stage-3 tally engine
+	cacheStats       bool            // print per-cache counters to errW at exit
 }
 
 // writeReport runs the selected experiments against one shared session and
@@ -31,7 +34,11 @@ type reportConfig struct {
 // report bytes do not depend on the parallelism level.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	sim.SetAnnotatedCacheBound(cfg.annCacheBytes)
-	session := exp.NewSession(exp.Config{Branches: cfg.branches, NoAnnotate: cfg.noAnnotate})
+	sim.SetTallyCacheDefaultBound(cfg.annCacheBytes)
+	if cfg.bucketCacheBytes >= 0 {
+		sim.SetBucketCacheBound(uint64(cfg.bucketCacheBytes))
+	}
+	session := exp.NewSession(exp.Config{Branches: cfg.branches, NoAnnotate: cfg.noAnnotate, NoTally: cfg.noTally})
 	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
@@ -117,5 +124,16 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 			pHits, pMisses, tHits, tMisses, float64(workload.MaterializeFootprint())/(1<<20),
 			aHits, aMisses, float64(aResident)/(1<<20))
 	}
+	if cfg.cacheStats {
+		printCacheStats(errW, "annotated-stream", sim.AnnotatedCacheReport())
+		printCacheStats(errW, "bucket-stream", sim.BucketCacheReport())
+	}
 	return nil
+}
+
+// printCacheStats renders one cache's observability counters for the
+// -cache-stats flag.
+func printCacheStats(errW io.Writer, name string, s sim.CacheStats) {
+	fmt.Fprintf(errW, "cache-stats %-16s hits=%d misses=%d evictions=%d resident_bytes=%d\n",
+		name, s.Hits, s.Misses, s.Evictions, s.ResidentBytes)
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"io"
+	"math"
 	"slices"
 	"strings"
 )
@@ -53,11 +54,42 @@ func BuildCurve(ws WeightedStats) Curve {
 	// contribute exactly +0.0 to two nonnegative running sums — dropping
 	// them cannot change either total's bits. Summing the entries here
 	// saves a second map iteration and a probe per key.
-	if allRunZero {
+	// smallBucketLimit bounds the counting-placement path below: canonical
+	// order for a pooled composite over a small bucket space (CIR patterns,
+	// counter values — up to 2^16) is recovered in O(n + maxBucket) with a
+	// bucket-indexed slot array instead of a comparison sort over the
+	// entries. The placement emits exactly ascending-bucket order, so the
+	// float accumulation — and every downstream byte — is unchanged.
+	// Both orderings below go through an index permutation instead of
+	// physically reordering entries: curves over full-CIR composites reach
+	// 2^16 48-byte entries, and each avoided reorder is a multi-megabyte
+	// copy.
+	const smallBucketLimit = 1 << 16
+	maxBucket := uint64(0)
+	for i := range entries {
+		if b := entries[i].key.Bucket; b > maxBucket {
+			maxBucket = b
+		}
+	}
+	perm := make([]int32, 0, len(entries)) // canonical rank → entries index
+	if allRunZero && maxBucket < smallBucketLimit {
+		slots := make([]int32, maxBucket+1) // entry index + 1; 0 = absent
+		for i := range entries {
+			slots[entries[i].key.Bucket] = int32(i) + 1
+		}
+		for _, s := range slots {
+			if s != 0 {
+				perm = append(perm, s-1)
+			}
+		}
+	} else if allRunZero {
 		// Pooled composite: Run is uniformly zero, order by bucket alone.
-		slices.SortFunc(entries, func(a, b entry) int {
-			if a.key.Bucket != b.key.Bucket {
-				if a.key.Bucket < b.key.Bucket {
+		for i := range entries {
+			perm = append(perm, int32(i))
+		}
+		slices.SortFunc(perm, func(a, b int32) int {
+			if entries[a].key.Bucket != entries[b].key.Bucket {
+				if entries[a].key.Bucket < entries[b].key.Bucket {
 					return -1
 				}
 				return 1
@@ -65,15 +97,19 @@ func BuildCurve(ws WeightedStats) Curve {
 			return 0
 		})
 	} else {
-		slices.SortFunc(entries, func(a, b entry) int {
-			if a.key.Run != b.key.Run {
-				if a.key.Run < b.key.Run {
+		for i := range entries {
+			perm = append(perm, int32(i))
+		}
+		slices.SortFunc(perm, func(a, b int32) int {
+			ka, kb := entries[a].key, entries[b].key
+			if ka.Run != kb.Run {
+				if ka.Run < kb.Run {
 					return -1
 				}
 				return 1
 			}
-			if a.key.Bucket != b.key.Bucket {
-				if a.key.Bucket < b.key.Bucket {
+			if ka.Bucket != kb.Bucket {
+				if ka.Bucket < kb.Bucket {
 					return -1
 				}
 				return 1
@@ -82,40 +118,46 @@ func BuildCurve(ws WeightedStats) Curve {
 		})
 	}
 	var totalE, totalM float64
-	for i := range entries {
-		totalE += entries[i].t.Events
-		totalM += entries[i].t.Misses
+	for _, p := range perm {
+		totalE += entries[p].t.Events
+		totalM += entries[p].t.Misses
 	}
 	if totalE == 0 {
 		return nil
 	}
 	// Now order worst bucket first. (rate, Run, Bucket) is a unique total
-	// order, so SortFunc — no reflective swaps — yields exactly the
-	// original order and curves are unchanged.
-	slices.SortFunc(entries, func(a, b entry) int {
-		if a.rate != b.rate {
-			if a.rate > b.rate {
+	// order; perm is ascending (Run, Bucket), so the tie-break collapses to
+	// ascending canonical rank. Sorting 16-byte (rate-bits, rank) keys
+	// compares integers instead of floats: rates are nonnegative (and never
+	// NaN — zero-event buckets were dropped), where IEEE 754 order
+	// coincides with unsigned order on the bit patterns.
+	type rateKey struct {
+		bits uint64
+		pos  int32 // canonical rank, i.e. index into perm
+	}
+	keys := make([]rateKey, len(perm))
+	for r, p := range perm {
+		keys[r] = rateKey{bits: math.Float64bits(entries[p].rate), pos: int32(r)}
+	}
+	slices.SortFunc(keys, func(a, b rateKey) int {
+		if a.bits != b.bits {
+			if a.bits > b.bits {
 				return -1
 			}
 			return 1
 		}
-		if a.key.Run != b.key.Run {
-			if a.key.Run < b.key.Run {
-				return -1
-			}
-			return 1
-		}
-		if a.key.Bucket != b.key.Bucket {
-			if a.key.Bucket < b.key.Bucket {
+		if a.pos != b.pos {
+			if a.pos < b.pos {
 				return -1
 			}
 			return 1
 		}
 		return 0
 	})
-	curve := make(Curve, len(entries))
+	curve := make(Curve, len(keys))
 	var cumE, cumM float64
-	for i, e := range entries {
+	for i, rk := range keys {
+		e := &entries[perm[rk.pos]]
 		k, t := e.key, e.t
 		cumE += t.Events
 		cumM += t.Misses

@@ -13,6 +13,7 @@ package analysis
 import (
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // Tally counts dynamic branches and mispredictions for one bucket.
@@ -44,6 +45,20 @@ func (bs BucketStats) Add(bucket uint64, incorrect bool) {
 	if incorrect {
 		t.Misses++
 	}
+}
+
+// Clone returns a deep copy of the statistics, backed by one contiguous
+// tally block. The tally engine (internal/sim) hands each variant sharing
+// a bucket stream its own copy of the base histogram, so the per-variant
+// cost is one O(buckets) copy rather than an O(branches) replay.
+func (bs BucketStats) Clone() BucketStats {
+	out := make(BucketStats, len(bs))
+	block := make([]Tally, 0, len(bs))
+	for b, t := range bs {
+		block = append(block, *t)
+		out[b] = &block[len(block)-1]
+	}
+	return out
 }
 
 // Totals returns the run's total events and mispredictions.
@@ -123,6 +138,15 @@ func (a *wtallyArena) get() *WTally {
 // the float accumulation — and hence every downstream byte — is unchanged.
 const pooledDenseLimit = 1 << 16
 
+// compositeDensePool recycles CompositePooled's 1 MiB accumulation arrays.
+// Invariant: every pooled array is fully zero — New allocates zeroed, and
+// the drain loop re-zeroes exactly the nonzero slots before Put, so Get
+// never pays a fresh alloc-plus-memclr (which showed up as a measurable
+// share of figure-mix CPU).
+var compositeDensePool = sync.Pool{
+	New: func() any { return make([]WTally, pooledDenseLimit) },
+}
+
 // CompositePooled combines runs with equal dynamic-branch weight, pooling
 // identical buckets across runs — the paper's treatment of dynamic
 // mechanisms, where a CIR pattern means the same thing in every benchmark
@@ -136,24 +160,19 @@ func CompositePooled(runs []BucketStats) WeightedStats {
 	}
 	ws := make(WeightedStats, size)
 	var arena wtallyArena
-	var dense []WTally // indexed by bucket for small buckets
+	// Small buckets accumulate into a pooled dense array in one pass;
+	// maxSmall tracks the occupied prefix.
+	dense := compositeDensePool.Get().([]WTally)
 	maxSmall := -1
-	for _, bs := range runs {
-		for b := range bs {
-			if b < pooledDenseLimit && int(b) > maxSmall {
-				maxSmall = int(b)
-			}
-		}
-	}
-	if maxSmall >= 0 {
-		dense = make([]WTally, maxSmall+1)
-	}
 	for _, bs := range runs {
 		w := compositeWeight(bs)
 		for b, t := range bs {
 			if b < pooledDenseLimit {
 				dense[b].Events += w * float64(t.Events)
 				dense[b].Misses += w * float64(t.Misses)
+				if int(b) > maxSmall {
+					maxSmall = int(b)
+				}
 				continue
 			}
 			k := Key{Bucket: b}
@@ -166,11 +185,26 @@ func CompositePooled(runs []BucketStats) WeightedStats {
 			wt.Misses += w * float64(t.Misses)
 		}
 	}
-	for b := range dense {
+	// Drain the dense prefix into a right-sized contiguous block (the
+	// returned composite must not alias the pooled array), restoring the
+	// all-zero pool invariant as each occupied slot is copied out. The
+	// block preserves ascending-bucket insertion order, so downstream
+	// float accumulation is unchanged.
+	occupied := 0
+	for b := 0; b <= maxSmall; b++ {
 		if dense[b].Events != 0 || dense[b].Misses != 0 {
-			ws[Key{Bucket: uint64(b)}] = &dense[b]
+			occupied++
 		}
 	}
+	block := make([]WTally, 0, occupied)
+	for b := 0; b <= maxSmall; b++ {
+		if dense[b].Events != 0 || dense[b].Misses != 0 {
+			block = append(block, dense[b])
+			ws[Key{Bucket: uint64(b)}] = &block[len(block)-1]
+			dense[b] = WTally{}
+		}
+	}
+	compositeDensePool.Put(dense)
 	return ws
 }
 

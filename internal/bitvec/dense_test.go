@@ -3,7 +3,7 @@ package bitvec
 import "testing"
 
 func TestDenseRoundTrip(t *testing.T) {
-	for _, width := range []uint{1, 2, 3, 7, 8, 13, 32} {
+	for _, width := range []uint{1, 2, 3, 7, 8, 12, 13, 16, 17, 31, 32, 33, 48, 64} {
 		d := NewDense(width, 10)
 		mask := (uint64(1) << width) - 1
 		const n = 1000
@@ -57,8 +57,94 @@ func TestDenseOutOfRangePanics(t *testing.T) {
 	}
 }
 
+// TestDenseAppendWordsMatchesAppend checks the bulk word paths against the
+// per-value path at non-power-of-two widths, including a partial final word
+// followed by further Appends (the lane kernels' flush pattern).
+func TestDenseAppendWordsMatchesAppend(t *testing.T) {
+	for _, width := range []uint{1, 3, 5, 12, 13, 16, 21, 33, 64} {
+		const n = 1000
+		mask := maskOf(width)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(i) * 0x9E3779B97F4A7C15 & mask
+		}
+
+		want := NewDense(width, n)
+		for _, v := range vals {
+			want.Append(v)
+		}
+
+		// Pack the first cut values through AppendWord/AppendWords (cut
+		// chosen so the final word is partial when width permits), then
+		// finish with plain Appends.
+		got := NewDense(width, n)
+		perWord := int(got.PerWord())
+		cut := n/2 + 1
+		var words []uint64
+		var cur uint64
+		inWord := 0
+		for _, v := range vals[:cut] {
+			cur |= v << (uint(inWord) * width)
+			if inWord++; inWord == perWord {
+				words = append(words, cur)
+				cur, inWord = 0, 0
+			}
+		}
+		if inWord > 0 {
+			got.AppendWords(append(words, cur), (len(words))*perWord+inWord)
+		} else if len(words) > 0 {
+			last := words[len(words)-1]
+			for _, w := range words[:len(words)-1] {
+				got.AppendWord(w, uint(perWord))
+			}
+			got.AppendWords([]uint64{last}, perWord)
+		}
+		for _, v := range vals[cut:] {
+			got.Append(v)
+		}
+
+		if got.Len() != want.Len() {
+			t.Fatalf("width %d: Len = %d, want %d", width, got.Len(), want.Len())
+		}
+		for i := 0; i < n; i++ {
+			if got.At(i) != want.At(i) {
+				t.Fatalf("width %d: At(%d) = %#x, want %#x", width, i, got.At(i), want.At(i))
+			}
+		}
+	}
+}
+
+func TestDenseAppendWordsMisalignedPanics(t *testing.T) {
+	d := NewDense(3, 4)
+	d.Append(1) // shift now non-zero: word-aligned bulk appends must refuse
+	for _, fn := range []func(){
+		func() { d.AppendWord(0, 1) },
+		func() { d.AppendWords([]uint64{0}, 1) },
+	} {
+		fn := fn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bulk append on misaligned Dense did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	// Word-count mismatch must also refuse.
+	d2 := NewDense(32, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AppendWords with wrong word count did not panic")
+			}
+		}()
+		d2.AppendWords([]uint64{0, 0}, 2) // 2 values of 32 bits fit one word
+	}()
+}
+
 func TestDenseBadWidthPanics(t *testing.T) {
-	for _, w := range []uint{0, 33} {
+	for _, w := range []uint{0, 65} {
 		w := w
 		func() {
 			defer func() {

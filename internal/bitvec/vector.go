@@ -51,6 +51,13 @@ func (v *Vector) Bit(i int) bool {
 // word index is out of range.
 func (v *Vector) Word(i int) uint64 { return v.words[i] }
 
+// Words returns the packed backing words, low bit of word 0 first; any
+// trailing bits of the last word are zero. The slice is the live backing
+// store and must not be mutated — it exists so bulk kernels (the factored
+// bucket-stream builders in internal/core and internal/sim) can stream the
+// bit array without a method call per bit.
+func (v *Vector) Words() []uint64 { return v.words }
+
 // Len returns the number of bits appended.
 func (v *Vector) Len() int { return v.n }
 

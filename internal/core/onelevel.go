@@ -26,6 +26,9 @@ type OneLevel struct {
 	cachePC  uint64
 	cacheIdx uint64
 	cacheOK  bool
+
+	// tableDirty defers the table fill to first use; see ensureTable.
+	tableDirty bool
 }
 
 // OneLevelConfig configures a one-level mechanism. Zero values select the
@@ -72,7 +75,6 @@ func NewOneLevel(cfg OneLevelConfig) *OneLevel {
 		tableBits: cfg.TableBits,
 		cirBits:   cfg.CIRBits,
 		init:      cfg.Init,
-		table:     make([]bitvec.CIR, 1<<cfg.TableBits),
 		initSeed:  cfg.InitSeed,
 	}
 	m.bhr = bitvec.NewBHR(cfg.HistoryBits)
@@ -122,14 +124,37 @@ func schemeIndex(scheme IndexScheme, tableBits uint, pc, bhr, gcir uint64) uint6
 	}
 }
 
+// ensureTable materializes the CIR table on first use after a Reset.
+// Construction and Reset only mark the table dirty: a mechanism whose
+// per-branch walk is served by the stage-3 tally engine (internal/sim)
+// never touches its instance table, and eagerly filling 2^tableBits
+// registers per benchmark was a measurable share of those passes.
+func (m *OneLevel) ensureTable() {
+	if !m.tableDirty {
+		return
+	}
+	if m.table == nil {
+		m.table = make([]bitvec.CIR, 1<<m.tableBits)
+	}
+	rng := xrand.New(m.initSeed ^ 0xC12_5EED)
+	for i := range m.table {
+		c := bitvec.NewCIR(m.cirBits)
+		c.Set(m.init.initValue(m.cirBits, rng))
+		m.table[i] = c
+	}
+	m.tableDirty = false
+}
+
 // Bucket returns the CIR pattern read from the table for this branch.
 func (m *OneLevel) Bucket(r trace.Record) uint64 {
+	m.ensureTable()
 	return m.table[m.index(r.PC)].Bits()
 }
 
 // BucketUpdate implements Fused: one index computation serves both the
 // read and the train, with no memo traffic.
 func (m *OneLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
+	m.ensureTable()
 	i := schemeIndex(m.scheme, m.tableBits, r.PC, m.bhr.Bits(), m.gcir.Bits())
 	b := m.table[i].Bits()
 	m.table[i].Record(incorrect)
@@ -142,6 +167,7 @@ func (m *OneLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
 // Update shifts the prediction outcome into the indexed CIR and advances
 // the global history registers.
 func (m *OneLevel) Update(r trace.Record, incorrect bool) {
+	m.ensureTable()
 	i := m.index(r.PC)
 	m.table[i].Record(incorrect)
 	m.bhr.Record(r.Taken)
@@ -150,13 +176,9 @@ func (m *OneLevel) Update(r trace.Record, incorrect bool) {
 }
 
 // Reset restores the configured initial table state and clears histories.
+// The table fill itself is deferred to the next access (ensureTable).
 func (m *OneLevel) Reset() {
-	rng := xrand.New(m.initSeed ^ 0xC12_5EED)
-	for i := range m.table {
-		c := bitvec.NewCIR(m.cirBits)
-		c.Set(m.init.initValue(m.cirBits, rng))
-		m.table[i] = c
-	}
+	m.tableDirty = true
 	m.bhr.Set(0)
 	m.gcir.Set(0)
 	m.cacheOK = false
@@ -168,6 +190,7 @@ func (m *OneLevel) Reset() {
 // context switch, except the oldest bit which should be initialized at
 // 1"). Histories are left untouched.
 func (m *OneLevel) MarkOldest() {
+	m.ensureTable()
 	top := uint64(1) << (m.cirBits - 1)
 	for i := range m.table {
 		m.table[i].Set(m.table[i].Bits() | top)

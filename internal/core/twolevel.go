@@ -65,6 +65,9 @@ type TwoLevel struct {
 	cacheI1 uint64
 	cacheI2 uint64
 	cacheOK bool
+
+	// tableDirty defers the table fills to first use; see ensureTables.
+	tableDirty bool
 }
 
 // TwoLevelConfig configures a two-level mechanism. Zero geometry values
@@ -125,8 +128,6 @@ func NewTwoLevel(cfg TwoLevelConfig) *TwoLevel {
 		l2CIRBits: cfg.L2CIRBits,
 		init:      cfg.Init,
 		initSeed:  cfg.InitSeed,
-		t1:        make([]bitvec.CIR, 1<<cfg.L1Bits),
-		t2:        make([]bitvec.CIR, 1<<cfg.L1CIRBits),
 		bhr:       bitvec.NewBHR(cfg.HistoryBits),
 		gcir:      bitvec.NewCIR(cfg.HistoryBits),
 	}
@@ -165,8 +166,33 @@ func (m *TwoLevel) index2(pc, cir uint64) uint64 {
 	}
 }
 
+// ensureTables materializes both CIR tables on first use after a Reset;
+// see OneLevel.ensureTable for why the fill is deferred.
+func (m *TwoLevel) ensureTables() {
+	if !m.tableDirty {
+		return
+	}
+	if m.t1 == nil {
+		m.t1 = make([]bitvec.CIR, 1<<m.l1Bits)
+		m.t2 = make([]bitvec.CIR, 1<<m.l1CIRBits)
+	}
+	rng := xrand.New(m.initSeed ^ 0x2C12_5EED)
+	for i := range m.t1 {
+		c := bitvec.NewCIR(m.l1CIRBits)
+		c.Set(m.init.initValue(m.l1CIRBits, rng))
+		m.t1[i] = c
+	}
+	for i := range m.t2 {
+		c := bitvec.NewCIR(m.l2CIRBits)
+		c.Set(m.init.initValue(m.l2CIRBits, rng))
+		m.t2[i] = c
+	}
+	m.tableDirty = false
+}
+
 // Bucket returns the second-level CIR pattern read for this branch.
 func (m *TwoLevel) Bucket(r trace.Record) uint64 {
+	m.ensureTables()
 	i1 := m.index1(r.PC)
 	cir := m.t1[i1].Bits()
 	i2 := m.index2(r.PC, cir)
@@ -178,6 +204,7 @@ func (m *TwoLevel) Bucket(r trace.Record) uint64 {
 // second-level index from the first-level CIR before either level trains,
 // exactly as the split Bucket/Update pair would.
 func (m *TwoLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
+	m.ensureTables()
 	i1 := m.index1(r.PC)
 	i2 := m.index2(r.PC, m.t1[i1].Bits())
 	b := m.t2[i2].Bits()
@@ -193,6 +220,7 @@ func (m *TwoLevel) BucketUpdate(r trace.Record, incorrect bool) uint64 {
 // The second-level index is computed from the first-level CIR before it is
 // updated, consistent with Bucket.
 func (m *TwoLevel) Update(r trace.Record, incorrect bool) {
+	m.ensureTables()
 	var i1, i2 uint64
 	if m.cacheOK && m.cachePC == r.PC {
 		i1, i2 = m.cacheI1, m.cacheI2
@@ -207,19 +235,10 @@ func (m *TwoLevel) Update(r trace.Record, incorrect bool) {
 	m.gcir.Record(incorrect)
 }
 
-// Reset restores both tables to the configured initial state.
+// Reset restores both tables to the configured initial state. The table
+// fills are deferred to the next access (ensureTables).
 func (m *TwoLevel) Reset() {
-	rng := xrand.New(m.initSeed ^ 0x2C12_5EED)
-	for i := range m.t1 {
-		c := bitvec.NewCIR(m.l1CIRBits)
-		c.Set(m.init.initValue(m.l1CIRBits, rng))
-		m.t1[i] = c
-	}
-	for i := range m.t2 {
-		c := bitvec.NewCIR(m.l2CIRBits)
-		c.Set(m.init.initValue(m.l2CIRBits, rng))
-		m.t2[i] = c
-	}
+	m.tableDirty = true
 	m.bhr.Set(0)
 	m.gcir.Set(0)
 	m.cacheOK = false

@@ -120,7 +120,8 @@ func (s *Session) suiteConfig() sim.SuiteConfig {
 			}
 			return buf.Source(), nil
 		},
-		Buffer: workload.Materialize,
+		Buffer:  workload.Materialize,
+		NoTally: s.cfg.NoTally,
 	}
 }
 

@@ -22,6 +22,10 @@ type Config struct {
 	// Results are byte-identical either way; the switch exists for
 	// benchmarking the engines against each other and as an escape hatch.
 	NoAnnotate bool
+	// NoTally disables the stage-3 tally engine within the annotated
+	// engine: factorable mechanisms replay per-variant instead of sharing
+	// geometry-keyed bucket streams. Results are byte-identical either way.
+	NoTally bool
 }
 
 // Output is an experiment's regenerated artefact.

@@ -17,28 +17,42 @@ const denseBuckets = 1 << 16
 // produces exactly the integer counts BucketStats.Add would, so swapping it
 // into a simulation loop cannot perturb any artefact.
 type bucketAccum struct {
-	dense  []analysis.Tally // lazily allocated on the first small bucket
-	sparse analysis.BucketStats
+	dense   []analysis.Tally // lazily allocated on the first small bucket
+	touched []uint32         // dense buckets hit at least once, in first-hit order
+	sparse  analysis.BucketStats
 }
 
 func newBucketAccum() *bucketAccum {
 	return &bucketAccum{sparse: make(analysis.BucketStats)}
 }
 
-// densePool recycles the 1 MiB dense arrays between passes. A report run
-// makes hundreds of passes; without the pool each one allocates and zeroes
-// its own array, and the churn shows up as both GC time and memclr. Arrays
-// are re-zeroed (only at occupied slots) before being returned to the pool.
+// denseState is one pooled dense accumulator: the 1 MiB tally array plus
+// its touched-bucket list, recycled together so stats only ever walks (and
+// re-zeroes) the slots a pass actually occupied instead of all 2^16.
+type denseState struct {
+	tallies []analysis.Tally
+	touched []uint32
+}
+
+// densePool recycles the dense arrays between passes. A report run makes
+// hundreds of passes; without the pool each one allocates and zeroes its
+// own array, and the churn shows up as both GC time and memclr.
 var densePool = sync.Pool{
-	New: func() any { return make([]analysis.Tally, denseBuckets) },
+	New: func() any {
+		return &denseState{tallies: make([]analysis.Tally, denseBuckets)}
+	},
 }
 
 func (a *bucketAccum) add(bucket uint64, incorrect bool) {
 	if bucket < denseBuckets {
 		if a.dense == nil {
-			a.dense = densePool.Get().([]analysis.Tally)
+			st := densePool.Get().(*denseState)
+			a.dense, a.touched = st.tallies, st.touched[:0]
 		}
 		t := &a.dense[bucket]
+		if t.Events == 0 {
+			a.touched = append(a.touched, uint32(bucket))
+		}
 		t.Events++
 		if incorrect {
 			t.Misses++
@@ -54,25 +68,17 @@ func (a *bucketAccum) add(bucket uint64, incorrect bool) {
 // tens of thousands of them per (benchmark, mechanism) pass.
 func (a *bucketAccum) stats() analysis.BucketStats {
 	bs := a.sparse
-	occupied := 0
-	for b := range a.dense {
-		if a.dense[b].Events != 0 {
-			occupied++
-		}
-	}
-	if occupied > 0 {
-		block := make([]analysis.Tally, 0, occupied)
-		for b := range a.dense {
-			if t := a.dense[b]; t.Events != 0 {
-				block = append(block, t)
-				bs[uint64(b)] = &block[len(block)-1]
-				a.dense[b] = analysis.Tally{}
-			}
+	if len(a.touched) > 0 {
+		block := make([]analysis.Tally, 0, len(a.touched))
+		for _, b := range a.touched {
+			block = append(block, a.dense[b])
+			bs[uint64(b)] = &block[len(block)-1]
+			a.dense[b] = analysis.Tally{}
 		}
 	}
 	if a.dense != nil {
-		densePool.Put(a.dense)
+		densePool.Put(&denseState{tallies: a.dense, touched: a.touched})
 	}
-	a.dense, a.sparse = nil, nil
+	a.dense, a.touched, a.sparse = nil, nil, nil
 	return bs
 }

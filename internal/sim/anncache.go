@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"branchconf/internal/predictor"
@@ -9,21 +8,19 @@ import (
 	"branchconf/internal/workload"
 )
 
-// Process-wide annotated-stream cache. The predictor stage of the two-stage
-// engine is a pure function of (benchmark spec, branch budget, predictor
-// config), so its outputs are memoized exactly like materialized traces:
+// Process-wide annotated-stream cache. The predictor stage of the engine is
+// a pure function of (benchmark spec, branch budget, predictor config), so
+// its outputs are memoized exactly like materialized traces:
 //
 //   - flat views (fully decoded records, 24 B/branch) are keyed by (spec,
 //     budget) and shared across every predictor config, and
 //   - annotated streams (mispredict + state bits, ~3/8 B/branch for gshare)
 //     are keyed by (spec, budget, predictor key).
 //
-// Entries follow the claim-or-wait protocol of the exp pass cache: the
-// first claimant builds, later claimants block on the entry's done channel
-// and share the result. A resident-bytes bound (SetAnnotatedCacheBound)
-// evicts completed entries in least-recently-used order; in-flight entries
-// are never evicted, and eviction never invalidates a replay already
-// holding the stream — the pointer keeps the payload alive.
+// Both kinds live in one byteLRU instance, so they share a single
+// resident-bytes budget (SetAnnotatedCacheBound); the claim-or-wait and
+// LRU-eviction mechanics are the cache's. The stage-3 bucket-stream cache
+// (tally.go) is a sibling instance over the same machinery.
 
 type flatKey struct {
 	spec workload.Spec
@@ -36,31 +33,20 @@ type annKey struct {
 	predKey string
 }
 
-type cacheEntry struct {
-	done chan struct{}
+var annCache byteLRU
 
-	// Exactly one of flat/ann is set per entry kind; err covers both.
-	flat *trace.FlatView
-	ann  *AnnotatedStream
-	err  error
-
-	bytes   uint64 // payload size once built; 0 while in flight or on error
-	lastUse uint64 // LRU clock tick of the most recent claim
-}
-
-var annCache struct {
-	mu       sync.Mutex
-	flats    map[flatKey]*cacheEntry
-	anns     map[annKey]*cacheEntry
-	bound    uint64 // resident-bytes bound; 0 = unbounded
-	clock    uint64
-	resident uint64
-}
-
-// Cache observability counters, for progress lines and benchmark reports.
-// Hits and misses count annotated-stream claims (the expensive artifact);
-// flat views piggyback on the same keys one level up.
+// Cache observability counters. Hits and misses count annotated-stream
+// claims (the expensive artifact); flat views piggyback on the same keys
+// one level up.
 var annHits, annMisses atomic.Uint64
+
+// CacheStats is one cache's observability snapshot, as printed under the
+// paperrepro -cache-stats flag.
+type CacheStats struct {
+	Hits, Misses  uint64
+	Evictions     uint64
+	ResidentBytes uint64
+}
 
 // SetAnnotatedCacheBound bounds the resident payload bytes of the annotated
 // cache (flat views plus annotated streams). 0 removes the bound. When an
@@ -68,131 +54,56 @@ var annHits, annMisses atomic.Uint64
 // least-recently-used first; a single entry larger than the bound is still
 // admitted (and becomes the next eviction candidate).
 func SetAnnotatedCacheBound(bytes uint64) {
-	annCache.mu.Lock()
-	annCache.bound = bytes
-	evictLocked()
-	annCache.mu.Unlock()
+	annCache.setBound(bytes)
 }
 
 // AnnotatedCacheStats reports annotated-stream cache hits and misses since
 // process start (or the last ResetAnnotatedCache), and the resident payload
 // bytes currently held.
 func AnnotatedCacheStats() (hits, misses, residentBytes uint64) {
-	annCache.mu.Lock()
-	r := annCache.resident
-	annCache.mu.Unlock()
+	r, _ := annCache.usage()
 	return annHits.Load(), annMisses.Load(), r
+}
+
+// AnnotatedCacheReport returns the annotated cache's full observability
+// counters (claims of annotated streams; resident bytes include the flat
+// views sharing the budget).
+func AnnotatedCacheReport() CacheStats {
+	r, e := annCache.usage()
+	return CacheStats{Hits: annHits.Load(), Misses: annMisses.Load(), Evictions: e, ResidentBytes: r}
 }
 
 // ResetAnnotatedCache drops every cached entry and zeroes the counters. The
 // bound is retained. Intended for tests and batch boundaries.
 func ResetAnnotatedCache() {
-	annCache.mu.Lock()
-	annCache.flats = nil
-	annCache.anns = nil
-	annCache.resident = 0
-	annCache.mu.Unlock()
+	annCache.reset()
 	annHits.Store(0)
 	annMisses.Store(0)
-}
-
-// tickLocked advances the LRU clock.
-func tickLocked() uint64 {
-	annCache.clock++
-	return annCache.clock
-}
-
-// evictLocked drops completed entries, least recently used first, until the
-// resident bytes fit the bound. In-flight entries (done not yet closed) are
-// skipped: their size is unknown and a waiter may be parked on them.
-func evictLocked() {
-	if annCache.bound == 0 {
-		return
-	}
-	for annCache.resident > annCache.bound {
-		var (
-			oldest     uint64
-			victimFlat *flatKey
-			victimAnn  *annKey
-		)
-		for k, e := range annCache.flats {
-			if e.bytes == 0 {
-				continue // in flight or errored; nothing resident
-			}
-			if victimFlat == nil && victimAnn == nil || e.lastUse < oldest {
-				k := k
-				oldest, victimFlat, victimAnn = e.lastUse, &k, nil
-			}
-		}
-		for k, e := range annCache.anns {
-			if e.bytes == 0 {
-				continue
-			}
-			if victimFlat == nil && victimAnn == nil || e.lastUse < oldest {
-				k := k
-				oldest, victimFlat, victimAnn = e.lastUse, nil, &k
-			}
-		}
-		switch {
-		case victimFlat != nil:
-			annCache.resident -= annCache.flats[*victimFlat].bytes
-			delete(annCache.flats, *victimFlat)
-		case victimAnn != nil:
-			annCache.resident -= annCache.anns[*victimAnn].bytes
-			delete(annCache.anns, *victimAnn)
-		default:
-			return // everything resident is in flight; nothing to evict
-		}
-	}
-}
-
-// finishEntry publishes a built entry: records its payload size, closes the
-// done channel, and applies the bound.
-func finishEntry(e *cacheEntry, bytes uint64) {
-	annCache.mu.Lock()
-	if e.err == nil {
-		e.bytes = bytes
-		annCache.resident += bytes
-	}
-	annCache.mu.Unlock()
-	close(e.done)
-	annCache.mu.Lock()
-	evictLocked()
-	annCache.mu.Unlock()
 }
 
 // flatFor returns the shared flat view for (spec, budget), building it from
 // the suite's replay buffer on first use.
 func flatFor(cfg SuiteConfig, spec workload.Spec, n uint64) (*trace.FlatView, error) {
-	key := flatKey{spec: spec, n: n}
-	annCache.mu.Lock()
-	e := annCache.flats[key]
-	if e != nil {
-		e.lastUse = tickLocked()
-		annCache.mu.Unlock()
+	e, owner := annCache.claim(flatKey{spec: spec, n: n})
+	if !owner {
 		<-e.done
-		return e.flat, e.err
+		flat, _ := e.val.(*trace.FlatView)
+		return flat, e.err
 	}
-	e = &cacheEntry{done: make(chan struct{})}
-	if annCache.flats == nil {
-		annCache.flats = make(map[flatKey]*cacheEntry)
-	}
-	annCache.flats[key] = e
-	e.lastUse = tickLocked()
-	annCache.mu.Unlock()
-
+	var flat *trace.FlatView
 	buf, err := cfg.buffer(spec)
 	if err != nil {
 		e.err = err
 	} else {
-		e.flat = buf.Flatten()
+		flat = buf.Flatten()
+		e.val = flat
 	}
 	var bytes uint64
-	if e.flat != nil {
-		bytes = e.flat.Footprint()
+	if flat != nil {
+		bytes = flat.Footprint()
 	}
-	finishEntry(e, bytes)
-	return e.flat, e.err
+	annCache.finish(e, bytes)
+	return flat, e.err
 }
 
 // annotatedFor returns the (flat view, annotated stream) pair for one
@@ -208,26 +119,16 @@ func annotatedFor(cfg SuiteConfig, spec workload.Spec, predKey string, newPred f
 		return nil, nil, err
 	}
 
-	key := annKey{spec: spec, n: n, predKey: predKey}
-	annCache.mu.Lock()
-	e := annCache.anns[key]
-	if e != nil {
-		e.lastUse = tickLocked()
-		annCache.mu.Unlock()
+	e, owner := annCache.claim(annKey{spec: spec, n: n, predKey: predKey})
+	if !owner {
 		annHits.Add(1)
 		<-e.done
-		return flat, e.ann, e.err
+		ann, _ := e.val.(*AnnotatedStream)
+		return flat, ann, e.err
 	}
-	e = &cacheEntry{done: make(chan struct{})}
-	if annCache.anns == nil {
-		annCache.anns = make(map[annKey]*cacheEntry)
-	}
-	annCache.anns[key] = e
-	e.lastUse = tickLocked()
-	annCache.mu.Unlock()
 	annMisses.Add(1)
-
-	e.ann = Annotate(flat, newPred())
-	finishEntry(e, e.ann.Footprint())
-	return flat, e.ann, e.err
+	ann := Annotate(flat, newPred())
+	e.val = ann
+	annCache.finish(e, ann.Footprint())
+	return flat, ann, e.err
 }

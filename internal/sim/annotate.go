@@ -54,6 +54,12 @@ func (a *AnnotatedStream) Misses() uint64 { return a.misses }
 // HasState reports whether the stream carries a predictor-state lane.
 func (a *AnnotatedStream) HasState() bool { return a.state != nil }
 
+// MissWords returns the packed mispredict bits, bit i of word i/64, least
+// significant first. The slice is the live backing store and must not be
+// mutated — it feeds the monomorphic bucket-lane kernels (core.Factorable)
+// and the stage-3 tally kernel.
+func (a *AnnotatedStream) MissWords() []uint64 { return a.miss.Words() }
+
 // Footprint returns the stream's payload bytes (mispredict bits plus the
 // state lane).
 func (a *AnnotatedStream) Footprint() uint64 {
@@ -222,10 +228,16 @@ func RunSuiteAnnotated(cfg SuiteConfig, predKey string, newPred func() predictor
 
 // runMechChunk replays every benchmark through one chunk of mechanisms,
 // writing results into perSpec[spec][mech]. The chunk's mechanism instances
-// are built once and Reset between benchmarks. Stage labels "annotate" and
-// "replay" mark the work for CPU profiles; the first chunk to claim a
-// benchmark's cache entry pays the annotation walk, later chunks wait on
-// the entry and go straight to replay.
+// are built once and Reset between benchmarks. Stage labels "annotate",
+// "tally" and "replay" mark the work for CPU profiles; the first chunk to
+// claim a benchmark's cache entry pays the annotation walk, later chunks
+// wait on the entry and go straight to tally/replay.
+//
+// Factorable mechanisms (unless cfg.NoTally, or the mechanism also reads
+// predictor state) are served by the stage-3 bucket-stream cache: their
+// result shares the geometry's immutable base histogram, and the per-branch
+// walk happens at most once per geometry process-wide. The rest replay on
+// the stage-2 path.
 func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPred func() predictor.Predictor, newMechs []func() core.Mechanism, chunk []int, perSpec [][]Result) error {
 	mechs := make([]core.Mechanism, len(chunk))
 	for k, j := range chunk {
@@ -268,18 +280,65 @@ func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPre
 			}
 		}
 
+		// Stage 3: serve factorable mechanisms from geometry-keyed bucket
+		// streams. StateCoupled mechanisms stay on the replay path even if
+		// they claim factorability — their bucket reads predictor state the
+		// geometry alone cannot reproduce.
+		tallied := make([]bool, len(chunk))
+		if !cfg.NoTally {
+			var terr error
+			pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "tally"), func(context.Context) {
+				for k, j := range chunk {
+					fm, ok := mechs[k].(core.Factorable)
+					if !ok {
+						continue
+					}
+					if _, sc := mechs[k].(core.StateCoupled); sc {
+						continue
+					}
+					bs, err := bucketStreamFor(cfg, spec, predKey, flat, ann, fm)
+					if err != nil {
+						terr = fmt.Errorf("sim: tallying %s: %w", spec.Name, err)
+						return
+					}
+					perSpec[i][j] = Result{
+						Benchmark: spec.Name,
+						Branches:  uint64(bs.n),
+						Misses:    bs.misses,
+						Buckets:   bs.Stats(),
+					}
+					tallied[k] = true
+				}
+			})
+			if terr != nil {
+				return terr
+			}
+		}
+
+		var replayMechs []core.Mechanism
+		var replayAt []int // chunk-local indices of replayMechs
+		for k := range mechs {
+			if !tallied[k] {
+				replayMechs = append(replayMechs, mechs[k])
+				replayAt = append(replayAt, k)
+			}
+		}
+		if len(replayMechs) == 0 {
+			continue
+		}
+		accums = accums[:len(replayMechs)]
 		for k := range accums {
 			accums[k] = newBucketAccum()
 		}
 		pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "replay"), func(context.Context) {
-			replayAnnotated(flat, ann, mechs, accums)
+			replayAnnotated(flat, ann, replayMechs, accums)
 		})
-		for k, j := range chunk {
-			perSpec[i][j] = Result{
+		for x, k := range replayAt {
+			perSpec[i][chunk[k]] = Result{
 				Benchmark: spec.Name,
 				Branches:  uint64(ann.n),
 				Misses:    ann.misses,
-				Buckets:   accums[k].stats(),
+				Buckets:   accums[x].stats(),
 			}
 		}
 	}

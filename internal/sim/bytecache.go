@@ -1,0 +1,127 @@
+package sim
+
+import "sync"
+
+// byteLRU is the process-wide cache shape shared by the engine's memoized
+// artifacts (flat views, annotated streams, bucket streams): a claim-or-wait
+// map with a resident-bytes bound and least-recently-used eviction.
+//
+//   - The first claimant of a key owns the build; it must publish the entry
+//     with finish exactly once. Later claimants wait on the entry's done
+//     channel and share the result.
+//   - A resident-bytes bound evicts completed entries least-recently-used
+//     first; in-flight entries are never evicted, and eviction never
+//     invalidates a build already holding the value — the pointer keeps the
+//     payload alive.
+//
+// Keys may be any comparable type; one cache can hold several key kinds
+// (the annotated cache keeps flat views and annotated streams in one
+// instance so they share a single budget).
+type byteLRU struct {
+	mu        sync.Mutex
+	entries   map[any]*lruEntry
+	bound     uint64 // resident-bytes bound; 0 = unbounded
+	clock     uint64
+	resident  uint64
+	evictions uint64
+}
+
+// lruEntry is one cached artifact. done is closed when val/err are final.
+type lruEntry struct {
+	done    chan struct{}
+	val     any
+	err     error
+	bytes   uint64 // payload size once built; 0 while in flight or on error
+	lastUse uint64 // LRU clock tick of the most recent claim
+}
+
+// setBound bounds the cache's resident payload bytes; 0 removes the bound.
+// A single entry larger than the bound is still admitted (and becomes the
+// next eviction candidate).
+func (c *byteLRU) setBound(bytes uint64) {
+	c.mu.Lock()
+	c.bound = bytes
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// claim returns the entry for key and whether the caller became its owner.
+// An owner must build the value and call finish; a non-owner must wait on
+// e.done before reading e.val/e.err.
+func (c *byteLRU) claim(key any) (e *lruEntry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if e = c.entries[key]; e != nil {
+		e.lastUse = c.clock
+		return e, false
+	}
+	e = &lruEntry{done: make(chan struct{}), lastUse: c.clock}
+	if c.entries == nil {
+		c.entries = make(map[any]*lruEntry)
+	}
+	c.entries[key] = e
+	return e, true
+}
+
+// finish publishes a built entry: records its payload size, closes the done
+// channel, and applies the bound. The owner sets e.val/e.err before calling.
+func (c *byteLRU) finish(e *lruEntry, bytes uint64) {
+	c.mu.Lock()
+	if e.err == nil {
+		e.bytes = bytes
+		c.resident += bytes
+	}
+	c.mu.Unlock()
+	close(e.done)
+	c.mu.Lock()
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// evictLocked drops completed entries, least recently used first, until the
+// resident bytes fit the bound. In-flight entries (done not yet closed) are
+// skipped: their size is unknown and a waiter may be parked on them.
+func (c *byteLRU) evictLocked() {
+	if c.bound == 0 {
+		return
+	}
+	for c.resident > c.bound {
+		var (
+			victim any
+			found  bool
+			oldest uint64
+		)
+		for k, e := range c.entries {
+			if e.bytes == 0 {
+				continue // in flight or errored; nothing resident
+			}
+			if !found || e.lastUse < oldest {
+				found, oldest, victim = true, e.lastUse, k
+			}
+		}
+		if !found {
+			return // everything resident is in flight; nothing to evict
+		}
+		c.resident -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// reset drops every entry and zeroes the resident and eviction counters,
+// retaining the bound. Intended for tests and batch boundaries.
+func (c *byteLRU) reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.resident = 0
+	c.evictions = 0
+	c.mu.Unlock()
+}
+
+// usage reports the cache's resident payload bytes and evictions so far.
+func (c *byteLRU) usage() (resident, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident, c.evictions
+}

@@ -174,6 +174,11 @@ type SuiteConfig struct {
 	// falls back to the process-wide workload.Materialize cache. It must be
 	// deterministic per (spec, branches) and safe for concurrent calls.
 	Buffer func(spec workload.Spec, branches uint64) (*trace.ReplayBuffer, error)
+	// NoTally disables the stage-3 tally engine: factorable mechanisms are
+	// replayed per-variant on the stage-2 path instead of being served from
+	// geometry-keyed bucket streams. Results are byte-identical either way;
+	// the switch exists for A/B benchmarking and fault isolation.
+	NoTally bool
 }
 
 func (c SuiteConfig) specs() []workload.Spec {

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"branchconf/internal/analysis"
+	"branchconf/internal/bitvec"
+	"branchconf/internal/core"
+	"branchconf/internal/trace"
+	"branchconf/internal/workload"
+)
+
+// Stage 3 of the simulation engine: geometry-keyed bucket streams. For a
+// factorable mechanism (core.Factorable — one- and two-level CIR tables)
+// the per-branch bucket sequence is a pure function of the annotated
+// (PC, Taken, mispredict) stream and the table geometry, never of the
+// reduction function, threshold, or counter policy layered on top. So the
+// engine replays each annotated stream through each geometry exactly once,
+// into a BucketStream: a packed per-branch bucket lane plus the base
+// histogram of pattern → {events, misses} tallies. Every variant over the
+// same geometry is then served by sharing the immutable histogram at O(1)
+// marginal cost — no O(branches) replay — and the build itself runs a monomorphic
+// raw-table kernel (core.Factorable.FillBucketLane) that is several times
+// faster per branch than the interface-dispatched stage-2 replay.
+//
+// The factoring is exact: the lane records precisely the buckets the
+// stage-2 replay would feed its accumulator, so the histogram has
+// identical integer counts and every downstream artefact is byte-identical
+// (asserted by TestBucketStreamMatchesReplay and the tally twins of the
+// engine determinism tests). SuiteConfig.NoTally disables the stage for
+// A/B benchmarking.
+
+// BucketStream is the stage-3 artifact for one (benchmark, predictor
+// config, geometry) triple: the packed per-branch bucket lane and the base
+// histogram tallied from it. A fully built stream is immutable and safe
+// for concurrent use.
+type BucketStream struct {
+	lane   *bitvec.Dense
+	stats  analysis.BucketStats // base histogram: bucket → {events, misses}
+	n      int
+	misses uint64
+}
+
+// Len returns the number of branches in the stream.
+func (b *BucketStream) Len() int { return b.n }
+
+// Bucket returns the i-th per-branch bucket (test and inspection access;
+// bulk consumers use the histogram).
+func (b *BucketStream) Bucket(i int) uint64 { return b.lane.At(i) }
+
+// Stats returns the base histogram for use as a Result's bucket
+// statistics. The map is shared by every variant served from this stream
+// (and by the stream cache) and must be treated as read-only — which every
+// consumer already is: Result.Buckets only ever feeds the read-only
+// analysis composites and the Derive* partitions. Sharing makes the
+// per-variant marginal cost O(1); a caller that genuinely needs a private
+// mutable copy takes Stats().Clone().
+func (b *BucketStream) Stats() analysis.BucketStats { return b.stats }
+
+// Footprint returns the stream's payload bytes: the packed lane plus the
+// base histogram's tally storage.
+func (b *BucketStream) Footprint() uint64 {
+	// Each histogram entry costs one Tally plus a map slot; 32 bytes is the
+	// amortised cost on 64-bit platforms and keeps the bound honest.
+	return b.lane.Bytes() + uint64(len(b.stats))*32
+}
+
+// fusedTallyLimit bounds the fused dense-histogram build path: for bucket
+// widths up to 16 bits (every paper geometry) FillBucketLane counts into a
+// flat 2<<width uint32 array while the bucket value is still in a register,
+// and the separate lane pass (tallyLane) is skipped entirely. Wider lanes
+// fall back to the word-parallel tally kernel over the finished lane.
+const fusedTallyLimit = 16
+
+// countsPool recycles the fused histogram arrays (512 KB at the width cap)
+// between builds; only the 2<<width prefix in use is zeroed per build.
+var countsPool = sync.Pool{
+	New: func() any { return make([]uint32, 2<<fusedTallyLimit) },
+}
+
+// countsToStats converts a fused histogram into the map form the analysis
+// layer consumes, walking buckets in ascending order and backing all
+// tallies with one contiguous block. The integer counts are exactly what
+// the stage-2 replay accumulator would produce.
+func countsToStats(counts []uint32) analysis.BucketStats {
+	occupied := 0
+	for b := 0; b < len(counts); b += 2 {
+		if counts[b] != 0 {
+			occupied++
+		}
+	}
+	bs := make(analysis.BucketStats, occupied)
+	block := make([]analysis.Tally, 0, occupied)
+	for b := 0; b < len(counts); b += 2 {
+		if counts[b] != 0 {
+			block = append(block, analysis.Tally{Events: uint64(counts[b]), Misses: uint64(counts[b+1])})
+			bs[uint64(b>>1)] = &block[len(block)-1]
+		}
+	}
+	return bs
+}
+
+// tallyLane is the word-parallel tally kernel: it folds the packed bucket
+// lane against the packed mispredict bits into per-bucket tallies, loading
+// one lane word per PerWord() branches and one miss word per 64. The
+// result has exactly the integer counts the stage-2 replay accumulator
+// would produce for the same stream.
+func tallyLane(lane *bitvec.Dense, miss []uint64, n int) analysis.BucketStats {
+	acc := newBucketAccum()
+	var (
+		words   = lane.Words()
+		width   = lane.Width()
+		perWord = lane.PerWord()
+		mask    = uint64(1)<<width - 1
+		wi      int
+		shift   uint
+		slot    uint
+		laneWd  uint64
+		missWd  uint64
+	)
+	if width == 64 {
+		mask = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		if uint(i)&63 == 0 {
+			missWd = miss[i>>6]
+		}
+		if slot == 0 {
+			laneWd = words[wi]
+		}
+		acc.add(laneWd>>shift&mask, missWd>>(uint(i)&63)&1 == 1)
+		slot++
+		shift += width
+		if slot == perWord {
+			slot, shift, wi = 0, 0, wi+1
+		}
+	}
+	return acc.stats()
+}
+
+// bucketKey identifies one bucket stream: the benchmark and budget fix the
+// branch stream, the predictor key fixes the mispredict bits, and the
+// geometry key fixes the tables the stream walks.
+type bucketKey struct {
+	spec    workload.Spec
+	n       uint64
+	predKey string
+	geom    string
+}
+
+// bucketCache memoizes bucket streams geometry-keyed, as a sibling
+// instance of the annotated cache's byteLRU. Its resident bound follows
+// -annotate-cache-mb unless -bucket-cache-mb overrides it
+// (SetBucketCacheBound).
+var bucketCache byteLRU
+
+var bucketHits, bucketMisses atomic.Uint64
+
+// bucketBoundOverridden records an explicit SetBucketCacheBound call, after
+// which SetTallyCacheDefaultBound no longer tracks the annotated bound.
+var bucketBoundOverridden atomic.Bool
+
+// SetBucketCacheBound bounds the resident payload bytes of the
+// bucket-stream cache, overriding the default of following the annotated
+// cache's bound. 0 removes the bound.
+func SetBucketCacheBound(bytes uint64) {
+	bucketBoundOverridden.Store(true)
+	bucketCache.setBound(bytes)
+}
+
+// SetTallyCacheDefaultBound points the bucket-stream cache at the shared
+// -annotate-cache-mb budget figure; an explicit SetBucketCacheBound wins.
+func SetTallyCacheDefaultBound(bytes uint64) {
+	if !bucketBoundOverridden.Load() {
+		bucketCache.setBound(bytes)
+	}
+}
+
+// BucketCacheStats reports bucket-stream cache hits and misses since
+// process start (or the last ResetBucketCache), and the resident payload
+// bytes currently held.
+func BucketCacheStats() (hits, misses, residentBytes uint64) {
+	r, _ := bucketCache.usage()
+	return bucketHits.Load(), bucketMisses.Load(), r
+}
+
+// BucketCacheReport returns the bucket-stream cache's full observability
+// counters.
+func BucketCacheReport() CacheStats {
+	r, e := bucketCache.usage()
+	return CacheStats{Hits: bucketHits.Load(), Misses: bucketMisses.Load(), Evictions: e, ResidentBytes: r}
+}
+
+// ResetBucketCache drops every cached bucket stream and zeroes the
+// counters. The bound (and whether it was overridden) is retained.
+func ResetBucketCache() {
+	bucketCache.reset()
+	bucketHits.Store(0)
+	bucketMisses.Store(0)
+}
+
+// bucketStreamFor returns the memoized bucket stream for one (benchmark,
+// predictor config, geometry) triple, building lane and histogram on a
+// cache miss. The caller supplies the benchmark's (flat view, annotated
+// stream) pair it already holds, so the bucket claim never touches the
+// annotated cache. Concurrent claimants of the same key share one build.
+// fm is only read (FillBucketLane replays a private copy of its initial
+// state), so chunk-local mechanism instances are safe to pass from
+// parallel goroutines.
+func bucketStreamFor(cfg SuiteConfig, spec workload.Spec, predKey string, flat *trace.FlatView, ann *AnnotatedStream, fm core.Factorable) (*BucketStream, error) {
+	n := cfg.Branches
+	if n == 0 {
+		n = spec.DefaultBranches
+	}
+	e, owner := bucketCache.claim(bucketKey{spec: spec, n: n, predKey: predKey, geom: fm.GeometryKey()})
+	if !owner {
+		bucketHits.Add(1)
+		<-e.done
+		bs, _ := e.val.(*BucketStream)
+		return bs, e.err
+	}
+	bucketMisses.Add(1)
+	width := fm.BucketWidth()
+	lane := bitvec.NewDense(width, flat.Len())
+	var stats analysis.BucketStats
+	if width <= fusedTallyLimit {
+		counts := countsPool.Get().([]uint32)
+		used := counts[:2<<width]
+		clear(used)
+		fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, used)
+		stats = countsToStats(used)
+		countsPool.Put(counts)
+	} else {
+		fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, nil)
+		stats = tallyLane(lane, ann.MissWords(), ann.n)
+	}
+	bs := &BucketStream{
+		lane:   lane,
+		n:      ann.n,
+		misses: ann.misses,
+		stats:  stats,
+	}
+	e.val = bs
+	bucketCache.finish(e, bs.Footprint())
+	return bs, nil
+}

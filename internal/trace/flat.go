@@ -44,6 +44,12 @@ func (v *FlatView) Len() int { return len(v.recs) }
 // Record returns the i-th decoded record.
 func (v *FlatView) Record(i int) Record { return v.recs[i] }
 
+// Records returns the decoded record slice backing the view. The slice is
+// immutable by contract — it exists so monomorphic stream kernels (the
+// factored bucket-lane builders in internal/core) can walk the lanes
+// without a method call per branch.
+func (v *FlatView) Records() []Record { return v.recs }
+
 // PC returns the i-th branch address.
 func (v *FlatView) PC(i int) uint64 { return v.recs[i].PC }
 
