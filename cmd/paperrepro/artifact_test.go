@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
+)
+
+// resetEngineCaches empties every in-memory tier so the next writeReport
+// behaves like a fresh process and must go through the disk store (or
+// regenerate) rather than hitting the memos warmed by a previous run.
+func resetEngineCaches() {
+	workload.ResetMaterializeCache()
+	sim.ResetAnnotatedCache()
+	sim.ResetBucketCache()
+}
+
+// diskTier extracts the artifact-disk counters from -cache-stats output.
+func diskTier(t *testing.T, errOut string) (hits, misses, verifyFails uint64) {
+	t.Helper()
+	re := regexp.MustCompile(`cache-stats artifact-disk\s+hits=(\d+) misses=(\d+) evictions=\d+ resident_bytes=\d+ verify_fails=(\d+)`)
+	m := re.FindStringSubmatch(errOut)
+	if m == nil {
+		t.Fatalf("no artifact-disk cache-stats line in:\n%s", errOut)
+	}
+	h, _ := strconv.ParseUint(m[1], 10, 64)
+	mi, _ := strconv.ParseUint(m[2], 10, 64)
+	v, _ := strconv.ParseUint(m[3], 10, 64)
+	return h, mi, v
+}
+
+// TestArtifactWarmStart is the persistent tier's core guarantee, asserted
+// end to end: cold, warm, store-disabled, and post-corruption runs of the
+// same report are byte-identical — the disk store can change cost, never
+// results — with disk hits visible on the warm run and corruption both
+// detected and survived.
+func TestArtifactWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the report subset four times")
+	}
+	stubClock(t)
+	dir := t.TempDir()
+	base := reportConfig{
+		branches:   20000,
+		filter:     map[string]bool{"fig2": true, "fig5": true, "fig9": true},
+		parallel:   2,
+		cacheStats: true,
+	}
+	run := func(artifactDir string) (report, errOut string) {
+		t.Helper()
+		resetEngineCaches()
+		var out, errW strings.Builder
+		cfg := base
+		cfg.artifactDir = artifactDir
+		if err := writeReport(&out, &errW, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errW.String()
+	}
+
+	cold, coldErr := run(dir)
+	if hits, _, vf := diskTier(t, coldErr); hits != 0 || vf != 0 {
+		t.Fatalf("cold run saw disk hits=%d verify_fails=%d, want 0/0", hits, vf)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run persisted no artifacts (err=%v)", err)
+	}
+
+	warm, warmErr := run(dir)
+	if warm != cold {
+		t.Error("warm report differs from cold report")
+	}
+	hits, misses, vf := diskTier(t, warmErr)
+	if hits == 0 || vf != 0 {
+		t.Errorf("warm run: disk hits=%d (want >0) verify_fails=%d (want 0)", hits, vf)
+	}
+	if misses != 0 {
+		t.Errorf("warm run still missed the disk tier %d times", misses)
+	}
+
+	noStore, _ := run("")
+	if noStore != cold {
+		t.Error("-no-artifact report differs from cold report")
+	}
+
+	// Flip one bit in the middle of every record: the third run must
+	// detect every corruption, regenerate, and still produce the same
+	// bytes.
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healed, healedErr := run(dir)
+	if healed != cold {
+		t.Error("post-corruption report differs from cold report")
+	}
+	if _, _, vf := diskTier(t, healedErr); vf == 0 {
+		t.Error("corrupted records were not detected")
+	}
+
+	// And the store healed: a fourth run is warm again.
+	final, finalErr := run(dir)
+	if final != cold {
+		t.Error("post-heal report differs from cold report")
+	}
+	if hits, _, vf := diskTier(t, finalErr); hits == 0 || vf != 0 {
+		t.Errorf("post-heal run: disk hits=%d (want >0) verify_fails=%d (want 0)", hits, vf)
+	}
+}
+
+// TestArtifactDirAuto: "-artifact-dir auto" resolves to the user cache
+// directory rather than being taken literally.
+func TestArtifactDirAuto(t *testing.T) {
+	stubClock(t)
+	cacheRoot := t.TempDir()
+	t.Setenv("XDG_CACHE_HOME", cacheRoot)
+	var out, errW strings.Builder
+	err := appMain([]string{"-artifact-dir", "auto", "-only", "fig2", "-branches", "5000"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheRoot, "branchconf", "artifacts", "*.art"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("auto dir persisted no artifacts under %s (err=%v)", cacheRoot, err)
+	}
+}
+
+// TestNoArtifactFlag: -no-artifact wins over -artifact-dir.
+func TestNoArtifactFlag(t *testing.T) {
+	stubClock(t)
+	dir := t.TempDir()
+	var out, errW strings.Builder
+	err := appMain([]string{"-artifact-dir", dir, "-no-artifact", "-only", "fig2", "-branches", "5000"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("-no-artifact still persisted %d artifacts", len(entries))
+	}
+}

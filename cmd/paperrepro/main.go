@@ -14,8 +14,16 @@
 //	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations]
 //	           [-only fig5,table1] [-parallel N]
 //	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
+//	           [-artifact-dir DIR|auto] [-artifact-disk-mb 1024] [-no-artifact]
 //	           [-no-annotate] [-no-tally] [-cache-stats]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -artifact-dir, the engine's three expensive intermediates —
+// materialized traces, annotated streams, and bucket streams — persist in a
+// content-addressed store across process runs, so a repeated invocation
+// warm-starts past trace generation and every predictor walk. The report is
+// byte-identical either way; corruption in the store is detected, discarded
+// and regenerated.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -54,6 +63,9 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		bucketCacheMB = fs.Int64("bucket-cache-mb", -1, "resident bound for the bucket-stream cache in MiB (0 = unbounded, -1 = follow -annotate-cache-mb)")
 		noAnnotate    = fs.Bool("no-annotate", false, "disable the two-stage annotated engine (byte-identical, for benchmarking)")
 		noTally       = fs.Bool("no-tally", false, "disable the stage-3 tally engine (byte-identical, for benchmarking)")
+		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
+		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
+		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
 		cacheStats    = fs.Bool("cache-stats", false, "print per-cache hit/miss/eviction and resident-bytes counters to stderr at exit")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -105,6 +117,17 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	if *bucketCacheMB >= 0 {
 		bucketCacheBytes = *bucketCacheMB << 20
 	}
+	dir := *artifactDir
+	if *noArtifact {
+		dir = ""
+	}
+	if dir == "auto" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return fmt.Errorf("-artifact-dir auto: %w", err)
+		}
+		dir = filepath.Join(base, "branchconf", "artifacts")
+	}
 	err := writeReport(w, errW, reportConfig{
 		branches:         *branches,
 		skipAblations:    *skipAblations,
@@ -116,6 +139,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		noAnnotate:       *noAnnotate,
 		noTally:          *noTally,
 		cacheStats:       *cacheStats,
+		artifactDir:      dir,
+		artifactBudget:   *artifactMB << 20,
 	})
 	if err != nil {
 		return err

@@ -8,9 +8,9 @@ import (
 	"strings"
 	"sync"
 
+	"branchconf/internal/artifact"
 	"branchconf/internal/exp"
 	"branchconf/internal/sim"
-	"branchconf/internal/workload"
 )
 
 // reportConfig controls which experiments run and how output is produced.
@@ -25,6 +25,8 @@ type reportConfig struct {
 	noAnnotate       bool            // force the interleaved single-pass engine
 	noTally          bool            // disable the stage-3 tally engine
 	cacheStats       bool            // print per-cache counters to errW at exit
+	artifactDir      string          // persistent artifact store directory ("" = disabled)
+	artifactBudget   uint64          // artifact store disk budget in bytes (0 = unbounded)
 }
 
 // writeReport runs the selected experiments against one shared session and
@@ -33,6 +35,14 @@ type reportConfig struct {
 // assembled in registration order regardless of completion order, so the
 // report bytes do not depend on the parallelism level.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
+	if cfg.artifactDir != "" {
+		store, err := artifact.Open(cfg.artifactDir, cfg.artifactBudget)
+		if err != nil {
+			return err
+		}
+		artifact.SetDefault(store)
+		defer artifact.SetDefault(nil)
+	}
 	sim.SetAnnotatedCacheBound(cfg.annCacheBytes)
 	sim.SetTallyCacheDefaultBound(cfg.annCacheBytes)
 	if cfg.bucketCacheBytes >= 0 {
@@ -117,23 +127,25 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		fmt.Fprintf(w, "\n_(ran in %.1fs)_\n\n", r.elapsed)
 	}
 	if cfg.progress {
+		tiers := exp.CacheTiers()
 		pHits, pMisses := session.Stats()
-		tHits, tMisses := workload.MaterializeStats()
-		aHits, aMisses, aResident := sim.AnnotatedCacheStats()
-		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident); annotated cache: %d hits, %d misses (%.1f MB resident)\n",
-			pHits, pMisses, tHits, tMisses, float64(workload.MaterializeFootprint())/(1<<20),
-			aHits, aMisses, float64(aResident)/(1<<20))
+		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident); annotated cache: %d hits, %d misses (%.1f MB resident); bucket cache: %d hits, %d misses; artifact disk: %d hits, %d misses\n",
+			pHits, pMisses, tiers[0].Stats.Hits, tiers[0].Stats.Misses, float64(tiers[0].Stats.ResidentBytes)/(1<<20),
+			tiers[1].Stats.Hits, tiers[1].Stats.Misses, float64(tiers[1].Stats.ResidentBytes)/(1<<20),
+			tiers[2].Stats.Hits, tiers[2].Stats.Misses, tiers[3].Stats.Hits, tiers[3].Stats.Misses)
 	}
 	if cfg.cacheStats {
-		printCacheStats(errW, "annotated-stream", sim.AnnotatedCacheReport())
-		printCacheStats(errW, "bucket-stream", sim.BucketCacheReport())
+		for _, tier := range exp.CacheTiers() {
+			printCacheStats(errW, tier.Name, tier.Stats)
+		}
 	}
 	return nil
 }
 
-// printCacheStats renders one cache's observability counters for the
-// -cache-stats flag.
-func printCacheStats(errW io.Writer, name string, s sim.CacheStats) {
-	fmt.Fprintf(errW, "cache-stats %-16s hits=%d misses=%d evictions=%d resident_bytes=%d\n",
-		name, s.Hits, s.Misses, s.Evictions, s.ResidentBytes)
+// printCacheStats renders one cache tier's counters for the -cache-stats
+// flag: the uniform hit/miss/eviction/resident quad plus the verify-fail
+// count, which only the checksummed disk tier can move.
+func printCacheStats(errW io.Writer, name string, s artifact.TierStats) {
+	fmt.Fprintf(errW, "cache-stats %-16s hits=%d misses=%d evictions=%d resident_bytes=%d verify_fails=%d\n",
+		name, s.Hits, s.Misses, s.Evictions, s.ResidentBytes, s.VerifyFails)
 }

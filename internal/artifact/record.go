@@ -1,0 +1,95 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+)
+
+// The on-disk record format, version 1. One artifact file is exactly one
+// record:
+//
+//	offset  size  field
+//	0       4     magic "BCA1"
+//	4       2     format version (little-endian)
+//	6       2     kind
+//	8       4     key length K
+//	12      8     payload length P
+//	20      K     key bytes (the full canonical key, not its hash)
+//	20+K    P     payload bytes
+//	20+K+P  8     CRC-64/ECMA over bytes [0, 20+K+P)
+//
+// Every field is length-prefixed and the checksum covers header, key and
+// payload, so truncation, bit flips and cross-kind or cross-key aliasing all
+// fail closed with ErrCorrupt: a decode can return the original payload or
+// an error, never a different stream.
+
+// FormatVersion is the artifact codec version. It participates in both the
+// record header and (by convention) the callers' key strings; bump it when
+// any payload codec or key canonicalization changes shape.
+const FormatVersion = 1
+
+var recordMagic = [4]byte{'B', 'C', 'A', '1'}
+
+// recordHeaderLen is the fixed prefix before the key bytes.
+const recordHeaderLen = 4 + 2 + 2 + 4 + 8
+
+// recordOverhead is the non-payload cost of a record with a key of length k.
+func recordOverhead(k int) int { return recordHeaderLen + k + 8 }
+
+// ErrCorrupt reports that a record failed structural or checksum
+// verification. The store treats it as a cache miss: the entry is deleted
+// and the artifact regenerated.
+var ErrCorrupt = errors.New("artifact: corrupt record")
+
+// crcTable is the ECMA polynomial table shared by encode and decode.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// EncodeRecord frames payload as one versioned, checksummed record for
+// (kind, key).
+func EncodeRecord(kind uint16, key string, payload []byte) []byte {
+	buf := make([]byte, 0, recordOverhead(len(key))+len(payload))
+	buf = append(buf, recordMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, FormatVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
+}
+
+// DecodeRecord verifies data as a record for (kind, key) and returns its
+// payload (aliasing data's backing array). Any mismatch — magic, version,
+// kind, key, lengths, or checksum — returns an error wrapping ErrCorrupt.
+func DecodeRecord(data []byte, kind uint16, key string) ([]byte, error) {
+	if len(data) < recordOverhead(0) {
+		return nil, fmt.Errorf("%w: %d bytes, below minimum record size", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[0:4]) != recordMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, FormatVersion)
+	}
+	if k := binary.LittleEndian.Uint16(data[6:8]); k != kind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrCorrupt, k, kind)
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[8:12]))
+	payLen := binary.LittleEndian.Uint64(data[12:20])
+	// Check the total length with overflow-safe arithmetic: payLen is
+	// attacker- (well, bit-flip-) controlled and must not wrap the sum.
+	rest := uint64(len(data) - recordHeaderLen - 8)
+	if uint64(keyLen) > rest || payLen != rest-uint64(keyLen) {
+		return nil, fmt.Errorf("%w: lengths (key %d, payload %d) disagree with record size %d", ErrCorrupt, keyLen, payLen, len(data))
+	}
+	if string(data[recordHeaderLen:recordHeaderLen+keyLen]) != key {
+		return nil, fmt.Errorf("%w: key mismatch", ErrCorrupt)
+	}
+	body := data[:len(data)-8]
+	if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(data[len(data)-8:]); got != want {
+		return nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+	}
+	return data[recordHeaderLen+keyLen : len(data)-8], nil
+}

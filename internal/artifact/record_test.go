@@ -1,0 +1,111 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind    uint16
+		key     string
+		payload []byte
+	}{
+		{KindReplayBuffer, "replay|v1|spec|n=100", []byte("hello payload")},
+		{KindAnnotatedStream, "ann|v1|x", nil},
+		{KindBucketStream, "", bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, c := range cases {
+		rec := EncodeRecord(c.kind, c.key, c.payload)
+		got, err := DecodeRecord(rec, c.kind, c.key)
+		if err != nil {
+			t.Fatalf("kind=%d key=%q: decode failed: %v", c.kind, c.key, err)
+		}
+		if !bytes.Equal(got, c.payload) {
+			t.Fatalf("kind=%d key=%q: payload mismatch", c.kind, c.key)
+		}
+	}
+}
+
+func TestRecordRejectsMismatchedIdentity(t *testing.T) {
+	rec := EncodeRecord(KindReplayBuffer, "the-key", []byte("data"))
+	if _, err := DecodeRecord(rec, KindAnnotatedStream, "the-key"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong kind accepted: %v", err)
+	}
+	if _, err := DecodeRecord(rec, KindReplayBuffer, "other-key"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong key accepted: %v", err)
+	}
+	// Same length, different content: the embedded key must be compared,
+	// not just its length.
+	if _, err := DecodeRecord(rec, KindReplayBuffer, "the-keY"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("same-length wrong key accepted: %v", err)
+	}
+}
+
+// TestRecordTruncation: every proper prefix of a valid record must decode
+// to ErrCorrupt — never a panic, never a payload.
+func TestRecordTruncation(t *testing.T) {
+	rec := EncodeRecord(KindBucketStream, "bucket|k", []byte("0123456789abcdef"))
+	for n := 0; n < len(rec); n++ {
+		got, err := DecodeRecord(rec[:n], KindBucketStream, "bucket|k")
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err=%v", n, err)
+		}
+		if got != nil {
+			t.Fatalf("truncation to %d bytes returned a payload", n)
+		}
+	}
+}
+
+// TestRecordBitFlips: flipping any single bit anywhere in the record must
+// yield ErrCorrupt. This is the fail-closed property the warm-start path
+// depends on: corruption costs regeneration time, never correctness.
+func TestRecordBitFlips(t *testing.T) {
+	rec := EncodeRecord(KindAnnotatedStream, "ann|key", []byte("payload bytes under test"))
+	for i := range rec {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(rec)
+			mut[i] ^= 1 << bit
+			got, err := DecodeRecord(mut, KindAnnotatedStream, "ann|key")
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err=%v", i, bit, err)
+			}
+			if got != nil {
+				t.Fatalf("flip byte %d bit %d returned a payload", i, bit)
+			}
+		}
+	}
+}
+
+// TestRecordAppendedGarbage: trailing bytes shift the checksum window and
+// must be rejected.
+func TestRecordAppendedGarbage(t *testing.T) {
+	rec := EncodeRecord(KindReplayBuffer, "k", []byte("p"))
+	rec = append(rec, 0x00)
+	if _, err := DecodeRecord(rec, KindReplayBuffer, "k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("record with trailing garbage accepted: %v", err)
+	}
+}
+
+// FuzzDecodeRecord drives arbitrary bytes through the decoder: it must
+// never panic, and anything it accepts must re-encode to the same bytes —
+// i.e. the only accepted inputs are genuine records for (kind, key).
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(EncodeRecord(KindReplayBuffer, "seed-key", []byte("seed payload")))
+	f.Add(EncodeRecord(KindReplayBuffer, "seed-key", nil))
+	f.Add([]byte{})
+	f.Add([]byte("BCA1 not a real record but starts with the magic....."))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeRecord(data, KindReplayBuffer, "seed-key")
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeRecord(KindReplayBuffer, "seed-key", payload), data) {
+			t.Fatalf("accepted record does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package artifact
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Store is a content-addressed artifact directory. Every entry is one
+// record file named by the SHA-256 of (kind, key); an access-time-tracked
+// index drives LRU garbage collection against a disk budget.
+//
+// A Store is safe for concurrent use by any number of goroutines, and the
+// directory is safe to share between processes: writes are temp-file +
+// atomic-rename, loads verify the record checksum, and a reader that loses
+// a race with GC simply sees a miss.
+type Store struct {
+	dir    string
+	budget uint64 // resident-bytes bound; 0 = unbounded
+
+	mu       sync.Mutex
+	index    map[string]*storeEntry // file name -> size and last use
+	resident uint64
+
+	hits, misses, verifyFails, evictions uint64
+}
+
+// bump increments one counter under the store mutex.
+func (s *Store) bump(c *uint64) { s.mu.Lock(); *c++; s.mu.Unlock() }
+
+// storeEntry tracks one on-disk record for the LRU index.
+type storeEntry struct {
+	size    uint64
+	lastUse time.Time
+}
+
+// Open opens (creating if necessary) the artifact directory and builds the
+// LRU index from the records already present, seeding each entry's last-use
+// time from the file's modification time — Get refreshes it on every hit,
+// both in the index and on disk, so recency survives process restarts. A
+// nonzero budget bounds the directory's resident bytes; opening an
+// over-budget directory evicts immediately.
+func Open(dir string, budgetBytes uint64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("artifact: opening store: %w", err)
+	}
+	s := &Store{dir: dir, budget: budgetBytes, index: make(map[string]*storeEntry)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: scanning store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != artExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with another process's GC
+		}
+		s.index[e.Name()] = &storeEntry{size: uint64(info.Size()), lastUse: info.ModTime()}
+		s.resident += uint64(info.Size())
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// artExt marks record files; anything else in the directory is ignored.
+const artExt = ".art"
+
+// fileName derives the content address for (kind, key).
+func fileName(kind uint16, key string) string {
+	h := sha256.New()
+	var k [2]byte
+	binary.LittleEndian.PutUint16(k[:], kind)
+	h.Write(k[:])
+	h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil)) + artExt
+}
+
+// Get returns the payload stored for (kind, key), or ok == false on a miss.
+// A record that fails verification is deleted and reported as a miss (after
+// bumping the verify-fail counter); the caller regenerates and re-Puts.
+func (s *Store) Get(kind uint16, key string) (payload []byte, ok bool) {
+	pprof.Do(context.Background(), pprof.Labels("stage", "artifact-load"), func(context.Context) {
+		payload, ok = s.get(kind, key)
+	})
+	return payload, ok
+}
+
+func (s *Store) get(kind uint16, key string) ([]byte, bool) {
+	name := fileName(kind, key)
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		s.bump(&s.misses)
+		return nil, false
+	}
+	payload, err := DecodeRecord(data, kind, key)
+	if err != nil {
+		s.mu.Lock()
+		s.verifyFails++
+		s.misses++
+		s.mu.Unlock()
+		s.remove(name)
+		return nil, false
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.hits++
+	if e := s.index[name]; e != nil {
+		e.lastUse = now
+	} else {
+		// Another process wrote the record after our Open scan; adopt it.
+		s.index[name] = &storeEntry{size: uint64(len(data)), lastUse: now}
+		s.resident += uint64(len(data))
+	}
+	s.mu.Unlock()
+	// Persist the access time as the file mtime so a future process's index
+	// scan sees today's recency. Best effort: a failure only ages the entry.
+	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
+	return payload, true
+}
+
+// Put persists payload for (kind, key) through a temp file and an atomic
+// rename, then applies the disk budget. Races between processes are benign:
+// both writers hold identical bytes (payloads are pure functions of the
+// key), and rename makes whichever lands last the single complete record.
+func (s *Store) Put(kind uint16, key string, payload []byte) (err error) {
+	pprof.Do(context.Background(), pprof.Labels("stage", "artifact-store"), func(context.Context) {
+		err = s.put(kind, key, payload)
+	})
+	return err
+}
+
+func (s *Store) put(kind uint16, key string, payload []byte) error {
+	record := EncodeRecord(kind, key, payload)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: staging record: %w", err)
+	}
+	_, werr := tmp.Write(record)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: staging record: %w", joinErr(werr, cerr))
+	}
+	name := fileName(kind, key)
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: publishing record: %w", err)
+	}
+	s.mu.Lock()
+	if e := s.index[name]; e != nil {
+		s.resident -= e.size
+	}
+	s.index[name] = &storeEntry{size: uint64(len(record)), lastUse: time.Now()}
+	s.resident += uint64(len(record))
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// joinErr returns the first non-nil error (Put's staging failure detail).
+func joinErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// remove deletes one record file and drops it from the index (used for
+// verify failures and eviction victims).
+func (s *Store) remove(name string) {
+	s.mu.Lock()
+	if e := s.index[name]; e != nil {
+		s.resident -= e.size
+		delete(s.index, name)
+	}
+	s.mu.Unlock()
+	_ = os.Remove(filepath.Join(s.dir, name))
+}
+
+// evictLocked deletes records least-recently-used first until resident
+// bytes fit the budget. Deleting under mu keeps the index and counters
+// coherent; an open reader elsewhere keeps its already-opened bytes (POSIX
+// unlink), it just misses next time.
+func (s *Store) evictLocked() {
+	if s.budget == 0 {
+		return
+	}
+	for s.resident > s.budget && len(s.index) > 0 {
+		var victim string
+		var oldest time.Time
+		for name, e := range s.index {
+			if victim == "" || e.lastUse.Before(oldest) {
+				victim, oldest = name, e.lastUse
+			}
+		}
+		s.resident -= s.index[victim].size
+		delete(s.index, victim)
+		s.evictions++
+		_ = os.Remove(filepath.Join(s.dir, victim))
+	}
+}
+
+// Drop deletes the record for (kind, key), counting it as a verify failure.
+// Callers use it when a payload that passed record verification still fails
+// its type-level decode — possible only under a codec bug or an
+// astronomically unlikely checksum collision, but fail-closed is cheap.
+func (s *Store) Drop(kind uint16, key string) {
+	s.bump(&s.verifyFails)
+	s.remove(fileName(kind, key))
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the store's observability counters. ResidentBytes counts
+// whole record files (payload plus framing), matching what the disk budget
+// governs.
+func (s *Store) Stats() TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TierStats{
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Evictions:     s.evictions,
+		ResidentBytes: s.resident,
+		VerifyFails:   s.verifyFails,
+	}
+}

@@ -1,0 +1,196 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreGetPut(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, "k1"); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(KindReplayBuffer, "k1", []byte("payload-1")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(KindReplayBuffer, "k1")
+	if !ok || !bytes.Equal(got, []byte("payload-1")) {
+		t.Fatalf("Get after Put: ok=%v payload=%q", ok, got)
+	}
+	// Same key under a different kind is a distinct entry.
+	if _, ok := s.Get(KindAnnotatedStream, "k1"); ok {
+		t.Fatal("kind does not separate the address space")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.VerifyFails != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+	if st.ResidentBytes == 0 {
+		t.Fatal("resident bytes not tracked")
+	}
+}
+
+// TestStoreCorruptRecordDeleted: a record that fails verification is
+// removed from disk and counted, and the slot is reusable.
+func TestStoreCorruptRecordDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindBucketStream, "key", []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(KindBucketStream, "key"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindBucketStream, "key"); ok {
+		t.Fatal("corrupt record served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record not deleted: %v", err)
+	}
+	st := s.Stats()
+	if st.VerifyFails != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 verify fail counted as a miss", st)
+	}
+	// Regeneration path: Put again, Get serves the fresh bytes.
+	if err := s.Put(KindBucketStream, "key", []byte("regenerated")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(KindBucketStream, "key"); !ok || string(got) != "regenerated" {
+		t.Fatalf("regenerated record not served: ok=%v %q", ok, got)
+	}
+}
+
+// TestStoreEvictsLRU: with a budget that holds two records, touching the
+// older one flips the eviction order — the untouched record goes first.
+func TestStoreEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{1}, 1000)
+	rec := uint64(len(EncodeRecord(KindReplayBuffer, "a", payload)))
+	s, err := Open(dir, 2*rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindReplayBuffer, "a", payload); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // order lastUse stamps
+	if err := s.Put(KindReplayBuffer, "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if _, ok := s.Get(KindReplayBuffer, "a"); !ok { // refresh a's recency
+		t.Fatal("record a missing before eviction")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Put(KindReplayBuffer, "c", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, "b"); ok {
+		t.Fatal("least-recently-used record b survived eviction")
+	}
+	if _, ok := s.Get(KindReplayBuffer, "a"); !ok {
+		t.Fatal("recently-used record a evicted")
+	}
+	if _, ok := s.Get(KindReplayBuffer, "c"); !ok {
+		t.Fatal("newest record c evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.ResidentBytes > 2*rec {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, 2*rec)
+	}
+}
+
+// TestStoreReopenIndex: a fresh Open over an existing directory serves the
+// old records and enforces the budget immediately.
+func TestStoreReopenIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindAnnotatedStream, "persisted", []byte("across processes")); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Stats().ResidentBytes
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(KindAnnotatedStream, "persisted"); !ok || string(got) != "across processes" {
+		t.Fatalf("reopened store lost the record: ok=%v %q", ok, got)
+	}
+	if got := s2.Stats().ResidentBytes; got != want {
+		t.Fatalf("rescanned resident bytes = %d, want %d", got, want)
+	}
+
+	// Reopen with a budget of one byte: everything evicts at Open.
+	s3, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.ResidentBytes != 0 || st.Evictions == 0 {
+		t.Fatalf("over-budget reopen kept records: %+v", st)
+	}
+	if _, ok := s3.Get(KindAnnotatedStream, "persisted"); ok {
+		t.Fatal("evicted record still served")
+	}
+}
+
+func TestStoreDrop(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindReplayBuffer, "k", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop(KindReplayBuffer, "k")
+	if _, ok := s.Get(KindReplayBuffer, "k"); ok {
+		t.Fatal("dropped record still served")
+	}
+	if st := s.Stats(); st.VerifyFails != 1 {
+		t.Fatalf("Drop did not count a verify failure: %+v", st)
+	}
+}
+
+// TestDefaultStore: the package default is a nil-safe indirection — Get
+// misses, Put discards, and Report is zero until a store is installed.
+func TestDefaultStore(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default store unexpectedly set")
+	}
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefault(s)
+	defer SetDefault(nil)
+	if Default() != s {
+		t.Fatal("SetDefault did not install the store")
+	}
+	if err := Default().Put(KindReplayBuffer, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Report(); got.Misses != 0 || got.ResidentBytes == 0 {
+		t.Fatalf("Report = %+v", got)
+	}
+}

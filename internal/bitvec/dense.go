@@ -41,6 +41,46 @@ func NewDense(width uint, n int) *Dense {
 	}
 }
 
+// DenseFromWords reconstructs a packed array of n width-bit values from its
+// backing words, in the layout Words returns (value j of word i in bits
+// [j*width, (j+1)*width), unused high bits zero). It is the inverse of
+// Words + Len + Width, used by the persistence codecs (internal/sim) to
+// revive lanes from verified artifact payloads. Unlike NewDense it returns
+// errors instead of panicking: the input is a decoded file, not caller
+// code, and a malformed shape must surface as artifact corruption.
+func DenseFromWords(width uint, words []uint64, n int) (*Dense, error) {
+	if width == 0 || width > 64 {
+		return nil, fmt.Errorf("bitvec: DenseFromWords width %d out of range [1,64]", width)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("bitvec: DenseFromWords with negative length %d", n)
+	}
+	perWord := 64 / width
+	need := (n + int(perWord) - 1) / int(perWord)
+	if len(words) != need {
+		return nil, fmt.Errorf("bitvec: DenseFromWords got %d words for %d values of width %d (want %d)", len(words), n, width, need)
+	}
+	if used := perWord * width; used < 64 {
+		for i, w := range words {
+			if w>>used != 0 {
+				return nil, fmt.Errorf("bitvec: DenseFromWords word %d has nonzero bits above slot %d", i, perWord)
+			}
+		}
+	}
+	slot := uint(n) % perWord
+	if slot != 0 && words[len(words)-1]>>(slot*width) != 0 {
+		return nil, fmt.Errorf("bitvec: DenseFromWords has nonzero bits beyond length %d", n)
+	}
+	return &Dense{
+		words:   words,
+		width:   width,
+		perWord: perWord,
+		mask:    maskOf(width),
+		shift:   slot * width,
+		n:       n,
+	}, nil
+}
+
 // Append adds one value at index Len(). Bits above the configured width are
 // discarded, matching the hardware register the lane models.
 func (d *Dense) Append(v uint64) {

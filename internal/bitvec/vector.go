@@ -24,6 +24,26 @@ func NewVector(n int) *Vector {
 	return &Vector{words: make([]uint64, 0, (n+63)/64)}
 }
 
+// MakeVector reconstructs a vector of n bits from its packed words, in the
+// layout Words returns: bit i lives at bit i&63 of word i>>6, and every bit
+// of the final word at or above n&63 is zero. It is the inverse of Words +
+// Len, used by the persistence codecs (internal/trace, internal/sim) to
+// revive vectors from verified artifact payloads; the shape checks make a
+// structurally inconsistent payload an error rather than a vector whose
+// readers disagree about its length.
+func MakeVector(words []uint64, n int) (Vector, error) {
+	if n < 0 {
+		return Vector{}, fmt.Errorf("bitvec: MakeVector with negative length %d", n)
+	}
+	if need := (n + 63) / 64; len(words) != need {
+		return Vector{}, fmt.Errorf("bitvec: MakeVector got %d words for %d bits (want %d)", len(words), n, need)
+	}
+	if rem := uint(n) & 63; rem != 0 && words[len(words)-1]>>rem != 0 {
+		return Vector{}, fmt.Errorf("bitvec: MakeVector has nonzero bits beyond length %d", n)
+	}
+	return Vector{words: words, n: n}, nil
+}
+
 // Append adds one bit at index Len().
 func (v *Vector) Append(bit bool) {
 	if v.n&63 == 0 {

@@ -111,7 +111,7 @@ func TestAnnotatedMatchesInterleavedArtefacts(t *testing.T) {
 			t.Errorf("%s: annotated-engine artefact differs from interleaved engine", id)
 		}
 	}
-	if hits, misses, _ := sim.AnnotatedCacheStats(); hits == 0 && misses == 0 {
+	if rep := sim.AnnotatedCacheReport(); rep.Hits == 0 && rep.Misses == 0 {
 		t.Error("annotated engine did not touch the annotated cache")
 	}
 }

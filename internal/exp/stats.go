@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"branchconf/internal/artifact"
+	"branchconf/internal/sim"
+	"branchconf/internal/workload"
+)
+
+// CacheTier is one engine cache's name and uniform counter quad, in the
+// order the pipeline consults them.
+type CacheTier struct {
+	Name  string
+	Stats artifact.TierStats
+}
+
+// CacheTiers snapshots every tier of the four-level cache hierarchy the
+// engine runs on — materialize memo, annotated-stream LRU, bucket-stream
+// LRU, and the persistent disk store — under one uniform
+// hit/miss/eviction/resident quad (plus the disk tier's verify-fail
+// count), so the -cache-stats table renders all tiers identically.
+func CacheTiers() []CacheTier {
+	return []CacheTier{
+		{Name: "trace-memo", Stats: workload.MaterializeReport()},
+		{Name: "annotated-stream", Stats: sim.AnnotatedCacheReport()},
+		{Name: "bucket-stream", Stats: sim.BucketCacheReport()},
+		{Name: "artifact-disk", Stats: artifact.Report()},
+	}
+}

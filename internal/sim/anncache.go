@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"sync/atomic"
 
+	"branchconf/internal/artifact"
 	"branchconf/internal/predictor"
 	"branchconf/internal/trace"
 	"branchconf/internal/workload"
@@ -41,12 +43,10 @@ var annCache byteLRU
 var annHits, annMisses atomic.Uint64
 
 // CacheStats is one cache's observability snapshot, as printed under the
-// paperrepro -cache-stats flag.
-type CacheStats struct {
-	Hits, Misses  uint64
-	Evictions     uint64
-	ResidentBytes uint64
-}
+// paperrepro -cache-stats flag — the uniform hit/miss/eviction/resident
+// quad shared by every tier (the disk tier additionally moves the
+// verify-fail counter; in-memory tiers leave it zero).
+type CacheStats = artifact.TierStats
 
 // SetAnnotatedCacheBound bounds the resident payload bytes of the annotated
 // cache (flat views plus annotated streams). 0 removes the bound. When an
@@ -57,17 +57,9 @@ func SetAnnotatedCacheBound(bytes uint64) {
 	annCache.setBound(bytes)
 }
 
-// AnnotatedCacheStats reports annotated-stream cache hits and misses since
-// process start (or the last ResetAnnotatedCache), and the resident payload
-// bytes currently held.
-func AnnotatedCacheStats() (hits, misses, residentBytes uint64) {
-	r, _ := annCache.usage()
-	return annHits.Load(), annMisses.Load(), r
-}
-
-// AnnotatedCacheReport returns the annotated cache's full observability
-// counters (claims of annotated streams; resident bytes include the flat
-// views sharing the budget).
+// AnnotatedCacheReport returns the annotated cache's observability quad
+// (claims of annotated streams; resident bytes include the flat views
+// sharing the budget).
 func AnnotatedCacheReport() CacheStats {
 	r, e := annCache.usage()
 	return CacheStats{Hits: annHits.Load(), Misses: annMisses.Load(), Evictions: e, ResidentBytes: r}
@@ -127,8 +119,50 @@ func annotatedFor(cfg SuiteConfig, spec workload.Spec, predKey string, newPred f
 		return flat, ann, e.err
 	}
 	annMisses.Add(1)
-	ann := Annotate(flat, newPred())
+	ann := annotatedFromDisk(spec, n, predKey, flat)
+	if ann == nil {
+		ann = Annotate(flat, newPred())
+		annotatedToDisk(spec, n, predKey, ann)
+	}
 	e.val = ann
 	annCache.finish(e, ann.Footprint())
 	return flat, ann, e.err
+}
+
+// annArtifactKey is the canonical disk-store key for one annotated stream:
+// codec version, full spec identity, resolved budget, and predictor config.
+func annArtifactKey(spec workload.Spec, n uint64, predKey string) string {
+	return fmt.Sprintf("ann|v%d|%s|n=%d|pred=%s", artifact.FormatVersion, spec.CacheKey(), n, predKey)
+}
+
+// annotatedFromDisk consults the persistent artifact tier on an in-memory
+// miss, returning nil when the tier is disabled, cold, or fails
+// verification (the predictor stage then runs as usual). The decoded
+// stream must cover exactly the flat view's branches; anything else is
+// treated as corruption and dropped.
+func annotatedFromDisk(spec workload.Spec, n uint64, predKey string, flat *trace.FlatView) *AnnotatedStream {
+	s := artifact.Default()
+	if s == nil {
+		return nil
+	}
+	key := annArtifactKey(spec, n, predKey)
+	payload, ok := s.Get(artifact.KindAnnotatedStream, key)
+	if !ok {
+		return nil
+	}
+	ann, err := unmarshalAnnotatedStream(payload)
+	if err != nil || ann.n != flat.Len() {
+		s.Drop(artifact.KindAnnotatedStream, key)
+		return nil
+	}
+	return ann
+}
+
+// annotatedToDisk publishes a freshly annotated stream to the persistent
+// tier, best effort: write failures only cost the next process a cold
+// start.
+func annotatedToDisk(spec workload.Spec, n uint64, predKey string, ann *AnnotatedStream) {
+	if s := artifact.Default(); s != nil {
+		_ = s.Put(artifact.KindAnnotatedStream, annArtifactKey(spec, n, predKey), marshalAnnotatedStream(ann))
+	}
 }

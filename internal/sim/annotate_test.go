@@ -164,7 +164,8 @@ func TestRunSuiteAnnotatedMatchesBatch(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("annotated suite diverges from batched suite")
 	}
-	hits, misses, resident := AnnotatedCacheStats()
+	rep := AnnotatedCacheReport()
+	hits, misses, resident := rep.Hits, rep.Misses, rep.ResidentBytes
 	if hits != 0 {
 		t.Fatalf("first annotated run: want 0 hits, got %d", hits)
 	}
@@ -178,7 +179,8 @@ func TestRunSuiteAnnotatedMatchesBatch(t *testing.T) {
 	if !reflect.DeepEqual(again, want) {
 		t.Fatal("cached annotated suite diverges")
 	}
-	hits2, misses2, _ := AnnotatedCacheStats()
+	rep2 := AnnotatedCacheReport()
+	hits2, misses2 := rep2.Hits, rep2.Misses
 	if hits2 == 0 {
 		t.Fatal("second annotated run took no cache hits")
 	}
@@ -243,7 +245,7 @@ func TestAnnotatedCacheBound(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("bounded annotated suite diverges from batched suite")
 	}
-	if _, _, resident := AnnotatedCacheStats(); resident > 1 {
+	if resident := AnnotatedCacheReport().ResidentBytes; resident > 1 {
 		t.Fatalf("bound 1 byte: resident %d bytes after run", resident)
 	}
 	// A rerun must still be correct (all misses, no stale state).

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"branchconf/internal/analysis"
+	"branchconf/internal/artifact"
 	"branchconf/internal/bitvec"
 	"branchconf/internal/core"
 	"branchconf/internal/trace"
@@ -177,16 +179,7 @@ func SetTallyCacheDefaultBound(bytes uint64) {
 	}
 }
 
-// BucketCacheStats reports bucket-stream cache hits and misses since
-// process start (or the last ResetBucketCache), and the resident payload
-// bytes currently held.
-func BucketCacheStats() (hits, misses, residentBytes uint64) {
-	r, _ := bucketCache.usage()
-	return bucketHits.Load(), bucketMisses.Load(), r
-}
-
-// BucketCacheReport returns the bucket-stream cache's full observability
-// counters.
+// BucketCacheReport returns the bucket-stream cache's observability quad.
 func BucketCacheReport() CacheStats {
 	r, e := bucketCache.usage()
 	return CacheStats{Hits: bucketHits.Load(), Misses: bucketMisses.Load(), Evictions: e, ResidentBytes: r}
@@ -221,27 +214,69 @@ func bucketStreamFor(cfg SuiteConfig, spec workload.Spec, predKey string, flat *
 		return bs, e.err
 	}
 	bucketMisses.Add(1)
-	width := fm.BucketWidth()
-	lane := bitvec.NewDense(width, flat.Len())
-	var stats analysis.BucketStats
-	if width <= fusedTallyLimit {
-		counts := countsPool.Get().([]uint32)
-		used := counts[:2<<width]
-		clear(used)
-		fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, used)
-		stats = countsToStats(used)
-		countsPool.Put(counts)
-	} else {
-		fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, nil)
-		stats = tallyLane(lane, ann.MissWords(), ann.n)
-	}
-	bs := &BucketStream{
-		lane:   lane,
-		n:      ann.n,
-		misses: ann.misses,
-		stats:  stats,
+	bs := bucketStreamFromDisk(spec, n, predKey, fm.GeometryKey(), ann)
+	if bs == nil {
+		width := fm.BucketWidth()
+		lane := bitvec.NewDense(width, flat.Len())
+		var stats analysis.BucketStats
+		if width <= fusedTallyLimit {
+			counts := countsPool.Get().([]uint32)
+			used := counts[:2<<width]
+			clear(used)
+			fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, used)
+			stats = countsToStats(used)
+			countsPool.Put(counts)
+		} else {
+			fm.FillBucketLane(flat.Records(), ann.MissWords(), lane, nil)
+			stats = tallyLane(lane, ann.MissWords(), ann.n)
+		}
+		bs = &BucketStream{
+			lane:   lane,
+			n:      ann.n,
+			misses: ann.misses,
+			stats:  stats,
+		}
+		bucketStreamToDisk(spec, n, predKey, fm.GeometryKey(), bs)
 	}
 	e.val = bs
 	bucketCache.finish(e, bs.Footprint())
 	return bs, nil
+}
+
+// bucketArtifactKey is the canonical disk-store key for one bucket stream:
+// codec version, full spec identity, resolved budget, predictor config,
+// and table geometry.
+func bucketArtifactKey(spec workload.Spec, n uint64, predKey, geom string) string {
+	return fmt.Sprintf("bucket|v%d|%s|n=%d|pred=%s|geom=%s", artifact.FormatVersion, spec.CacheKey(), n, predKey, geom)
+}
+
+// bucketStreamFromDisk consults the persistent artifact tier on an
+// in-memory miss, returning nil when the tier is disabled, cold, or fails
+// verification (the fill kernel then runs as usual). The decoded stream
+// must agree with the annotated stream on branch and miss counts; anything
+// else is treated as corruption and dropped.
+func bucketStreamFromDisk(spec workload.Spec, n uint64, predKey, geom string, ann *AnnotatedStream) *BucketStream {
+	s := artifact.Default()
+	if s == nil {
+		return nil
+	}
+	key := bucketArtifactKey(spec, n, predKey, geom)
+	payload, ok := s.Get(artifact.KindBucketStream, key)
+	if !ok {
+		return nil
+	}
+	bs, err := unmarshalBucketStream(payload)
+	if err != nil || bs.n != ann.n || bs.misses != ann.misses {
+		s.Drop(artifact.KindBucketStream, key)
+		return nil
+	}
+	return bs
+}
+
+// bucketStreamToDisk publishes a freshly built bucket stream to the
+// persistent tier, best effort.
+func bucketStreamToDisk(spec workload.Spec, n uint64, predKey, geom string, bs *BucketStream) {
+	if s := artifact.Default(); s != nil {
+		_ = s.Put(artifact.KindBucketStream, bucketArtifactKey(spec, n, predKey, geom), marshalBucketStream(bs))
+	}
 }

@@ -73,8 +73,8 @@ func TestTallyMatchesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h, m, _ := BucketCacheStats(); h != 0 || m != 0 {
-		t.Fatalf("NoTally run touched the bucket cache: %d hits, %d misses", h, m)
+	if rep := BucketCacheReport(); rep.Hits != 0 || rep.Misses != 0 {
+		t.Fatalf("NoTally run touched the bucket cache: %d hits, %d misses", rep.Hits, rep.Misses)
 	}
 
 	got, err := RunSuiteAnnotated(cfg, "gshare-64K", newPred, newMechs)
@@ -88,7 +88,8 @@ func TestTallyMatchesReplay(t *testing.T) {
 		}
 	}
 
-	_, misses, resident := BucketCacheStats()
+	rep := BucketCacheReport()
+	misses, resident := rep.Misses, rep.ResidentBytes
 	if misses == 0 || resident == 0 {
 		t.Fatalf("tally run built no bucket streams: %d misses, %d resident bytes", misses, resident)
 	}
@@ -101,7 +102,8 @@ func TestTallyMatchesReplay(t *testing.T) {
 	}
 
 	// A rerun is served entirely from the cache: hits move, misses do not.
-	hits1, misses1, _ := BucketCacheStats()
+	rep1 := BucketCacheReport()
+	hits1, misses1 := rep1.Hits, rep1.Misses
 	again, err := RunSuiteAnnotated(cfg, "gshare-64K", newPred, newMechs)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +111,8 @@ func TestTallyMatchesReplay(t *testing.T) {
 	if !reflect.DeepEqual(again, want) {
 		t.Error("cached tally rerun diverges from replay path")
 	}
-	hits2, misses2, _ := BucketCacheStats()
+	rep2 := BucketCacheReport()
+	hits2, misses2 := rep2.Hits, rep2.Misses
 	if hits2 <= hits1 {
 		t.Errorf("tally rerun took no bucket-cache hits (%d -> %d)", hits1, hits2)
 	}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"branchconf/internal/bitvec"
+)
+
+// Persistence codec for replay buffers, the payload behind
+// artifact.KindReplayBuffer. The layout is the in-memory representation,
+// length-prefixed:
+//
+//	u64  record count n
+//	u64  encoded record-stream length D
+//	D    varint (pcDelta, targetDelta, gap) stream, as held in memory
+//	u64  outcome word count W (== ceil(n/64))
+//	8*W  packed outcome bits, little-endian words
+//
+// Integrity against random corruption is the artifact record checksum's
+// job; UnmarshalReplayBuffer still validates structure exhaustively —
+// including a full bounds-checked walk of the varint stream — so a decoded
+// buffer can never panic a replay cursor or change results: a payload
+// either revives the exact buffer that was stored or fails to decode.
+
+// MarshalBinary encodes the buffer for the artifact store.
+func (b *ReplayBuffer) MarshalBinary() ([]byte, error) {
+	words := b.taken.Words()
+	out := make([]byte, 0, 8+8+len(b.data)+8+8*len(words))
+	out = binary.LittleEndian.AppendUint64(out, uint64(b.n))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(b.data)))
+	out = append(out, b.data...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(words)))
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalReplayBuffer decodes a MarshalBinary payload, validating shape
+// and walking the record stream once so later replays cannot read out of
+// bounds.
+func UnmarshalReplayBuffer(payload []byte) (*ReplayBuffer, error) {
+	rd := payload
+	if len(rd) < 16 {
+		return nil, fmt.Errorf("trace: replay payload truncated at header")
+	}
+	n := binary.LittleEndian.Uint64(rd)
+	dataLen := binary.LittleEndian.Uint64(rd[8:])
+	rd = rd[16:]
+	const maxInt = uint64(int(^uint(0) >> 1))
+	if n > maxInt || dataLen > uint64(len(rd)) {
+		return nil, fmt.Errorf("trace: replay payload lengths (n %d, data %d) exceed payload size %d", n, dataLen, len(payload))
+	}
+	data := rd[:dataLen:dataLen]
+	rd = rd[dataLen:]
+	if len(rd) < 8 {
+		return nil, fmt.Errorf("trace: replay payload truncated before outcome words")
+	}
+	wordCount := binary.LittleEndian.Uint64(rd)
+	rd = rd[8:]
+	if wordCount != (n+63)/64 || uint64(len(rd)) != 8*wordCount {
+		return nil, fmt.Errorf("trace: replay payload outcome words (%d) disagree with record count %d", wordCount, n)
+	}
+	words := make([]uint64, wordCount)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(rd[8*i:])
+	}
+	taken, err := bitvec.MakeVector(words, int(n))
+	if err != nil {
+		return nil, fmt.Errorf("trace: replay payload: %w", err)
+	}
+	if err := validateRecordStream(data, int(n)); err != nil {
+		return nil, err
+	}
+	return &ReplayBuffer{data: data, taken: taken, n: int(n)}, nil
+}
+
+// validateRecordStream checks that data holds exactly n well-formed
+// (pcDelta, targetDelta, gap) varint triples and nothing else. The replay
+// fast path (replaySource.Next) decodes without bounds checks for speed, so
+// decoded payloads must be proven in-bounds here, once, instead of on every
+// replay.
+func validateRecordStream(data []byte, n int) error {
+	off := 0
+	for i := 0; i < n; i++ {
+		for f := 0; f < 3; f++ {
+			v, w := binary.Uvarint(data[off:])
+			if w <= 0 {
+				return fmt.Errorf("trace: replay payload record %d field %d is a malformed varint", i, f)
+			}
+			if f == 2 && v > 1<<32-1 {
+				return fmt.Errorf("trace: replay payload record %d gap %d overflows uint32", i, v)
+			}
+			off += w
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("trace: replay payload has %d trailing bytes after %d records", len(data)-off, n)
+	}
+	return nil
+}

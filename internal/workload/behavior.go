@@ -44,13 +44,31 @@ type Behavior interface {
 }
 
 // Biased resolves taken with fixed probability P, independent of history —
-// the bread-and-butter conditional guarding an uncommon case.
+// the bread-and-butter conditional guarding an uncommon case. It is by far
+// the most executed behaviour class (roughly half of every suite mix), so
+// its draw is the integer-threshold form of RNG.Bool: the float64
+// comparison folds into a precomputed uint64 threshold against the raw RNG
+// word, exactly draw- and outcome-equivalent to Bool(P) (see
+// xrand.BoolThreshold; the calibration suite pins the anchors).
 type Biased struct {
 	P float64
+
+	thr    uint64 // xrand.BoolThreshold(P), precomputed on first use
+	inOpen bool   // P in (0,1): the threshold path draws; clamps do not
+	init   bool
 }
 
 // Outcome implements Behavior.
-func (b *Biased) Outcome(ctx *Ctx) bool { return ctx.RNG.Bool(b.P) }
+func (b *Biased) Outcome(ctx *Ctx) bool {
+	if !b.init {
+		b.thr, b.inOpen = xrand.BoolThreshold(b.P)
+		b.init = true
+	}
+	if !b.inOpen {
+		return b.P >= 1
+	}
+	return ctx.RNG.ThresholdBool(b.thr)
+}
 
 // Periodic cycles through a fixed direction pattern — switch-like and
 // unrolled-loop-like branches that a global-history predictor learns

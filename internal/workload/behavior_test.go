@@ -129,3 +129,22 @@ func TestTripCountFloorsAtOne(t *testing.T) {
 		}
 	}
 }
+
+// TestBiasedMatchesBool: the threshold fast path must reproduce
+// ctx.RNG.Bool(P) exactly — same outcomes, same draw consumption — for
+// open and clamped probabilities alike, or the calibration anchors move.
+func TestBiasedMatchesBool(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1e-9, 0.01, 0.3, 0.5, 0.9, 0.999, 1, 1.5} {
+		b := &Biased{P: p}
+		ctx := &Ctx{RNG: xrand.New(7)}
+		ref := xrand.New(7)
+		for i := 0; i < 5000; i++ {
+			if got, want := b.Outcome(ctx), ref.Bool(p); got != want {
+				t.Fatalf("P=%g draw %d: Outcome=%v Bool=%v", p, i, got, want)
+			}
+		}
+		if ctx.RNG.Uint64() != ref.Uint64() {
+			t.Fatalf("P=%g: Outcome and Bool consumed different draw counts", p)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"branchconf/internal/artifact"
 	"branchconf/internal/trace"
 )
 
@@ -62,20 +64,60 @@ func Materialize(spec Spec, n uint64) (*trace.ReplayBuffer, error) {
 	}
 	memo.mu.Unlock()
 	e.once.Do(func() {
+		diskKey := replayArtifactKey(spec, n)
+		if s := artifact.Default(); s != nil {
+			if payload, ok := s.Get(artifact.KindReplayBuffer, diskKey); ok {
+				buf, err := trace.UnmarshalReplayBuffer(payload)
+				if err == nil && uint64(buf.Len()) == n {
+					e.buf = buf
+					return
+				}
+				// The record passed checksum verification but its payload
+				// does not decode to this trace; fail closed and regenerate.
+				s.Drop(artifact.KindReplayBuffer, diskKey)
+			}
+		}
 		src, err := spec.FiniteSource(n)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.buf, e.err = trace.Materialize(src, 0)
+		if e.err == nil {
+			if s := artifact.Default(); s != nil {
+				if payload, perr := e.buf.MarshalBinary(); perr == nil {
+					// Best effort: a full disk or unwritable store only
+					// costs the next process a cold start.
+					_ = s.Put(artifact.KindReplayBuffer, diskKey, payload)
+				}
+			}
+		}
 	})
 	return e.buf, e.err
+}
+
+// replayArtifactKey is the canonical disk-store key for one materialized
+// trace: the payload codec version, the full spec identity, and the
+// resolved branch budget.
+func replayArtifactKey(spec Spec, n uint64) string {
+	return fmt.Sprintf("replay|v%d|%s|n=%d", artifact.FormatVersion, spec.CacheKey(), n)
 }
 
 // MaterializeStats reports cache hits and misses since process start (or
 // the last ResetMaterializeCache).
 func MaterializeStats() (hits, misses uint64) {
 	return memoHits.Load(), memoMisses.Load()
+}
+
+// MaterializeReport returns the memo's counters in the uniform per-tier
+// quad every engine cache reports (see artifact.TierStats). The memo never
+// evicts — buffers live for the process — so evictions are always zero.
+func MaterializeReport() artifact.TierStats {
+	return artifact.TierStats{
+		Hits:          memoHits.Load(),
+		Misses:        memoMisses.Load(),
+		ResidentBytes: MaterializeFootprint(),
+	}
 }
 
 // MaterializeFootprint returns the total payload bytes held by cached

@@ -64,6 +64,13 @@ type Spec struct {
 // Build constructs the benchmark's program.
 func (s Spec) Build() (*Program, error) { return build(s) }
 
+// CacheKey returns a canonical string identity for the spec, covering every
+// field (traces are pure functions of the Spec, so equal keys guarantee
+// byte-identical traces). It keys the persistent artifact store
+// (internal/artifact); a Spec shape change alters the key and simply
+// cold-starts affected entries.
+func (s Spec) CacheKey() string { return fmt.Sprintf("%+v", s) }
+
 // NewSource builds the program and returns an unbounded trace source
 // walking it. The walk seed is derived from the Spec seed, so the full
 // trace is reproducible from the Spec alone.

@@ -118,6 +118,31 @@ func (r *RNG) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// BoolThreshold precomputes the integer form of a Bool(p) comparison: it
+// returns the threshold t such that, for the 53-bit variate v = Uint64()>>11
+// of a single draw, v < t exactly when Float64() < p for that same draw.
+// The equivalence is exact: v and p·2⁵³ are both exactly representable
+// (multiplying a float64 in (0,1) by 2⁵³ only shifts its exponent), so
+// float64(v)·2⁻⁵³ < p ⇔ v < p·2⁵³ ⇔ v < ⌈p·2⁵³⌉ over the integers.
+//
+// ok reports whether p is in (0,1); degenerate probabilities — where Bool
+// consumes no draw at all — must keep taking the clamped path, or the
+// caller's RNG stream would diverge from Bool's.
+func BoolThreshold(p float64) (t uint64, ok bool) {
+	if !(p > 0 && p < 1) { // NaN lands here too
+		return 0, false
+	}
+	return uint64(math.Ceil(p * (1 << 53))), true
+}
+
+// ThresholdBool draws one variate and compares it against a BoolThreshold
+// value, replacing Bool's float conversion, multiply and compare with a
+// shift and an integer compare on the hot path. For t = BoolThreshold(p) it
+// consumes exactly one Uint64 and returns exactly what Bool(p) would.
+func (r *RNG) ThresholdBool(t uint64) bool {
+	return r.Uint64()>>11 < t
+}
+
 // Perm returns a pseudo-random permutation of [0, n) as a slice.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -329,3 +329,43 @@ func TestSplitDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestThresholdBoolMatchesBool: the integer-threshold path must be a
+// drop-in for Bool — same outcome AND same RNG stream consumption — for
+// every probability, across draws. The suite calibration depends on this
+// equivalence being exact, not statistical.
+func TestThresholdBoolMatchesBool(t *testing.T) {
+	ps := []float64{
+		1e-300, 1e-18, 1.0 / (1 << 53), 3.0 / (1 << 53), 0.005, 0.01, 0.05,
+		0.25, 0.3, 0.48, 0.5, 0.52, 2.0 / 3.0, 0.75, 0.96, 0.995,
+		1 - 1.0/(1<<52), math.Nextafter(1, 0),
+	}
+	for _, p := range ps {
+		thr, ok := BoolThreshold(p)
+		if !ok {
+			t.Fatalf("BoolThreshold(%g) rejected an in-range probability", p)
+		}
+		a, b := New(41), New(41)
+		for i := 0; i < 20000; i++ {
+			want := a.Bool(p)
+			got := b.ThresholdBool(thr)
+			if want != got {
+				t.Fatalf("p=%g draw %d: Bool=%v ThresholdBool=%v", p, i, want, got)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("p=%g: the two paths consumed different draw counts", p)
+		}
+	}
+}
+
+// TestBoolThresholdDegenerate: probabilities where Bool consumes no draw
+// must be rejected, so callers keep the clamped no-draw path and streams
+// stay aligned.
+func TestBoolThresholdDegenerate(t *testing.T) {
+	for _, p := range []float64{0, -1, 1, 1.5, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, ok := BoolThreshold(p); ok {
+			t.Errorf("BoolThreshold(%v) accepted a degenerate probability", p)
+		}
+	}
+}
