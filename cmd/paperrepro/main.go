@@ -15,7 +15,7 @@
 //	           [-only fig5,table1] [-parallel N]
 //	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
 //	           [-artifact-dir DIR|auto] [-artifact-disk-mb 1024] [-no-artifact]
-//	           [-no-annotate] [-no-tally] [-cache-stats]
+//	           [-artifact-strict] [-no-annotate] [-no-tally] [-cache-stats]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -artifact-dir, the engine's three expensive intermediates —
@@ -23,7 +23,10 @@
 // content-addressed store across process runs, so a repeated invocation
 // warm-starts past trace generation and every predictor walk. The report is
 // byte-identical either way; corruption in the store is detected, discarded
-// and regenerated.
+// and regenerated, and disk faults (ENOSPC, EIO, permission errors) degrade
+// the store to in-memory-only rather than failing the run — visible under
+// -cache-stats as op_errors/degraded. -artifact-strict inverts that policy:
+// the first classified store failure fails the run instead.
 package main
 
 import (
@@ -66,6 +69,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
+		strictStore   = fs.Bool("artifact-strict", false, "fail the run on any artifact-store I/O error instead of degrading to in-memory-only")
 		cacheStats    = fs.Bool("cache-stats", false, "print per-cache hit/miss/eviction and resident-bytes counters to stderr at exit")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -141,6 +145,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		cacheStats:       *cacheStats,
 		artifactDir:      dir,
 		artifactBudget:   *artifactMB << 20,
+		artifactStrict:   *strictStore,
 	})
 	if err != nil {
 		return err

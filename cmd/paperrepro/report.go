@@ -27,6 +27,8 @@ type reportConfig struct {
 	cacheStats       bool            // print per-cache counters to errW at exit
 	artifactDir      string          // persistent artifact store directory ("" = disabled)
 	artifactBudget   uint64          // artifact store disk budget in bytes (0 = unbounded)
+	artifactStrict   bool            // fail hard on store I/O errors instead of degrading
+	artifactFS       artifact.FS     // filesystem for the store (nil = real disk; tests inject faults)
 }
 
 // writeReport runs the selected experiments against one shared session and
@@ -35,8 +37,14 @@ type reportConfig struct {
 // assembled in registration order regardless of completion order, so the
 // report bytes do not depend on the parallelism level.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
+	var store *artifact.Store
 	if cfg.artifactDir != "" {
-		store, err := artifact.Open(cfg.artifactDir, cfg.artifactBudget)
+		var err error
+		store, err = artifact.OpenStore(cfg.artifactDir, artifact.Options{
+			Budget: cfg.artifactBudget,
+			Strict: cfg.artifactStrict,
+			FS:     cfg.artifactFS,
+		})
 		if err != nil {
 			return err
 		}
@@ -108,6 +116,15 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	close(work)
 	wg.Wait()
 
+	// A strict store pins its first classified I/O failure; surface it
+	// before any report bytes are written, so -artifact-strict yields
+	// either a complete correct report or a clean error — never both.
+	if store != nil {
+		if err := store.Err(); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(w, "# Paper reproduction report\n\n")
 	fmt.Fprintf(w, "Per-benchmark branch budget: %s\n\n", budget(cfg.branches))
 	for i, e := range selected {
@@ -143,9 +160,10 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 }
 
 // printCacheStats renders one cache tier's counters for the -cache-stats
-// flag: the uniform hit/miss/eviction/resident quad plus the verify-fail
-// count, which only the checksummed disk tier can move.
+// flag: the uniform hit/miss/eviction/resident quad plus the health columns
+// (verify failures, operation errors, the degraded flag), which only the
+// checksummed disk tier can move.
 func printCacheStats(errW io.Writer, name string, s artifact.TierStats) {
-	fmt.Fprintf(errW, "cache-stats %-16s hits=%d misses=%d evictions=%d resident_bytes=%d verify_fails=%d\n",
-		name, s.Hits, s.Misses, s.Evictions, s.ResidentBytes, s.VerifyFails)
+	fmt.Fprintf(errW, "cache-stats %-16s hits=%d misses=%d evictions=%d resident_bytes=%d verify_fails=%d op_errors=%d degraded=%t\n",
+		name, s.Hits, s.Misses, s.Evictions, s.ResidentBytes, s.VerifyFails, s.OpErrors, s.Degraded)
 }

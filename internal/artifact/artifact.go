@@ -27,6 +27,16 @@
 // key). In-process, single-flight dedup is inherited from the in-memory
 // tiers: the store is only consulted from their owner (miss) paths, so
 // concurrent workers under -parallel generate and persist an artifact once.
+//
+// The tier is fail-soft: it runs on a narrow filesystem seam (FS, production
+// implementation OSFS, fault-injecting implementation in internal/faultfs),
+// classifies every I/O failure as transient or permanent, retries the
+// transient ones, and trips a health breaker into in-memory-only degraded
+// mode when the disk keeps failing — a flaky or full disk costs warm starts,
+// never correctness and never the run. Crashed writers' temp files are swept
+// at the next Open. Strict stores (Options.Strict, paperrepro
+// -artifact-strict) instead pin the first classified failure for the caller
+// to fail hard on. See health.go.
 package artifact
 
 import "sync/atomic"
@@ -47,13 +57,20 @@ const (
 
 // TierStats is the uniform observability quad every cache tier reports
 // (trace memo, annotated LRU, bucket LRU, disk store), plus the disk tier's
-// verify-failure count — zero for in-memory tiers, which have no payload
-// integrity to check.
+// health columns — verify failures, operation errors, and the degraded
+// flag — which stay zero for in-memory tiers: they have no payload
+// integrity to check and no disk to fail.
 type TierStats struct {
 	Hits, Misses  uint64
 	Evictions     uint64
 	ResidentBytes uint64
 	VerifyFails   uint64
+	// OpErrors counts filesystem operations that failed after retry —
+	// the raw signal behind the health breaker.
+	OpErrors uint64
+	// Degraded reports that the tier has tripped its breaker (or failed a
+	// strict open) and is no longer touching its backing disk.
+	Degraded bool
 }
 
 // defaultStore is the process-wide store consulted by the engine's miss

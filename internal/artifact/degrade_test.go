@@ -1,0 +1,267 @@
+// Degradation-path tests live in an external test package so they can
+// drive the store through internal/faultfs (which itself imports artifact
+// for the FS seam).
+package artifact_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"branchconf/internal/artifact"
+	"branchconf/internal/faultfs"
+)
+
+// openFaulty opens a store on dir over a fresh injector.
+func openFaulty(t *testing.T, dir string, opts artifact.Options) (*artifact.Store, *faultfs.FS) {
+	t.Helper()
+	ffs := faultfs.New(artifact.OSFS())
+	opts.FS = ffs
+	s, err := artifact.OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ffs
+}
+
+// TestStoreRetriesTransient: a one-shot EIO on the record read is absorbed
+// by the retry loop — the Get still hits and no operation error is counted.
+func TestStoreRetriesTransient(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{})
+	if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpReadFile, Nth: 1, Err: syscall.EIO})
+	got, ok := s.Get(artifact.KindReplayBuffer, "k")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get under transient EIO = (%q, %v), want retried hit", got, ok)
+	}
+	st := s.Stats()
+	if st.OpErrors != 0 || st.Degraded {
+		t.Fatalf("transient retried fault still counted: %+v", st)
+	}
+	if calls := ffs.Calls(faultfs.OpReadFile); calls != 2 {
+		t.Fatalf("ReadFile called %d times, want 2 (fault + retry)", calls)
+	}
+}
+
+// TestStorePermanentFaultNotRetried: EACCES is classified permanent — one
+// attempt, one counted operation error, and the Get degrades to a miss.
+func TestStorePermanentFaultNotRetried(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{})
+	if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	base := ffs.Calls(faultfs.OpReadFile)
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpReadFile, Nth: 1, Err: syscall.EACCES})
+	if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+		t.Fatal("Get hit through a permission error")
+	}
+	if calls := ffs.Calls(faultfs.OpReadFile) - base; calls != 1 {
+		t.Fatalf("permanent fault retried: %d read calls, want 1", calls)
+	}
+	st := s.Stats()
+	if st.OpErrors != 1 || st.Misses != 1 || st.Degraded {
+		t.Fatalf("stats after one permanent fault = %+v, want 1 op error, 1 miss, not degraded", st)
+	}
+}
+
+// TestStoreBreakerTripsOnReads: persistent read faults trip the breaker;
+// the store then answers misses without touching the disk at all.
+func TestStoreBreakerTripsOnReads(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{})
+	if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpReadFile, Err: syscall.EACCES})
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+			t.Fatalf("Get %d hit through the fault", i)
+		}
+	}
+	st := s.Stats()
+	if !st.Degraded || st.OpErrors != 3 {
+		t.Fatalf("breaker did not trip after 3 failures: %+v", st)
+	}
+	reads := ffs.Calls(faultfs.OpReadFile)
+	if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+		t.Fatal("degraded Get hit")
+	}
+	if err := s.Put(artifact.KindReplayBuffer, "k2", []byte("x")); err == nil {
+		t.Fatal("degraded Put reported success")
+	}
+	if got := ffs.Calls(faultfs.OpReadFile); got != reads {
+		t.Fatalf("degraded store still touched the disk (%d -> %d reads)", reads, got)
+	}
+	if st := s.Stats(); st.Misses != 4 {
+		t.Fatalf("degraded Get not counted as a miss: %+v", st)
+	}
+}
+
+// TestStoreBreakerTripsOnWrites: a disk that fails every write (but happily
+// unlinks the staged temp) must still degrade — successful cleanup does not
+// reset the breaker — and must leave no temp files behind.
+func TestStoreBreakerTripsOnWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{})
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpWrite, Err: syscall.ENOSPC})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err == nil {
+			t.Fatalf("Put %d succeeded with a full disk", i)
+		}
+	}
+	st := s.Stats()
+	if !st.Degraded {
+		t.Fatalf("write-only faults never tripped the breaker: %+v", st)
+	}
+	temps, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil || len(temps) != 0 {
+		t.Fatalf("failed Puts leaked temp files: %v (err=%v)", temps, err)
+	}
+}
+
+// TestStoreStrictPinsFirstFailure: under Options.Strict the first
+// classified failure becomes the sticky Err, the disk is not touched again,
+// and the error names the failure class.
+func TestStoreStrictPinsFirstFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{Strict: true})
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpCreateTemp, Err: syscall.ENOSPC})
+	if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err == nil {
+		t.Fatal("strict Put succeeded with a full disk")
+	}
+	err := s.Err()
+	if err == nil {
+		t.Fatal("strict store recorded no sticky error")
+	}
+	if !strings.Contains(err.Error(), "permanent") {
+		t.Fatalf("sticky error %q does not name the failure class", err)
+	}
+	reads := ffs.Calls(faultfs.OpReadFile)
+	if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+		t.Fatal("Get hit after a strict failure")
+	}
+	if got := ffs.Calls(faultfs.OpReadFile); got != reads {
+		t.Fatal("strict-failed store still touched the disk")
+	}
+	if st := s.Stats(); !st.Degraded {
+		t.Fatalf("strict failure not visible as Degraded: %+v", st)
+	}
+}
+
+// TestStoreStrictOpenFails: a strict store surfaces an unusable directory
+// as a hard open error; a fail-soft store opens pre-degraded instead and
+// the run proceeds on the in-memory tiers.
+func TestStoreOpenFailurePolicy(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+
+	ffs := faultfs.New(artifact.OSFS())
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpMkdirAll, Err: syscall.EACCES})
+	if _, err := artifact.OpenStore(dir, artifact.Options{Strict: true, FS: ffs}); err == nil {
+		t.Fatal("strict open of an uncreatable directory succeeded")
+	}
+
+	ffs = faultfs.New(artifact.OSFS())
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpMkdirAll, Err: syscall.EACCES})
+	s, err := artifact.OpenStore(dir, artifact.Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("fail-soft open returned a hard error: %v", err)
+	}
+	if st := s.Stats(); !st.Degraded || st.OpErrors == 0 {
+		t.Fatalf("fail-soft open not pre-degraded: %+v", st)
+	}
+	if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+		t.Fatal("degraded-from-birth store served a hit")
+	}
+}
+
+// TestStoreOrphanSweep is the regression test for the unbounded temp-file
+// leak: Open must remove stale .tmp-* orphans (crashed writers), keep
+// young ones (possibly a live writer in another process), and count
+// neither against the resident budget.
+func TestStoreOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := artifact.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(artifact.KindReplayBuffer, "real", []byte("record")); err != nil {
+		t.Fatal(err)
+	}
+	wantResident := s.Stats().ResidentBytes
+
+	stale := time.Now().Add(-2 * time.Hour)
+	for _, name := range []string{".tmp-dead1", ".tmp-dead2"} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("orphaned staging bytes"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := filepath.Join(dir, ".tmp-live")
+	if err := os.WriteFile(live, []byte("in-flight staging bytes"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := artifact.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".tmp-dead1", ".tmp-dead2"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale orphan %s survived the sweep (err=%v)", name, err)
+		}
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Error("young temp file swept out from under a possibly live writer")
+	}
+	if got := s2.Stats().ResidentBytes; got != wantResident {
+		t.Errorf("resident bytes = %d, want %d (temps must not count against the budget)", got, wantResident)
+	}
+	if got, ok := s2.Get(artifact.KindReplayBuffer, "real"); !ok || string(got) != "record" {
+		t.Errorf("real record lost in the sweep: ok=%v %q", ok, got)
+	}
+}
+
+// TestStoreCrashRecoveryEndToEnd: a writer that "crashes" between staging
+// and publish leaks a pinned temp; once the outage clears, the next Open
+// sweeps it and the slot is fully reusable.
+func TestStoreCrashRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulty(t, dir, artifact.Options{})
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpRename, Nth: 1, Err: syscall.EIO, Mode: faultfs.CrashBeforeRename})
+	if err := s.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err == nil {
+		t.Fatal("crashed Put reported success")
+	}
+	temps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(temps) != 1 {
+		t.Fatalf("crash left %d temp files, want exactly the orphan", len(temps))
+	}
+	if _, ok := s.Get(artifact.KindReplayBuffer, "k"); ok {
+		t.Fatal("unpublished record served")
+	}
+
+	ffs.Clear() // the outage ends; a new process opens the directory
+	s2, err := artifact.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, _ = filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(temps) != 0 {
+		t.Fatalf("orphan survived recovery: %v", temps)
+	}
+	if err := s2.Put(artifact.KindReplayBuffer, "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(artifact.KindReplayBuffer, "k"); !ok || string(got) != "payload" {
+		t.Fatalf("slot unusable after recovery: ok=%v %q", ok, got)
+	}
+}

@@ -1,0 +1,64 @@
+package artifact
+
+import (
+	"io/fs"
+	"os"
+	"time"
+)
+
+// FS is the narrow filesystem seam the store runs on: exactly the seven
+// operations Open/Get/Put/GC perform, in their os-package shapes. The
+// production implementation is OSFS; internal/faultfs provides a
+// deterministic fault-injecting implementation for exercising the store's
+// degradation paths (retry, breaker, orphan recovery) without a real
+// failing disk.
+//
+// Implementations must preserve the os-package error conventions the store
+// classifies on — fs.ErrNotExist from ReadFile/Remove for absent files,
+// syscall errnos (wrapped in *fs.PathError or not) for real faults —
+// because error identity, via errors.Is, is what separates a benign miss
+// from a failure that counts against the health breaker.
+type FS interface {
+	// MkdirAll creates the store directory as os.MkdirAll does.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists the store directory as os.ReadDir does.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// ReadFile reads one record as os.ReadFile does.
+	ReadFile(name string) ([]byte, error)
+	// CreateTemp stages a write as os.CreateTemp does.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically publishes a staged record as os.Rename does.
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file as os.Remove does.
+	Remove(name string) error
+	// Chtimes stamps access recency as os.Chtimes does.
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// File is the slice of *os.File the store's staged writes use.
+type File interface {
+	Write(p []byte) (int, error)
+	Close() error
+	Name() string
+}
+
+// OSFS returns the production FS backed directly by the os package.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}

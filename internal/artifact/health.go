@@ -1,0 +1,90 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// Failure handling for the disk tier. Every filesystem operation the store
+// performs is classified, retried when that might help, and counted against
+// a health breaker, so that an unreliable disk degrades the tier instead of
+// wedging or corrupting a run:
+//
+//   - transient faults (flaky media, interrupted syscalls) get a bounded
+//     number of immediate retries;
+//   - any operation still failing after retries bumps OpErrors and the
+//     breaker's consecutive-failure count;
+//   - breakerTrip consecutive failed operations trip the store into
+//     degraded mode — every Get is a miss, every Put a no-op, and the disk
+//     is never touched again for the life of the store — unless the store
+//     was opened Strict, in which case the first failed operation records a
+//     sticky classified error for the caller to surface as a hard failure.
+//
+// The in-memory tiers above the store are complete without it, so degraded
+// mode costs warm starts, never correctness.
+
+// errClass partitions store I/O failures by how the store should react.
+type errClass int
+
+const (
+	// classTransient faults may succeed on an immediate retry: interrupted
+	// syscalls, contended files, flaky media reporting EIO.
+	classTransient errClass = iota
+	// classPermanent faults will keep failing until an operator intervenes:
+	// full disks, permission errors, read-only remounts. Never retried.
+	classPermanent
+)
+
+// String names the class for classified error messages and tests.
+func (c errClass) String() string {
+	if c == classTransient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// transientErrnos are retried; everything else is permanent. EIO is listed
+// deliberately: real disks surface recoverable media hiccups as EIO, and a
+// wrong guess only costs retryAttempts-1 extra syscalls before the breaker
+// logic takes over anyway.
+var transientErrnos = []error{
+	syscall.EINTR,
+	syscall.EAGAIN,
+	syscall.EBUSY,
+	syscall.EIO,
+	syscall.ETIMEDOUT,
+}
+
+// classify maps one store I/O failure to its class. Unknown errors are
+// permanent: retrying what we cannot name is how stores wedge.
+func classify(err error) errClass {
+	for _, t := range transientErrnos {
+		if errors.Is(err, t) {
+			return classTransient
+		}
+	}
+	return classPermanent
+}
+
+const (
+	// retryAttempts is the total number of tries a transient fault gets
+	// before it counts as a failed operation.
+	retryAttempts = 3
+	// breakerTrip is the number of consecutive failed operations (post
+	// retry) that trips a non-strict store into degraded mode. Any
+	// successful disk operation resets the count.
+	breakerTrip = 3
+)
+
+// ErrDegraded reports that the store has tripped its health breaker and now
+// runs in-memory-only: Gets miss, Puts discard. Callers treating the store
+// as best effort need not check for it; Put returns it so tests and strict
+// tooling can tell a degraded discard from a successful write.
+var ErrDegraded = errors.New("artifact: store degraded, disk tier disabled")
+
+// classifiedError wraps a store failure with its class for strict-mode
+// surfacing; errors.Is still matches the underlying errno.
+func classifiedError(op string, err error) error {
+	return fmt.Errorf("artifact: %s store failure (%s): %w", classify(err), op, err)
+}

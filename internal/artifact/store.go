@@ -5,10 +5,12 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,15 +23,30 @@ import (
 // directory is safe to share between processes: writes are temp-file +
 // atomic-rename, loads verify the record checksum, and a reader that loses
 // a race with GC simply sees a miss.
+//
+// A Store is also fail-soft (see health.go): filesystem faults are
+// classified and retried, and repeated failures trip a breaker that turns
+// the store into an in-memory-only no-op for the rest of the process —
+// degradation is observable in Stats, never fatal to the run. Opening with
+// Options.Strict inverts that: the first failed operation is recorded as a
+// sticky error (Err) for the caller to fail hard on.
 type Store struct {
 	dir    string
 	budget uint64 // resident-bytes bound; 0 = unbounded
+	fs     FS
+	strict bool
 
 	mu       sync.Mutex
 	index    map[string]*storeEntry // file name -> size and last use
 	resident uint64
 
 	hits, misses, verifyFails, evictions uint64
+
+	// Health-breaker state (see health.go).
+	opErrors    uint64
+	consecFails int
+	degraded    bool
+	fatal       error // strict mode only: first classified failure
 }
 
 // bump increments one counter under the store mutex.
@@ -41,30 +58,78 @@ type storeEntry struct {
 	lastUse time.Time
 }
 
-// Open opens (creating if necessary) the artifact directory and builds the
-// LRU index from the records already present, seeding each entry's last-use
-// time from the file's modification time — Get refreshes it on every hit,
-// both in the index and on disk, so recency survives process restarts. A
-// nonzero budget bounds the directory's resident bytes; opening an
-// over-budget directory evicts immediately.
+// Options configures OpenStore beyond the directory path.
+type Options struct {
+	// Budget bounds the directory's resident bytes; 0 = unbounded.
+	Budget uint64
+	// Strict makes any classified filesystem failure sticky (see Err)
+	// instead of degrading the store, so callers can fail hard.
+	Strict bool
+	// FS is the filesystem the store runs on; nil selects OSFS().
+	FS FS
+}
+
+// Open opens (creating if necessary) the artifact directory on the real
+// filesystem with default options. See OpenStore.
 func Open(dir string, budgetBytes uint64) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
-		return nil, fmt.Errorf("artifact: opening store: %w", err)
+	return OpenStore(dir, Options{Budget: budgetBytes})
+}
+
+// OpenStore opens (creating if necessary) the artifact directory and builds
+// the LRU index from the records already present, seeding each entry's
+// last-use time from the file's modification time — Get refreshes it on
+// every hit, both in the index and on disk, so recency survives process
+// restarts. A nonzero budget bounds the directory's resident bytes; opening
+// an over-budget directory evicts immediately.
+//
+// Open also recovers from crashed writers: temp files older than orphanTTL
+// are swept, so an interrupted Put can leak disk only until the next open.
+//
+// A directory that cannot be created or scanned is not fatal unless
+// Options.Strict is set: the store opens already degraded (disk untouched,
+// every Get a miss) so the run proceeds on the in-memory tiers alone.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
 	}
-	s := &Store{dir: dir, budget: budgetBytes, index: make(map[string]*storeEntry)}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("artifact: scanning store: %w", err)
+	s := &Store{dir: dir, budget: opts.Budget, fs: fsys, strict: opts.Strict, index: make(map[string]*storeEntry)}
+	if err := s.do("mkdir", func() error { return fsys.MkdirAll(dir, 0o777) }); err != nil {
+		return s.openFailed()
 	}
+	var entries []fs.DirEntry
+	if err := s.do("scan", func() error {
+		var serr error
+		entries, serr = fsys.ReadDir(dir)
+		return serr
+	}); err != nil {
+		return s.openFailed()
+	}
+	now := time.Now()
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != artExt {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A crashed writer's staging file. Sweep it once it is old
+			// enough that no live Put in another process can still own it;
+			// younger temps are left for their writer (or the next open).
+			info, err := e.Info()
+			if err != nil || now.Sub(info.ModTime()) < orphanTTL {
+				continue
+			}
+			_ = s.do("sweep", func() error { return fsys.Remove(filepath.Join(dir, name)) })
+			continue
+		}
+		if filepath.Ext(name) != artExt {
 			continue
 		}
 		info, err := e.Info()
 		if err != nil {
 			continue // raced with another process's GC
 		}
-		s.index[e.Name()] = &storeEntry{size: uint64(info.Size()), lastUse: info.ModTime()}
+		s.index[name] = &storeEntry{size: uint64(info.Size()), lastUse: info.ModTime()}
 		s.resident += uint64(info.Size())
 	}
 	s.mu.Lock()
@@ -73,8 +138,112 @@ func Open(dir string, budgetBytes uint64) (*Store, error) {
 	return s, nil
 }
 
-// artExt marks record files; anything else in the directory is ignored.
-const artExt = ".art"
+// openFailed resolves a failed open (the failed do call already recorded
+// the error): strict stores surface the sticky classified error; fail-soft
+// stores open pre-degraded with a nil error so the engine runs on its
+// in-memory tiers.
+func (s *Store) openFailed() (*Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return nil, s.fatal
+	}
+	s.degraded = true
+	return s, nil
+}
+
+const (
+	// artExt marks record files; anything else in the directory is ignored.
+	artExt = ".art"
+	// tmpPrefix marks staged writes (os.CreateTemp pattern tmpPrefix+"*").
+	tmpPrefix = ".tmp-"
+	// orphanTTL is how old a temp file must be before Open treats it as a
+	// crashed writer's orphan and sweeps it. Generous against clock skew
+	// and slow writers; a live Put stages and renames in well under this.
+	orphanTTL = time.Hour
+)
+
+// diskOff reports whether the store may no longer touch the filesystem
+// (breaker tripped, or a strict-mode failure recorded).
+func (s *Store) diskOff() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded || s.fatal != nil
+}
+
+// do runs one idempotent filesystem operation under the store's failure
+// policy: transient faults are retried up to retryAttempts times, a miss
+// (fs.ErrNotExist) passes through without counting, and anything still
+// failing is recorded against the breaker. Returns ErrDegraded without
+// touching the disk once the store is off.
+func (s *Store) do(op string, fn func() error) error {
+	return s.run(op, retryAttempts, fn)
+}
+
+// doOnce is do without retry, for non-idempotent operations (writes on a
+// file descriptor whose offset a failed attempt may have advanced).
+func (s *Store) doOnce(op string, fn func() error) error {
+	return s.run(op, 1, fn)
+}
+
+func (s *Store) run(op string, attempts int, fn func() error) error {
+	if s.diskOff() {
+		return ErrDegraded
+	}
+	var err error
+	for try := 1; ; try++ {
+		err = fn()
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		if try >= attempts || classify(err) != classTransient {
+			break
+		}
+	}
+	s.noteFailure(op, err)
+	return err
+}
+
+// noteSuccess resets the breaker's consecutive-failure count. Called when
+// a logical operation completes against the disk — a Get whose read
+// returned record bytes, a Put whose record landed — not on every
+// successful fs op, and not on a clean ErrNotExist miss: a Put whose
+// CreateTemp works but whose Write keeps failing is a failing disk, and
+// per-op (or per-miss) resets would let it evade the breaker forever.
+func (s *Store) noteSuccess() {
+	s.mu.Lock()
+	s.consecFails = 0
+	s.mu.Unlock()
+}
+
+// noteFailure records one failed operation (post retry): it always counts
+// in OpErrors; a strict store pins it as the sticky fatal error, a
+// fail-soft store trips into degraded mode after breakerTrip consecutive
+// failures.
+func (s *Store) noteFailure(op string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opErrors++
+	s.consecFails++
+	if s.strict {
+		if s.fatal == nil {
+			s.fatal = classifiedError(op, err)
+		}
+		return
+	}
+	if s.consecFails >= breakerTrip {
+		s.degraded = true
+	}
+}
+
+// Err returns the sticky classified failure of a store opened with
+// Options.Strict, or nil. Fail-soft stores always return nil; their health
+// is visible in Stats (Degraded, OpErrors) instead.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
 
 // fileName derives the content address for (kind, key).
 func fileName(kind uint16, key string) string {
@@ -88,7 +257,9 @@ func fileName(kind uint16, key string) string {
 
 // Get returns the payload stored for (kind, key), or ok == false on a miss.
 // A record that fails verification is deleted and reported as a miss (after
-// bumping the verify-fail counter); the caller regenerates and re-Puts.
+// bumping the verify-fail counter); the caller regenerates and re-Puts. A
+// read that fails outright (media fault, degraded store) is also a miss:
+// the caller regenerates, and the failure is accounted in OpErrors.
 func (s *Store) Get(kind uint16, key string) (payload []byte, ok bool) {
 	pprof.Do(context.Background(), pprof.Labels("stage", "artifact-load"), func(context.Context) {
 		payload, ok = s.get(kind, key)
@@ -98,11 +269,21 @@ func (s *Store) Get(kind uint16, key string) (payload []byte, ok bool) {
 
 func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 	name := fileName(kind, key)
-	data, err := os.ReadFile(filepath.Join(s.dir, name))
-	if err != nil {
+	path := filepath.Join(s.dir, name)
+	var data []byte
+	if err := s.do("read", func() error {
+		var rerr error
+		data, rerr = s.fs.ReadFile(path)
+		return rerr
+	}); err != nil {
+		// A clean ErrNotExist miss is neutral for the breaker: it proves
+		// the read path answers, but resetting on it would let a disk that
+		// fails every write evade the trip forever (real workloads
+		// interleave a miss before each Put).
 		s.bump(&s.misses)
 		return nil, false
 	}
+	s.noteSuccess()
 	payload, err := DecodeRecord(data, kind, key)
 	if err != nil {
 		s.mu.Lock()
@@ -124,8 +305,9 @@ func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 	// Persist the access time as the file mtime so a future process's index
-	// scan sees today's recency. Best effort: a failure only ages the entry.
-	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
+	// scan sees today's recency. Best effort: a failure only ages the entry
+	// (but still counts against the breaker — the disk is misbehaving).
+	_ = s.do("touch", func() error { return s.fs.Chtimes(path, now, now) })
 	return payload, true
 }
 
@@ -133,6 +315,10 @@ func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 // rename, then applies the disk budget. Races between processes are benign:
 // both writers hold identical bytes (payloads are pure functions of the
 // key), and rename makes whichever lands last the single complete record.
+//
+// Put is best effort by contract — its callers ignore the error and carry
+// on — but the error is still meaningful: ErrDegraded for a tripped store,
+// otherwise the staging or publishing failure, accounted in OpErrors.
 func (s *Store) Put(kind uint16, key string, payload []byte) (err error) {
 	pprof.Do(context.Background(), pprof.Labels("stage", "artifact-store"), func(context.Context) {
 		err = s.put(kind, key, payload)
@@ -142,21 +328,34 @@ func (s *Store) Put(kind uint16, key string, payload []byte) (err error) {
 
 func (s *Store) put(kind uint16, key string, payload []byte) error {
 	record := EncodeRecord(kind, key, payload)
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
-	if err != nil {
+	var tmp File
+	if err := s.do("stage", func() error {
+		var terr error
+		tmp, terr = s.fs.CreateTemp(s.dir, tmpPrefix+"*")
+		return terr
+	}); err != nil {
+		if errors.Is(err, ErrDegraded) {
+			return err
+		}
 		return fmt.Errorf("artifact: staging record: %w", err)
 	}
-	_, werr := tmp.Write(record)
-	cerr := tmp.Close()
+	werr := s.doOnce("write", func() error {
+		_, e := tmp.Write(record)
+		return e
+	})
+	cerr := s.doOnce("close", tmp.Close)
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		s.cleanTemp(tmp.Name())
 		return fmt.Errorf("artifact: staging record: %w", joinErr(werr, cerr))
 	}
 	name := fileName(kind, key)
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.do("publish", func() error {
+		return s.fs.Rename(tmp.Name(), filepath.Join(s.dir, name))
+	}); err != nil {
+		s.cleanTemp(tmp.Name())
 		return fmt.Errorf("artifact: publishing record: %w", err)
 	}
+	s.noteSuccess() // the record landed; the disk is answering
 	s.mu.Lock()
 	if e := s.index[name]; e != nil {
 		s.resident -= e.size
@@ -166,6 +365,20 @@ func (s *Store) put(kind uint16, key string, payload []byte) error {
 	s.evictLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// cleanTemp best-effort unlinks a temp file this Put staged and can no
+// longer publish. It bypasses the breaker gate deliberately: even a store
+// tripping into degraded mode on this very Put owes the directory one last
+// unlink attempt, or every trip would strand a fresh orphan until the next
+// Open's sweep. A refused unlink (crashed or wedged disk) only counts; the
+// orphan is then bounded by the sweep, never silent.
+func (s *Store) cleanTemp(name string) {
+	if err := s.fs.Remove(name); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.mu.Lock()
+		s.opErrors++
+		s.mu.Unlock()
+	}
 }
 
 // joinErr returns the first non-nil error (Put's staging failure detail).
@@ -185,13 +398,15 @@ func (s *Store) remove(name string) {
 		delete(s.index, name)
 	}
 	s.mu.Unlock()
-	_ = os.Remove(filepath.Join(s.dir, name))
+	_ = s.do("remove", func() error { return s.fs.Remove(filepath.Join(s.dir, name)) })
 }
 
 // evictLocked deletes records least-recently-used first until resident
 // bytes fit the budget. Deleting under mu keeps the index and counters
 // coherent; an open reader elsewhere keeps its already-opened bytes (POSIX
-// unlink), it just misses next time.
+// unlink), it just misses next time. Called with s.mu held, so disk state
+// is checked inline rather than through do; a failed unlink only strands
+// the record until a future open re-indexes it.
 func (s *Store) evictLocked() {
 	if s.budget == 0 {
 		return
@@ -207,7 +422,9 @@ func (s *Store) evictLocked() {
 		s.resident -= s.index[victim].size
 		delete(s.index, victim)
 		s.evictions++
-		_ = os.Remove(filepath.Join(s.dir, victim))
+		if !s.degraded && s.fatal == nil {
+			_ = s.fs.Remove(filepath.Join(s.dir, victim))
+		}
 	}
 }
 
@@ -235,5 +452,7 @@ func (s *Store) Stats() TierStats {
 		Evictions:     s.evictions,
 		ResidentBytes: s.resident,
 		VerifyFails:   s.verifyFails,
+		OpErrors:      s.opErrors,
+		Degraded:      s.degraded || s.fatal != nil,
 	}
 }

@@ -16,8 +16,9 @@ type CacheTier struct {
 // CacheTiers snapshots every tier of the four-level cache hierarchy the
 // engine runs on — materialize memo, annotated-stream LRU, bucket-stream
 // LRU, and the persistent disk store — under one uniform
-// hit/miss/eviction/resident quad (plus the disk tier's verify-fail
-// count), so the -cache-stats table renders all tiers identically.
+// hit/miss/eviction/resident quad (plus the disk tier's health columns:
+// verify failures, op errors, and the degraded flag a tripped breaker
+// raises), so the -cache-stats table renders all tiers identically.
 func CacheTiers() []CacheTier {
 	return []CacheTier{
 		{Name: "trace-memo", Stats: workload.MaterializeReport()},

@@ -1,0 +1,175 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"branchconf/internal/artifact"
+)
+
+// writeFile plants a real file for the injector to operate on.
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNthSchedule: an Nth fault fires on exactly that invocation, once, and
+// the injected error matches the scheduled errno through errors.Is (the
+// property the store's classifier depends on).
+func TestNthSchedule(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	writeFile(t, path, []byte("data"))
+	f := New(artifact.OSFS())
+	f.Inject(Fault{Op: OpReadFile, Nth: 2, Err: syscall.EIO})
+
+	if _, err := f.ReadFile(path); err != nil {
+		t.Fatalf("1st read faulted early: %v", err)
+	}
+	if _, err := f.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("2nd read error = %v, want EIO", err)
+	}
+	if _, err := f.ReadFile(path); err != nil {
+		t.Fatalf("3rd read faulted after schedule spent: %v", err)
+	}
+	if got := f.Calls(OpReadFile); got != 3 {
+		t.Fatalf("Calls(OpReadFile) = %d, want 3", got)
+	}
+	if got := f.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+// TestEveryInvocation: Nth == 0 fails every call until Clear.
+func TestEveryInvocation(t *testing.T) {
+	dir := t.TempDir()
+	f := New(artifact.OSFS())
+	f.Inject(Fault{Op: OpCreateTemp, Err: syscall.ENOSPC})
+	for i := 0; i < 3; i++ {
+		if _, err := f.CreateTemp(dir, ".tmp-*"); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("CreateTemp %d error = %v, want ENOSPC", i, err)
+		}
+	}
+	f.Clear()
+	tmp, err := f.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp after Clear: %v", err)
+	}
+	tmp.Close()
+}
+
+// TestPartialWrite: half the buffer lands in the inner file before the
+// error, matching what a torn write leaves on disk.
+func TestPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := New(artifact.OSFS())
+	tmp, err := f.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(Fault{Op: OpWrite, Nth: 1, Err: syscall.EIO, Mode: PartialWrite})
+	n, err := tmp.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Write = (%d, %v), want (5, EIO)", n, err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("torn file holds %q, want the first half", data)
+	}
+}
+
+// TestCrashBeforeRename: the rename never happens, the staged file stays
+// behind backdated past the store's orphan TTL, and the dead writer's own
+// cleanup fails until Clear ends the outage.
+func TestCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, ".tmp-crashed")
+	dst := filepath.Join(dir, "published.art")
+	writeFile(t, src, []byte("staged"))
+	f := New(artifact.OSFS())
+	f.Inject(Fault{Op: OpRename, Nth: 1, Err: syscall.EIO, Mode: CrashBeforeRename})
+
+	if err := f.Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Rename error = %v, want EIO", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatal("crash-before-rename still published the record")
+	}
+	info, err := os.Stat(src)
+	if err != nil {
+		t.Fatal("staged file vanished in crash-before-rename")
+	}
+	if age := time.Since(info.ModTime()); age < 23*time.Hour {
+		t.Fatalf("orphan aged only %v; must predate the store's sweep TTL", age)
+	}
+	if err := f.Remove(src); err == nil {
+		t.Fatal("a crashed writer's cleanup Remove succeeded")
+	}
+	f.Clear()
+	if err := f.Remove(src); err != nil {
+		t.Fatalf("Remove after Clear: %v", err)
+	}
+}
+
+// TestCrashAfterRename: the record lands but the caller sees a failure, as
+// if the writer died before observing the rename return.
+func TestCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, ".tmp-late")
+	dst := filepath.Join(dir, "published.art")
+	writeFile(t, src, []byte("staged"))
+	f := New(artifact.OSFS())
+	f.Inject(Fault{Op: OpRename, Nth: 1, Err: syscall.EIO, Mode: CrashAfterRename})
+
+	if err := f.Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Rename error = %v, want EIO", err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatal("crash-after-rename lost the published record")
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatal("crash-after-rename left the source behind")
+	}
+}
+
+// TestSeededStormDeterministic: the same seed, rate and call sequence
+// injects at the same points with the same errnos.
+func TestSeededStormDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	writeFile(t, path, []byte("data"))
+	trial := func() []string {
+		f := New(artifact.OSFS())
+		f.SeedRandom(7, 0.4, syscall.EIO, syscall.ENOSPC, syscall.EACCES)
+		var pattern []string
+		for i := 0; i < 64; i++ {
+			if _, err := f.ReadFile(path); err != nil {
+				pattern = append(pattern, err.Error())
+			} else {
+				pattern = append(pattern, "ok")
+			}
+		}
+		if f.Injected() == 0 {
+			t.Fatal("storm at rate 0.4 injected nothing over 64 ops")
+		}
+		return pattern
+	}
+	a, b := trial(), trial()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("storms diverge at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

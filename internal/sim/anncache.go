@@ -160,7 +160,9 @@ func annotatedFromDisk(spec workload.Spec, n uint64, predKey string, flat *trace
 
 // annotatedToDisk publishes a freshly annotated stream to the persistent
 // tier, best effort: write failures only cost the next process a cold
-// start.
+// start. The store retries transient faults and degrades itself after
+// repeated ones (artifact.TierStats.Degraded), so the error is deliberately
+// ignored here — failure policy lives in one place, the store.
 func annotatedToDisk(spec workload.Spec, n uint64, predKey string, ann *AnnotatedStream) {
 	if s := artifact.Default(); s != nil {
 		_ = s.Put(artifact.KindAnnotatedStream, annArtifactKey(spec, n, predKey), marshalAnnotatedStream(ann))

@@ -29,9 +29,11 @@ type byteLRU struct {
 // lruEntry is one cached artifact. done is closed when val/err are final.
 type lruEntry struct {
 	done    chan struct{}
+	key     any // the claim key, so finish can drop an errored entry
 	val     any
 	err     error
-	bytes   uint64 // payload size once built; 0 while in flight or on error
+	built   bool   // finish ran with err == nil; false while in flight
+	bytes   uint64 // payload size once built (may legitimately be zero)
 	lastUse uint64 // LRU clock tick of the most recent claim
 }
 
@@ -56,7 +58,7 @@ func (c *byteLRU) claim(key any) (e *lruEntry, owner bool) {
 		e.lastUse = c.clock
 		return e, false
 	}
-	e = &lruEntry{done: make(chan struct{}), lastUse: c.clock}
+	e = &lruEntry{done: make(chan struct{}), key: key, lastUse: c.clock}
 	if c.entries == nil {
 		c.entries = make(map[any]*lruEntry)
 	}
@@ -66,11 +68,21 @@ func (c *byteLRU) claim(key any) (e *lruEntry, owner bool) {
 
 // finish publishes a built entry: records its payload size, closes the done
 // channel, and applies the bound. The owner sets e.val/e.err before calling.
+//
+// An errored entry is dropped from the map instead of published: claimants
+// already parked on it still observe the error through the entry pointer,
+// but the next claim of the key owns a fresh build — a transient failure is
+// never negatively cached for the life of the process.
 func (c *byteLRU) finish(e *lruEntry, bytes uint64) {
 	c.mu.Lock()
 	if e.err == nil {
+		e.built = true
 		e.bytes = bytes
 		c.resident += bytes
+	} else if c.entries[e.key] == e {
+		// Guard on pointer identity: a reset (or a successor entry under
+		// the same key) must not be clobbered by a stale owner finishing.
+		delete(c.entries, e.key)
 	}
 	c.mu.Unlock()
 	close(e.done)
@@ -93,8 +105,8 @@ func (c *byteLRU) evictLocked() {
 			oldest uint64
 		)
 		for k, e := range c.entries {
-			if e.bytes == 0 {
-				continue // in flight or errored; nothing resident
+			if !e.built {
+				continue // in flight; a waiter may be parked on it
 			}
 			if !found || e.lastUse < oldest {
 				found, oldest, victim = true, e.lastUse, k

@@ -19,7 +19,11 @@ import (
 // Integrity against corruption is the artifact record checksum's job; the
 // decoders still validate structure exhaustively — lane shapes against the
 // branch count, mispredict popcounts, histogram totals — so a payload
-// either revives the exact stream that was stored or fails to decode.
+// either revives the exact stream that was stored or fails to decode. A
+// decode failure is never fatal: the caller drops the record and rebuilds
+// (the same fail-soft contract the store applies to disk faults), so these
+// codecs are exercised under injected I/O faults by the fault matrix in
+// cmd/paperrepro without any failure path of their own.
 
 // appendUint64s appends a length-prefixed little-endian word slice.
 func appendUint64s(out []byte, words []uint64) []byte {

@@ -274,7 +274,8 @@ func bucketStreamFromDisk(spec workload.Spec, n uint64, predKey, geom string, an
 }
 
 // bucketStreamToDisk publishes a freshly built bucket stream to the
-// persistent tier, best effort.
+// persistent tier, best effort; the store owns retry and degradation, so
+// its error is deliberately ignored.
 func bucketStreamToDisk(spec workload.Spec, n uint64, predKey, geom string, bs *BucketStream) {
 	if s := artifact.Default(); s != nil {
 		_ = s.Put(artifact.KindBucketStream, bucketArtifactKey(spec, n, predKey, geom), marshalBucketStream(bs))

@@ -21,7 +21,10 @@ import (
 // job; UnmarshalReplayBuffer still validates structure exhaustively —
 // including a full bounds-checked walk of the varint stream — so a decoded
 // buffer can never panic a replay cursor or change results: a payload
-// either revives the exact buffer that was stored or fails to decode.
+// either revives the exact buffer that was stored or fails to decode. A
+// failed decode is treated like a disk fault everywhere this codec is
+// consulted (workload.Materialize): drop the record, rebuild, never fail
+// the run — the contract the fault matrix in cmd/paperrepro asserts.
 
 // MarshalBinary encodes the buffer for the artifact store.
 func (b *ReplayBuffer) MarshalBinary() ([]byte, error) {

@@ -87,7 +87,8 @@ func Materialize(spec Spec, n uint64) (*trace.ReplayBuffer, error) {
 			if s := artifact.Default(); s != nil {
 				if payload, perr := e.buf.MarshalBinary(); perr == nil {
 					// Best effort: a full disk or unwritable store only
-					// costs the next process a cold start.
+					// costs the next process a cold start. The store owns
+					// retry and degradation, so the error is ignored here.
 					_ = s.Put(artifact.KindReplayBuffer, diskKey, payload)
 				}
 			}
