@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"branchconf/internal/exp"
 	"branchconf/internal/sim"
 	"branchconf/internal/workload"
 )
@@ -19,20 +21,28 @@ func resetEngineCaches() {
 	workload.ResetMaterializeCache()
 	sim.ResetAnnotatedCache()
 	sim.ResetBucketCache()
+	exp.ResetCurveCache()
+	exp.ResetModelCache()
 }
 
-// diskTier extracts the artifact-disk counters from -cache-stats output.
-func diskTier(t *testing.T, errOut string) (hits, misses, verifyFails uint64) {
+// cacheTier extracts one tier's counters from -cache-stats output.
+func cacheTier(t *testing.T, errOut, tier string) (hits, misses, verifyFails uint64) {
 	t.Helper()
-	re := regexp.MustCompile(`cache-stats artifact-disk\s+hits=(\d+) misses=(\d+) evictions=\d+ resident_bytes=\d+ verify_fails=(\d+)`)
+	re := regexp.MustCompile(fmt.Sprintf(`cache-stats %s\s+hits=(\d+) misses=(\d+) evictions=\d+ resident_bytes=\d+ verify_fails=(\d+)`, regexp.QuoteMeta(tier)))
 	m := re.FindStringSubmatch(errOut)
 	if m == nil {
-		t.Fatalf("no artifact-disk cache-stats line in:\n%s", errOut)
+		t.Fatalf("no %s cache-stats line in:\n%s", tier, errOut)
 	}
 	h, _ := strconv.ParseUint(m[1], 10, 64)
 	mi, _ := strconv.ParseUint(m[2], 10, 64)
 	v, _ := strconv.ParseUint(m[3], 10, 64)
 	return h, mi, v
+}
+
+// diskTier extracts the artifact-disk counters from -cache-stats output.
+func diskTier(t *testing.T, errOut string) (hits, misses, verifyFails uint64) {
+	t.Helper()
+	return cacheTier(t, errOut, "artifact-disk")
 }
 
 // TestArtifactWarmStart is the persistent tier's core guarantee, asserted
@@ -48,32 +58,40 @@ func TestArtifactWarmStart(t *testing.T) {
 	dir := t.TempDir()
 	base := reportConfig{
 		branches:   20000,
-		filter:     map[string]bool{"fig2": true, "fig5": true, "fig9": true},
+		filter:     map[string]bool{"fig2": true, "fig5": true, "fig9": true, "gating": true},
 		parallel:   2,
 		cacheStats: true,
 	}
-	run := func(artifactDir string) (report, errOut string) {
+	run := func(artifactDir string, noCurve, noModel bool) (report, errOut string) {
 		t.Helper()
 		resetEngineCaches()
 		var out, errW strings.Builder
 		cfg := base
 		cfg.artifactDir = artifactDir
+		cfg.noCurveArtifact = noCurve
+		cfg.noModelArtifact = noModel
 		if err := writeReport(&out, &errW, cfg); err != nil {
 			t.Fatal(err)
 		}
 		return out.String(), errW.String()
 	}
 
-	cold, coldErr := run(dir)
+	cold, coldErr := run(dir, false, false)
 	if hits, _, vf := diskTier(t, coldErr); hits != 0 || vf != 0 {
 		t.Fatalf("cold run saw disk hits=%d verify_fails=%d, want 0/0", hits, vf)
+	}
+	if _, misses, _ := cacheTier(t, coldErr, "curve"); misses == 0 {
+		t.Error("cold run built no curves through the curve tier")
+	}
+	if _, misses, _ := cacheTier(t, coldErr, "model-stats"); misses == 0 {
+		t.Error("cold run ran no cycle models through the model tier")
 	}
 	entries, err := filepath.Glob(filepath.Join(dir, "*.art"))
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("cold run persisted no artifacts (err=%v)", err)
 	}
 
-	warm, warmErr := run(dir)
+	warm, warmErr := run(dir, false, false)
 	if warm != cold {
 		t.Error("warm report differs from cold report")
 	}
@@ -85,9 +103,28 @@ func TestArtifactWarmStart(t *testing.T) {
 		t.Errorf("warm run still missed the disk tier %d times", misses)
 	}
 
-	noStore, _ := run("")
+	noStore, _ := run("", false, false)
 	if noStore != cold {
 		t.Error("-no-artifact report differs from cold report")
+	}
+
+	// The curve tier is byte-transparent too: bypassing it entirely must
+	// reproduce the same report.
+	noCurve, noCurveErr := run(dir, true, false)
+	if noCurve != cold {
+		t.Error("-no-curve-artifact report differs from cold report")
+	}
+	if h, m, _ := cacheTier(t, noCurveErr, "curve"); h != 0 || m != 0 {
+		t.Errorf("-no-curve-artifact still moved the curve tier: hits=%d misses=%d", h, m)
+	}
+
+	// Same transparency contract for the cycle-model tier.
+	noModel, noModelErr := run(dir, false, true)
+	if noModel != cold {
+		t.Error("-no-model-artifact report differs from cold report")
+	}
+	if h, m, _ := cacheTier(t, noModelErr, "model-stats"); h != 0 || m != 0 {
+		t.Errorf("-no-model-artifact still moved the model tier: hits=%d misses=%d", h, m)
 	}
 
 	// Flip one bit in the middle of every record: the third run must
@@ -103,7 +140,7 @@ func TestArtifactWarmStart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	healed, healedErr := run(dir)
+	healed, healedErr := run(dir, false, false)
 	if healed != cold {
 		t.Error("post-corruption report differs from cold report")
 	}
@@ -112,7 +149,7 @@ func TestArtifactWarmStart(t *testing.T) {
 	}
 
 	// And the store healed: a fourth run is warm again.
-	final, finalErr := run(dir)
+	final, finalErr := run(dir, false, false)
 	if final != cold {
 		t.Error("post-heal report differs from cold report")
 	}

@@ -23,6 +23,12 @@ func benchReport(b *testing.B, parallel int) {
 		},
 		parallel: parallel,
 	}
+	// One discarded warmup iteration: JIT-ish one-time costs (first GC
+	// sizing, page faults on the trace buffers) land outside the timer.
+	workload.ResetMaterializeCache()
+	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -74,7 +80,8 @@ func benchEngines(b *testing.B, filter map[string]bool, noAnnotate, noTally, war
 		sim.ResetAnnotatedCache()
 		sim.ResetBucketCache()
 	}
-	// Warm the trace cache so no engine pays the synthetic walk.
+	// Warm the trace cache so no engine pays the synthetic walk; this also
+	// serves as the discarded warmup iteration for one-time process costs.
 	resetCaches()
 	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
 		b.Fatal(err)
@@ -128,3 +135,32 @@ func BenchmarkEnginesFullAnnotated(b *testing.B) { benchEngines(b, fullMix, fals
 func BenchmarkEnginesFullTally(b *testing.B) { benchEngines(b, fullMix, false, false, false, 2) }
 
 func BenchmarkEnginesFullTallyWarm(b *testing.B) { benchEngines(b, fullMix, false, false, true, 2) }
+
+// BenchmarkReportWarmFloor measures the warm floor itself: every in-memory
+// tier dropped per iteration (a fresh process, in effect), every stage
+// artifact — traces, annotated streams, bucket streams, model counts,
+// curves — served from a pre-populated disk store. The discarded warmup
+// iteration is the cold run that fills the store.
+func BenchmarkReportWarmFloor(b *testing.B) {
+	cfg := reportConfig{
+		branches:    50000,
+		filter:      nil, // the whole report — cycle models included
+		parallel:    2,
+		artifactDir: b.TempDir(),
+	}
+	resetEngineCaches()
+	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(resetEngineCaches)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		resetEngineCaches()
+		b.StartTimer()
+		if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,13 +15,16 @@
 //	           [-only fig5,table1] [-parallel N]
 //	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
 //	           [-artifact-dir DIR|auto] [-artifact-disk-mb 1024] [-no-artifact]
-//	           [-artifact-strict] [-no-annotate] [-no-tally] [-cache-stats]
+//	           [-artifact-strict] [-no-annotate] [-no-tally]
+//	           [-no-curve-artifact] [-no-model-artifact] [-cache-stats]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// With -artifact-dir, the engine's three expensive intermediates —
-// materialized traces, annotated streams, and bucket streams — persist in a
+// With -artifact-dir, the engine's five expensive intermediates —
+// materialized traces, annotated streams, bucket streams, cycle-model
+// count vectors, and sorted confidence curves — persist in a
 // content-addressed store across process runs, so a repeated invocation
-// warm-starts past trace generation and every predictor walk. The report is
+// warm-starts past trace generation, every predictor walk, every cycle
+// model, and the curve builds on top of them. The report is
 // byte-identical either way; corruption in the store is detected, discarded
 // and regenerated, and disk faults (ENOSPC, EIO, permission errors) degrade
 // the store to in-memory-only rather than failing the run — visible under
@@ -66,6 +69,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		bucketCacheMB = fs.Int64("bucket-cache-mb", -1, "resident bound for the bucket-stream cache in MiB (0 = unbounded, -1 = follow -annotate-cache-mb)")
 		noAnnotate    = fs.Bool("no-annotate", false, "disable the two-stage annotated engine (byte-identical, for benchmarking)")
 		noTally       = fs.Bool("no-tally", false, "disable the stage-3 tally engine (byte-identical, for benchmarking)")
+		noCurveArt    = fs.Bool("no-curve-artifact", false, "disable the curve memo/disk tier (byte-identical, for A/B benchmarking)")
+		noModelArt    = fs.Bool("no-model-artifact", false, "disable the cycle-model memo/disk tier (byte-identical, for A/B benchmarking)")
 		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
@@ -142,6 +147,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		bucketCacheBytes: bucketCacheBytes,
 		noAnnotate:       *noAnnotate,
 		noTally:          *noTally,
+		noCurveArtifact:  *noCurveArt,
+		noModelArtifact:  *noModelArt,
 		cacheStats:       *cacheStats,
 		artifactDir:      dir,
 		artifactBudget:   *artifactMB << 20,

@@ -78,18 +78,22 @@ func TestCacheStatsFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	progress := errW.String()
-	var annLine, bucketLine string
+	// The table is one row per tier, session pass cache down to disk store.
+	lines := map[string]string{}
 	for _, line := range strings.Split(progress, "\n") {
-		if strings.HasPrefix(line, "cache-stats annotated-stream") {
-			annLine = line
-		}
-		if strings.HasPrefix(line, "cache-stats bucket-stream") {
-			bucketLine = line
+		if rest, ok := strings.CutPrefix(line, "cache-stats "); ok {
+			lines[strings.Fields(rest)[0]] = line
 		}
 	}
-	if annLine == "" || bucketLine == "" {
-		t.Fatalf("cache-stats lines missing from stderr:\n%s", progress)
+	for _, tier := range []string{"session-pass", "trace-memo", "annotated-stream", "bucket-stream", "model-stats", "curve", "artifact-disk"} {
+		if lines[tier] == "" {
+			t.Errorf("cache-stats row for %s missing from stderr:\n%s", tier, progress)
+		}
 	}
+	if len(lines) != 7 {
+		t.Errorf("cache-stats printed %d rows, want 7:\n%s", len(lines), progress)
+	}
+	annLine, bucketLine := lines["annotated-stream"], lines["bucket-stream"]
 	for _, line := range []string{annLine, bucketLine} {
 		if strings.Contains(line, "misses=0") || strings.Contains(line, "resident_bytes=0") {
 			t.Errorf("counters did not move: %s", line)

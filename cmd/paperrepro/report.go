@@ -24,6 +24,8 @@ type reportConfig struct {
 	bucketCacheBytes int64           // bucket-cache resident bound (-1 = follow annCacheBytes)
 	noAnnotate       bool            // force the interleaved single-pass engine
 	noTally          bool            // disable the stage-3 tally engine
+	noCurveArtifact  bool            // disable the curve memo/disk tier
+	noModelArtifact  bool            // disable the cycle-model memo/disk tier
 	cacheStats       bool            // print per-cache counters to errW at exit
 	artifactDir      string          // persistent artifact store directory ("" = disabled)
 	artifactBudget   uint64          // artifact store disk budget in bytes (0 = unbounded)
@@ -53,10 +55,18 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	}
 	sim.SetAnnotatedCacheBound(cfg.annCacheBytes)
 	sim.SetTallyCacheDefaultBound(cfg.annCacheBytes)
+	exp.SetCurveCacheDefaultBound(cfg.annCacheBytes)
+	exp.SetModelCacheDefaultBound(cfg.annCacheBytes)
 	if cfg.bucketCacheBytes >= 0 {
 		sim.SetBucketCacheBound(uint64(cfg.bucketCacheBytes))
 	}
-	session := exp.NewSession(exp.Config{Branches: cfg.branches, NoAnnotate: cfg.noAnnotate, NoTally: cfg.noTally})
+	session := exp.NewSession(exp.Config{
+		Branches:        cfg.branches,
+		NoAnnotate:      cfg.noAnnotate,
+		NoTally:         cfg.noTally,
+		NoCurveArtifact: cfg.noCurveArtifact,
+		NoModelArtifact: cfg.noModelArtifact,
+	})
 	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
@@ -146,12 +156,15 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	if cfg.progress {
 		tiers := exp.CacheTiers()
 		pHits, pMisses := session.Stats()
-		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident); annotated cache: %d hits, %d misses (%.1f MB resident); bucket cache: %d hits, %d misses; artifact disk: %d hits, %d misses\n",
+		fmt.Fprintf(errW, "pass cache: %d hits, %d misses; trace cache: %d hits, %d misses (%.1f MB resident); annotated cache: %d hits, %d misses (%.1f MB resident); bucket cache: %d hits, %d misses; model cache: %d hits, %d misses; curve cache: %d hits, %d misses; artifact disk: %d hits, %d misses\n",
 			pHits, pMisses, tiers[0].Stats.Hits, tiers[0].Stats.Misses, float64(tiers[0].Stats.ResidentBytes)/(1<<20),
 			tiers[1].Stats.Hits, tiers[1].Stats.Misses, float64(tiers[1].Stats.ResidentBytes)/(1<<20),
-			tiers[2].Stats.Hits, tiers[2].Stats.Misses, tiers[3].Stats.Hits, tiers[3].Stats.Misses)
+			tiers[2].Stats.Hits, tiers[2].Stats.Misses, tiers[3].Stats.Hits, tiers[3].Stats.Misses,
+			tiers[4].Stats.Hits, tiers[4].Stats.Misses, tiers[5].Stats.Hits, tiers[5].Stats.Misses)
 	}
 	if cfg.cacheStats {
+		pHits, pMisses := session.Stats()
+		printCacheStats(errW, "session-pass", artifact.TierStats{Hits: pHits, Misses: pMisses})
 		for _, tier := range exp.CacheTiers() {
 			printCacheStats(errW, tier.Name, tier.Stats)
 		}

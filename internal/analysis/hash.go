@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"slices"
+)
+
+// HashRuns returns the canonical content hash of a set of per-run bucket
+// tallies: per run, the (bucket, events, misses) triples in ascending
+// bucket order, length-framed so run boundaries and empty runs are
+// unambiguous. Two run sets hash equal iff they carry identical integer
+// statistics, so the hash keys any artefact that is a pure function of the
+// tallies — notably the sorted confidence curves the experiment layer
+// persists. Hashing is O(buckets log buckets) per run, orders of magnitude
+// cheaper than the composite+sort build it lets warm runs skip.
+func HashRuns(runs []BucketStats) [sha256.Size]byte {
+	h := sha256.New()
+	var word [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	writeU64(uint64(len(runs)))
+	var buckets []uint64
+	// One triple-sized chunk buffer amortises the hash-write call overhead.
+	buf := make([]byte, 0, 24*1024)
+	for _, bs := range runs {
+		writeU64(uint64(len(bs)))
+		buckets = buckets[:0]
+		for b := range bs {
+			buckets = append(buckets, b)
+		}
+		slices.Sort(buckets)
+		buf = buf[:0]
+		for _, b := range buckets {
+			t := bs[b]
+			buf = binary.LittleEndian.AppendUint64(buf, b)
+			buf = binary.LittleEndian.AppendUint64(buf, t.Events)
+			buf = binary.LittleEndian.AppendUint64(buf, t.Misses)
+			if len(buf) >= 24*1024 {
+				h.Write(buf)
+				buf = buf[:0]
+			}
+		}
+		h.Write(buf)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

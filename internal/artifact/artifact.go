@@ -1,7 +1,8 @@
 // Package artifact is the engine's durable cache tier: a content-addressed,
-// disk-backed store that persists the three expensive simulation
+// disk-backed store that persists the expensive simulation and analysis
 // intermediates — materialized replay buffers (internal/trace), annotated
-// streams and bucket streams (internal/sim) — across process runs.
+// streams and bucket streams (internal/sim), and sorted confidence curves
+// (internal/exp) — across process runs.
 //
 // The in-memory tiers (the materialize memo in internal/workload and the
 // annotated/bucket byteLRUs in internal/sim) make intra-process reuse nearly
@@ -18,7 +19,12 @@
 // disk by the SHA-256 of (kind, key). Every record embeds the full key and a
 // checksum, so a hash collision or a corrupted file can never serve a wrong
 // stream: loads verify and, on any mismatch, delete the entry and fall back
-// to regeneration. Corruption costs time, never correctness.
+// to regeneration. Corruption costs time, never correctness. The checksum
+// sweep itself is paid once per record per process — the first read verifies
+// in full and marks the index entry; repeat reads re-check only the framing
+// and the embedded key — except on a strict store, or once the store has
+// seen any fault (a failed op or a failed verify), after which every read
+// verifies in full again.
 //
 // Consistency relies on the usual POSIX building blocks: writes go through a
 // temp file in the store directory followed by an atomic rename, so
@@ -53,6 +59,14 @@ const (
 	// KindBucketStream is a sim.BucketStream (packed per-branch bucket lane
 	// plus the geometry's base histogram).
 	KindBucketStream uint16 = 3
+	// KindCurve is a sorted analysis.Curve, keyed by the content hash of
+	// the per-run tallies it derives from plus the reduction parameters
+	// (internal/exp).
+	KindCurve uint16 = 4
+	// KindModelStats is a cycle-model count vector (internal/pipeline and
+	// internal/apps machines), keyed by the model's full parameterisation
+	// and version (internal/exp).
+	KindModelStats uint16 = 5
 )
 
 // TierStats is the uniform observability quad every cache tier reports

@@ -63,7 +63,18 @@ func EncodeRecord(kind uint16, key string, payload []byte) []byte {
 // DecodeRecord verifies data as a record for (kind, key) and returns its
 // payload (aliasing data's backing array). Any mismatch — magic, version,
 // kind, key, lengths, or checksum — returns an error wrapping ErrCorrupt.
+// Decode and verification are one pass: every header field is checked as it
+// is parsed and the checksum is a single CRC sweep over the whole record.
 func DecodeRecord(data []byte, kind uint16, key string) ([]byte, error) {
+	return decodeRecord(data, kind, key, true)
+}
+
+// decodeRecord is DecodeRecord with the checksum sweep made optional. With
+// checksum false only the CRC is skipped: magic, version, kind, lengths and
+// the full key comparison still run, so cross-kind and cross-key aliasing
+// stay fail-closed even on the cheap path. The store uses the cheap path for
+// records it has already verified once this process (see Store.get).
+func decodeRecord(data []byte, kind uint16, key string, checksum bool) ([]byte, error) {
 	if len(data) < recordOverhead(0) {
 		return nil, fmt.Errorf("%w: %d bytes, below minimum record size", ErrCorrupt, len(data))
 	}
@@ -87,9 +98,11 @@ func DecodeRecord(data []byte, kind uint16, key string) ([]byte, error) {
 	if string(data[recordHeaderLen:recordHeaderLen+keyLen]) != key {
 		return nil, fmt.Errorf("%w: key mismatch", ErrCorrupt)
 	}
-	body := data[:len(data)-8]
-	if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(data[len(data)-8:]); got != want {
-		return nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+	if checksum {
+		body := data[:len(data)-8]
+		if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(data[len(data)-8:]); got != want {
+			return nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+		}
 	}
 	return data[recordHeaderLen+keyLen : len(data)-8], nil
 }

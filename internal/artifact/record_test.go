@@ -109,3 +109,31 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 	})
 }
+
+// TestDecodeRecordCheapPathStaysClosed: the checksum-skipping decode still
+// rejects every structural mismatch — wrong kind, wrong key, truncation —
+// so the store's cheap repeat-read path can never alias across entries.
+func TestDecodeRecordCheapPathStaysClosed(t *testing.T) {
+	rec := EncodeRecord(KindBucketStream, "the-key", []byte("payload"))
+	if got, err := decodeRecord(rec, KindBucketStream, "the-key", false); err != nil || string(got) != "payload" {
+		t.Fatalf("cheap decode of a good record: %q, %v", got, err)
+	}
+	if _, err := decodeRecord(rec, KindAnnotatedStream, "the-key", false); err == nil {
+		t.Fatal("cheap decode accepted a wrong kind")
+	}
+	if _, err := decodeRecord(rec, KindBucketStream, "other-key", false); err == nil {
+		t.Fatal("cheap decode accepted a wrong key")
+	}
+	if _, err := decodeRecord(rec[:len(rec)-3], KindBucketStream, "the-key", false); err == nil {
+		t.Fatal("cheap decode accepted a truncated record")
+	}
+	// The one check the cheap path gives up: a payload bit flip passes.
+	flipped := append([]byte(nil), rec...)
+	flipped[recordHeaderLen+len("the-key")+2] ^= 0x04
+	if _, err := decodeRecord(flipped, KindBucketStream, "the-key", false); err != nil {
+		t.Fatalf("cheap path unexpectedly ran the checksum: %v", err)
+	}
+	if _, err := decodeRecord(flipped, KindBucketStream, "the-key", true); err == nil {
+		t.Fatal("full verify missed the payload flip")
+	}
+}

@@ -21,8 +21,9 @@ import (
 //
 // A Store is safe for concurrent use by any number of goroutines, and the
 // directory is safe to share between processes: writes are temp-file +
-// atomic-rename, loads verify the record checksum, and a reader that loses
-// a race with GC simply sees a miss.
+// atomic-rename, loads verify the record checksum (in full on the first read
+// per process, framing-and-key-only after — see get), and a reader that
+// loses a race with GC simply sees a miss.
 //
 // A Store is also fail-soft (see health.go): filesystem faults are
 // classified and retried, and repeated failures trip a breaker that turns
@@ -56,6 +57,13 @@ func (s *Store) bump(c *uint64) { s.mu.Lock(); *c++; s.mu.Unlock() }
 type storeEntry struct {
 	size    uint64
 	lastUse time.Time
+	// verified records that this process has already checksummed the record
+	// (a full-verify Get passed, or this process wrote it). Later Gets skip
+	// the CRC sweep — structural and key checks still run — unless the store
+	// is strict or has seen any fault (see Store.get). Entries indexed from
+	// Open's directory scan start unverified, so the first read per process
+	// always pays the full sweep.
+	verified bool
 }
 
 // Options configures OpenStore beyond the directory path.
@@ -270,6 +278,20 @@ func (s *Store) Get(kind uint16, key string) (payload []byte, ok bool) {
 func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 	name := fileName(kind, key)
 	path := filepath.Join(s.dir, name)
+	// Decide up front whether this read owes a checksum sweep. The sweep runs
+	// on the first read of each record per process (the index entry is absent
+	// or still unverified), and unconditionally on a strict store or once the
+	// store has seen any fault — a disk that has produced one bad byte or one
+	// failed op has forfeited the benefit of the doubt for the rest of the
+	// process. Repeat reads of a record this process already verified (or
+	// wrote) skip only the CRC; framing and key checks always run.
+	s.mu.Lock()
+	checksum := s.strict || s.opErrors > 0 || s.verifyFails > 0
+	e := s.index[name]
+	if e == nil || !e.verified {
+		checksum = true
+	}
+	s.mu.Unlock()
 	var data []byte
 	if err := s.do("read", func() error {
 		var rerr error
@@ -284,7 +306,7 @@ func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.noteSuccess()
-	payload, err := DecodeRecord(data, kind, key)
+	payload, err := decodeRecord(data, kind, key, checksum)
 	if err != nil {
 		s.mu.Lock()
 		s.verifyFails++
@@ -298,9 +320,12 @@ func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 	s.hits++
 	if e := s.index[name]; e != nil {
 		e.lastUse = now
+		if checksum {
+			e.verified = true
+		}
 	} else {
 		// Another process wrote the record after our Open scan; adopt it.
-		s.index[name] = &storeEntry{size: uint64(len(data)), lastUse: now}
+		s.index[name] = &storeEntry{size: uint64(len(data)), lastUse: now, verified: checksum}
 		s.resident += uint64(len(data))
 	}
 	s.mu.Unlock()
@@ -360,6 +385,11 @@ func (s *Store) put(kind uint16, key string, payload []byte) error {
 	if e := s.index[name]; e != nil {
 		s.resident -= e.size
 	}
+	// Deliberately not verified: even a record this process just wrote pays
+	// one checksum sweep on its first read back, so anything that reached the
+	// disk between rename and read (partial write, flipped bit) is caught
+	// where it matters. In practice the in-memory tiers serve re-reads of
+	// fresh writes, so this costs nothing on the warm path.
 	s.index[name] = &storeEntry{size: uint64(len(record)), lastUse: time.Now()}
 	s.resident += uint64(len(record))
 	s.evictLocked()

@@ -346,3 +346,109 @@ func TestDefaultStore(t *testing.T) {
 		t.Fatalf("Report = %+v", got)
 	}
 }
+
+// TestStoreVerifyFirstReadThenCheap pins the verification-cost contract:
+// the first read of a record in a process pays the full checksum sweep and
+// marks the entry; repeat reads skip the CRC (a payload bit flipped after
+// that first read is deliberately not seen — the documented tradeoff); and
+// the first fault of any kind restores full verification for every
+// subsequent read, which then catches the flip and deletes the record.
+func TestStoreVerifyFirstReadThenCheap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "cheap"
+	if err := s.Put(KindReplayBuffer, key, []byte("payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, key); !ok {
+		t.Fatal("first read missed")
+	}
+	// Flip one payload bit on disk, past the header and embedded key so only
+	// the checksum could catch it.
+	path := filepath.Join(dir, fileName(KindReplayBuffer, key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderLen+len(key)+3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Repeat read: the record was verified this process, so the CRC is
+	// skipped and the flip is not seen.
+	if _, ok := s.Get(KindReplayBuffer, key); !ok {
+		t.Fatal("repeat read of a verified record should serve on the cheap path")
+	}
+	if st := s.Stats(); st.VerifyFails != 0 {
+		t.Fatalf("cheap path counted a verify fail: %+v", st)
+	}
+	// First fault: a fresh record corrupted before its first read. That read
+	// full-verifies (first read per process), fails, and trips the store into
+	// verify-everything mode.
+	if err := s.Put(KindReplayBuffer, "other", []byte("other payload")); err != nil {
+		t.Fatal(err)
+	}
+	opath := filepath.Join(dir, fileName(KindReplayBuffer, "other"))
+	odata, err := os.ReadFile(opath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odata[len(odata)-1] ^= 0x80
+	if err := os.WriteFile(opath, odata, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, "other"); ok {
+		t.Fatal("corrupt first read served")
+	}
+	// With a fault on the books, the previously verified record is swept in
+	// full again — the flipped bit is caught now, fail-closed.
+	if _, ok := s.Get(KindReplayBuffer, key); ok {
+		t.Fatal("post-fault read skipped the checksum")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record not deleted after post-fault verify: %v", err)
+	}
+	if st := s.Stats(); st.VerifyFails != 2 {
+		t.Fatalf("stats = %+v, want 2 verify fails", st)
+	}
+}
+
+// TestStoreStrictAlwaysVerifies: a strict store never takes the cheap path,
+// so a bit flip after a verified read is still caught on the next read.
+func TestStoreStrictAlwaysVerifies(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "strict"
+	if err := s.Put(KindReplayBuffer, key, []byte("strict payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, key); !ok {
+		t.Fatal("first read missed")
+	}
+	path := filepath.Join(dir, fileName(KindReplayBuffer, key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderLen+len(key)+1] ^= 0x10
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindReplayBuffer, key); ok {
+		t.Fatal("strict store served a corrupt record on a repeat read")
+	}
+	if st := s.Stats(); st.VerifyFails != 1 {
+		t.Fatalf("stats = %+v, want 1 verify fail", st)
+	}
+	// Corruption is regenerable, not an I/O fault: the strict store stays
+	// usable and Err stays nil.
+	if err := s.Err(); err != nil {
+		t.Fatalf("verify failure pinned as a strict I/O error: %v", err)
+	}
+}

@@ -20,10 +20,12 @@ import (
 // CIR-table mechanisms qualify: the table contents are shift registers of
 // the correctness stream, addressed by hashes of PC and the global
 // histories, none of which a reduction function can perturb. Counter-table
-// mechanisms do not participate — their bucket embeds the mechanism's own
-// compressed counter state (saturating or resetting fold the stream
-// nonlinearly into the value the reduction reads), so they are evaluated
-// per-variant on the stage-2 replay path instead.
+// mechanisms qualify on the same grounds: saturating and resetting counters
+// fold the stream nonlinearly, but the fold consumes only the per-branch
+// correctness bit from a constant initial value, so the counter read is
+// still a pure function of (stream, geometry) — see counterfactor.go. Only
+// predictor-state-coupled mechanisms (core.StateCoupled) stay on the
+// stage-2 replay path.
 type Factorable interface {
 	Mechanism
 	// GeometryKey uniquely identifies the bucket-determining configuration:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"branchconf/internal/bitvec"
@@ -9,9 +10,10 @@ import (
 )
 
 // factorableBuilders spans every factorable paper geometry: all one-level
-// index schemes, every init policy, and every two-level second-index
-// variant, plus non-default geometries exercising distinct table, CIR and
-// history widths.
+// index schemes, every init policy, every two-level second-index variant,
+// and both counter-table kinds over the scheme/Max/init/history space the
+// §5 studies sweep, plus non-default geometries exercising distinct table,
+// CIR and history widths.
 func factorableBuilders() map[string]func() Factorable {
 	builders := map[string]func() Factorable{}
 	for _, scheme := range []IndexScheme{IndexPC, IndexBHR, IndexPCxorBHR, IndexGCIR, IndexPCxorGCIR, IndexPCconcatBHR} {
@@ -34,6 +36,26 @@ func factorableBuilders() map[string]func() Factorable {
 		return NewTwoLevel(TwoLevelConfig{Scheme1: IndexPC, Scheme2: L2CIRxorPC,
 			L1Bits: 6, L1CIRBits: 6, L2CIRBits: 10, HistoryBits: 5, Init: InitRandom, InitSeed: 11})
 	}
+	for _, kind := range []CounterKind{Saturating, Resetting} {
+		kind := kind
+		builders["counter-"+kind.String()] = func() Factorable { return NewCounterTable(CounterConfig{Kind: kind, Scheme: IndexPCxorBHR}) }
+		for _, scheme := range []IndexScheme{IndexPC, IndexGCIR, IndexPCconcatBHR} {
+			kind, scheme := kind, scheme
+			builders["counter-"+kind.String()+"-"+scheme.String()] = func() Factorable {
+				return NewCounterTable(CounterConfig{Kind: kind, Scheme: scheme, TableBits: 10})
+			}
+		}
+		for _, max := range []uint8{4, 8, 32, 64} {
+			kind, max := kind, max
+			builders[fmt.Sprintf("counter-%s-max%d", kind, max)] = func() Factorable {
+				return NewCounterTable(CounterConfig{Kind: kind, Scheme: IndexPCxorBHR, TableBits: 10, Max: max})
+			}
+		}
+	}
+	builders["counter-init-hist"] = func() Factorable {
+		return NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPCxorBHR, TableBits: 10, Max: 16, Init: 7, HistoryBits: 12})
+	}
+	builders["counter-smallreset"] = func() Factorable { return SmallResetting(8) }
 	return builders
 }
 
@@ -130,6 +152,13 @@ func TestGeometryKeyDistinguishesConfigs(t *testing.T) {
 		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPC, Scheme2: L2CIR}),
 		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPCxorBHR, Scheme2: L2CIR}),
 		NewTwoLevel(TwoLevelConfig{Scheme1: IndexPCxorBHR, Scheme2: L2CIRxorPCxorBHR}),
+		PaperResetting(),
+		NewCounterTable(CounterConfig{Kind: Saturating, Scheme: IndexPCxorBHR}),
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPC}),
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPCxorBHR, TableBits: 10}),
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPCxorBHR, Max: 8}),
+		NewCounterTable(CounterConfig{Kind: Resetting, Scheme: IndexPCxorBHR, Init: 3}),
+		SmallResetting(16),
 	}
 	seen := map[string]int{}
 	for i, m := range mechs {

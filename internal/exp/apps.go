@@ -7,9 +7,26 @@ import (
 	"branchconf/internal/apps"
 	"branchconf/internal/core"
 	"branchconf/internal/predictor"
-	"branchconf/internal/trace"
 	"branchconf/internal/workload"
 )
+
+// packAppDual flattens an application-level dual-path run's counters for
+// the model tier.
+func packAppDual(r apps.DualPathResult) []uint64 {
+	return []uint64{r.Branches, r.Misses, r.Forks, r.CoveredMiss, r.DeniedForks, r.BaseCycles, r.DualCycles}
+}
+
+const appDualLen = 7
+
+func unpackAppDual(c []uint64) apps.DualPathResult {
+	return apps.DualPathResult{Branches: c[0], Misses: c[1], Forks: c[2], CoveredMiss: c[3], DeniedForks: c[4], BaseCycles: c[5], DualCycles: c[6]}
+}
+
+// appDualParams canonicalises a dual-path study's machine shape for keys.
+func appDualParams(pred, est string, cfg apps.DualPathConfig) string {
+	return fmt.Sprintf("pred=%s|est=%s|pen=%d|forkpen=%d|threads=%d|resolve=%d",
+		pred, est, cfg.MispredictPenalty, cfg.ForkPenalty, cfg.MaxThreads, cfg.ResolveDistance)
+}
 
 func init() {
 	register(Experiment{
@@ -24,14 +41,22 @@ func init() {
 			var forkRate, coverage, savings float64
 			n := 0
 			for _, spec := range workload.Suite() {
-				src, err := s.Source(spec)
+				params := appDualParams("gshare64k", "paper16", apps.DefaultDualPath())
+				counts, err := s.modelCounts(modelKey("appdual", spec.Name, s.Branches(), params), appDualLen, func() ([]uint64, error) {
+					src, err := s.Source(spec)
+					if err != nil {
+						return nil, err
+					}
+					res, err := apps.RunDualPath(src, predictor.Gshare64K(), core.PaperEstimator(16), apps.DefaultDualPath())
+					if err != nil {
+						return nil, err
+					}
+					return packAppDual(res), nil
+				})
 				if err != nil {
 					return nil, err
 				}
-				res, err := apps.RunDualPath(src, predictor.Gshare64K(), core.PaperEstimator(16), apps.DefaultDualPath())
-				if err != nil {
-					return nil, err
-				}
+				res := unpackAppDual(counts)
 				forkRate += res.ForkRate()
 				coverage += res.Coverage()
 				savings += res.PenaltySavings()
@@ -61,21 +86,33 @@ func init() {
 				}
 				return out, nil
 			}
-			smtCfg := apps.SMTConfig{ResolveSlots: 6}
-			threads, err := mkThreads()
+			// One SMT model run per policy, served through the model tier.
+			// The thread mix is part of the key; PerThreadUse rides behind
+			// the four scalar counters in the packed vector.
+			runSMT := func(gated bool) (apps.SMTResult, error) {
+				smtCfg := apps.SMTConfig{ResolveSlots: 6, Gated: gated}
+				params := fmt.Sprintf("mix=groff+real_gcc+jpeg_play+sdet|pred=gshare4k|est=paper16|slots=%d|gated=%t", smtCfg.ResolveSlots, gated)
+				counts, err := s.modelCounts(modelKey("smt", "mix4", 4*s.Branches(), params), 4+4, func() ([]uint64, error) {
+					threads, err := mkThreads()
+					if err != nil {
+						return nil, err
+					}
+					res, err := apps.RunSMT(threads, smtCfg, 4*s.Branches())
+					if err != nil {
+						return nil, err
+					}
+					return append([]uint64{res.Slots, res.Useful, res.Wasted, res.GatedSkips}, res.PerThreadUse...), nil
+				})
+				if err != nil {
+					return apps.SMTResult{}, err
+				}
+				return apps.SMTResult{Slots: counts[0], Useful: counts[1], Wasted: counts[2], GatedSkips: counts[3], PerThreadUse: counts[4:]}, nil
+			}
+			base, err := runSMT(false)
 			if err != nil {
 				return nil, err
 			}
-			base, err := apps.RunSMT(threads, smtCfg, 4*s.Branches())
-			if err != nil {
-				return nil, err
-			}
-			smtCfg.Gated = true
-			threads, err = mkThreads()
-			if err != nil {
-				return nil, err
-			}
-			gated, err := apps.RunSMT(threads, smtCfg, 4*s.Branches())
+			gated, err := runSMT(true)
 			if err != nil {
 				return nil, err
 			}
@@ -87,17 +124,24 @@ func init() {
 			// 3) Hybrid selector vs tournament, averaged over the suite.
 			var confRate, tourRate, bimRate, gshRate float64
 			for _, spec := range workload.Suite() {
-				src, err := s.Source(spec)
+				counts, err := s.modelCounts(modelKey("hybrid", spec.Name, s.Branches(), "a=bimodal12|b=gshare12x12|chooser=12"), 5, func() ([]uint64, error) {
+					src, err := s.Source(spec)
+					if err != nil {
+						return nil, err
+					}
+					r, err := apps.CompareHybrids(src,
+						func() predictor.Predictor { return predictor.NewBimodal(12) },
+						func() predictor.Predictor { return predictor.NewGshare(12, 12) },
+						12)
+					if err != nil {
+						return nil, err
+					}
+					return []uint64{r.Branches, r.ConfHybrid, r.Tournament, r.SoloA, r.SoloB}, nil
+				})
 				if err != nil {
 					return nil, err
 				}
-				cmpRes, err := apps.CompareHybrids(src,
-					func() predictor.Predictor { return predictor.NewBimodal(12) },
-					func() predictor.Predictor { return predictor.NewGshare(12, 12) },
-					12)
-				if err != nil {
-					return nil, err
-				}
+				cmpRes := apps.HybridComparison{Branches: counts[0], ConfHybrid: counts[1], Tournament: counts[2], SoloA: counts[3], SoloB: counts[4]}
 				confRate += cmpRes.Rate(cmpRes.ConfHybrid)
 				tourRate += cmpRes.Rate(cmpRes.Tournament)
 				bimRate += cmpRes.Rate(cmpRes.SoloA)
@@ -114,23 +158,29 @@ func init() {
 			var deltaSum float64
 			var setSum int
 			for _, spec := range workload.Suite() {
-				mkSrc := func() (trace.Source, error) { return s.Source(spec) }
-				p1, err := mkSrc()
+				counts, err := s.modelCounts(modelKey("reverser", spec.Name, s.Branches(), "pred=gshare4k|mech=smallreset12|thr=0.55"), 6, func() ([]uint64, error) {
+					p1, err := s.Source(spec)
+					if err != nil {
+						return nil, err
+					}
+					p2, err := s.Source(spec)
+					if err != nil {
+						return nil, err
+					}
+					r, setSize, err := apps.ReverserStudy(p1, p2,
+						func() predictor.Predictor { return predictor.Gshare4K() },
+						func() core.Mechanism { return core.SmallResetting(12) }, 0.55)
+					if err != nil {
+						return nil, err
+					}
+					return []uint64{r.Branches, r.BaseMisses, r.ReversedMisses, r.Reversals, r.GoodReversals, uint64(setSize)}, nil
+				})
 				if err != nil {
 					return nil, err
 				}
-				p2, err := mkSrc()
-				if err != nil {
-					return nil, err
-				}
-				res, setSize, err := apps.ReverserStudy(p1, p2,
-					func() predictor.Predictor { return predictor.Gshare4K() },
-					func() core.Mechanism { return core.SmallResetting(12) }, 0.55)
-				if err != nil {
-					return nil, err
-				}
+				res := apps.ReverserResult{Branches: counts[0], BaseMisses: counts[1], ReversedMisses: counts[2], Reversals: counts[3], GoodReversals: counts[4]}
 				deltaSum += res.Delta()
-				setSum += setSize
+				setSum += int(counts[5])
 			}
 			fmt.Fprintf(&b, "reverser:   mean mispredict-rate delta %.4f%% (negative = better), mean reversal-set size %.1f\n",
 				100*deltaSum/k, float64(setSum)/k)

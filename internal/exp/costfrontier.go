@@ -74,14 +74,25 @@ func init() {
 							return nil, err
 						}
 						eres := sim.DeriveEstimator(run, core.CounterReducer{Threshold: 16})
-						src, err := s.Source(spec)
+						params := appDualParams(
+							fmt.Sprintf("gshare%dx%d", split.predBits, histBits),
+							fmt.Sprintf("ctreset%dh%dthr16", split.ctBits, histBits),
+							apps.DefaultDualPath())
+						counts, err := s.modelCounts(modelKey("appdual", spec.Name, s.Branches(), params), appDualLen, func() ([]uint64, error) {
+							src, err := s.Source(spec)
+							if err != nil {
+								return nil, err
+							}
+							dres, err := apps.RunDualPath(src, mkPred(), est(), apps.DefaultDualPath())
+							if err != nil {
+								return nil, err
+							}
+							return packAppDual(dres), nil
+						})
 						if err != nil {
 							return nil, err
 						}
-						dres, err := apps.RunDualPath(src, mkPred(), est(), apps.DefaultDualPath())
-						if err != nil {
-							return nil, err
-						}
+						dres := unpackAppDual(counts)
 						missSum += float64(eres.Misses) / float64(eres.Branches)
 						covSum += eres.Coverage()
 						saveSum += dres.PenaltySavings()

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"branchconf/internal/analysis"
+)
+
+// TestCurveCodecRoundTrip: the curve codec must reproduce every field
+// bit-exactly — the tier's byte-identical-report guarantee rests on floats
+// surviving the trip through their IEEE 754 bit patterns.
+func TestCurveCodecRoundTrip(t *testing.T) {
+	cv := analysis.Curve{
+		{Key: analysis.Key{Run: -1, Bucket: 0}, Rate: 0.1, EventsPct: 1.0 / 3.0, MissesPct: 0, CumEventsPct: 33.333333333333336, CumMissesPct: 100},
+		{Key: analysis.Key{Run: 7, Bucket: math.MaxUint64}, Rate: math.Nextafter(0.5, 1), EventsPct: 5e-324, MissesPct: math.MaxFloat64, CumEventsPct: 99.9, CumMissesPct: 0.0625},
+	}
+	dec, err := unmarshalCurve(marshalCurve(cv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(cv) {
+		t.Fatalf("round-trip length %d, want %d", len(dec), len(cv))
+	}
+	for i := range cv {
+		if dec[i] != cv[i] {
+			t.Errorf("point %d: %+v != %+v", i, dec[i], cv[i])
+		}
+	}
+	// Empty curves marshal and decode as nil, matching what BuildCurve
+	// returns for an empty composite.
+	if dec, err := unmarshalCurve(marshalCurve(nil)); err != nil || dec != nil {
+		t.Fatalf("empty curve round-trip: %v, %v", dec, err)
+	}
+}
+
+// TestCurveCodecFailsClosed: any structural damage to a curve payload is an
+// error, never a partial or padded curve.
+func TestCurveCodecFailsClosed(t *testing.T) {
+	payload := marshalCurve(analysis.Curve{
+		{Key: analysis.Key{Run: 0, Bucket: 3}, Rate: 0.25},
+		{Key: analysis.Key{Run: 1, Bucket: 9}, Rate: 0.75},
+	})
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    payload[:5],
+		"truncated point": payload[:len(payload)-8],
+		"trailing bytes":  append(append([]byte{}, payload...), 0),
+		"count mismatch": func() []byte {
+			p := append([]byte{}, payload...)
+			p[0]++ // claims one more point than the bytes hold
+			return p
+		}(),
+	}
+	for name, data := range cases {
+		if cv, err := unmarshalCurve(data); err == nil {
+			t.Errorf("%s: decoded to %d points, want error", name, len(cv))
+		}
+	}
+}
+
+// TestMergedRequiresDescriptor: an anonymous reduction cannot be cached —
+// the descriptor is the function's cache identity — so Merged("") panics
+// rather than risking cross-reduction aliasing.
+func TestMergedRequiresDescriptor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merged(\"\") did not panic")
+		}
+	}()
+	s := NewSession(Config{})
+	s.Pooled(nil).Merged("", func(b uint64) uint64 { return b })
+}
+
+// TestHashRunsKeysContent: the content hash must be invariant to bucket-map
+// iteration order and sensitive to every statistic and to run boundaries.
+func TestHashRunsKeysContent(t *testing.T) {
+	a := analysis.BucketStats{1: {Events: 10, Misses: 2}, 2: {Events: 5, Misses: 1}}
+	b := analysis.BucketStats{2: {Events: 5, Misses: 1}, 1: {Events: 10, Misses: 2}}
+	if analysis.HashRuns([]analysis.BucketStats{a}) != analysis.HashRuns([]analysis.BucketStats{b}) {
+		t.Error("hash depends on bucket insertion order")
+	}
+	base := analysis.HashRuns([]analysis.BucketStats{a})
+	mut := analysis.BucketStats{1: {Events: 10, Misses: 3}, 2: {Events: 5, Misses: 1}}
+	if analysis.HashRuns([]analysis.BucketStats{mut}) == base {
+		t.Error("hash missed a changed miss count")
+	}
+	// The same triples split differently across runs must hash differently.
+	one := []analysis.BucketStats{{1: {Events: 10, Misses: 2}, 2: {Events: 5, Misses: 1}}}
+	two := []analysis.BucketStats{{1: {Events: 10, Misses: 2}}, {2: {Events: 5, Misses: 1}}}
+	if analysis.HashRuns(one) == analysis.HashRuns(two) {
+		t.Error("hash missed a run boundary")
+	}
+}

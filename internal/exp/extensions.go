@@ -57,13 +57,32 @@ func registerExtensions() {
 			miss := make([]float64, len(thresholds))
 			n := 0
 			for _, spec := range workload.Suite() {
-				src, err := s.Source(spec)
+				// The whole batch is one model-tier entry: its counts are a
+				// pure function of one predictor+estimator walk, and the
+				// threshold list is part of the key.
+				params := fmt.Sprintf("pred=gshare4k|est=paper8|resolve=4|thrs=%v", thresholds)
+				counts, err := s.modelCounts(modelKey("gating", spec.Name, s.Branches(), params), 5*len(cfgs), func() ([]uint64, error) {
+					src, err := s.Source(spec)
+					if err != nil {
+						return nil, err
+					}
+					results, err := apps.RunGatingBatch(src, predictor.Gshare4K(), core.PaperEstimator(8), cfgs)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]uint64, 0, 5*len(results))
+					for _, r := range results {
+						out = append(out, r.Branches, r.Misses, r.Useful, r.Wasted, r.Stalled)
+					}
+					return out, nil
+				})
 				if err != nil {
 					return nil, err
 				}
-				results, err := apps.RunGatingBatch(src, predictor.Gshare4K(), core.PaperEstimator(8), cfgs)
-				if err != nil {
-					return nil, err
+				results := make([]apps.GateResult, len(cfgs))
+				for i := range results {
+					w := counts[5*i:]
+					results[i] = apps.GateResult{Branches: w[0], Misses: w[1], Useful: w[2], Wasted: w[3], Stalled: w[4]}
 				}
 				for i, res := range results {
 					wasted[i] += res.WastedFrac()
@@ -103,8 +122,8 @@ func registerExtensions() {
 			}
 			strengthRuns := srs[0].Stats()
 			resetSR := srs[1]
-			strength := analysis.BuildCurve(analysis.CompositePooled(strengthRuns))
-			reset := analysis.BuildCurve(analysis.CompositePooled(resetSR.Stats()))
+			strength := s.Pooled(strengthRuns).Curve()
+			reset := s.Pooled(resetSR.Stats()).Curve()
 			// The strength method has one natural operating point: its
 			// weak-state set. Compare both methods at that set size.
 			weakPct := strength[0].CumEventsPct
@@ -164,7 +183,7 @@ func registerExtensions() {
 				}
 				soloRuns = append(soloRuns, res.Buckets)
 			}
-			solo := analysis.BuildCurve(analysis.CompositePooled(soloRuns))
+			solo := s.Pooled(soloRuns).Curve()
 			o.Series = append(o.Series, analysis.Series{Label: "solo", Curve: solo})
 			o.Scalars["solo@20%"] = solo.MispredsAt(20)
 			for _, quantum := range []uint64{100_000, 10_000, 1_000} {
@@ -176,7 +195,7 @@ func registerExtensions() {
 				if err != nil {
 					return nil, err
 				}
-				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				c := s.SingleRun(res.Buckets).Curve()
 				label := fmt.Sprintf("mix-q%d", quantum)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -241,8 +260,8 @@ func registerExtensions() {
 					nspecs = len(specs)
 				}
 				miss := 100 * missSum / float64(nspecs)
-				ideal := analysis.BuildCurve(analysis.CompositePooled(idealRuns)).MispredsAt(20)
-				reset := analysis.BuildCurve(analysis.CompositePooled(resetRuns)).MispredsAt(20)
+				ideal := s.Pooled(idealRuns).Curve().MispredsAt(20)
+				reset := s.Pooled(resetRuns).Curve().MispredsAt(20)
 				fmt.Fprintf(&b, "%7d  %15.2f  %12.1f  %9.1f\n", rep, miss, ideal, reset)
 				if rep == 0 {
 					missMin, missMax = miss, miss
@@ -278,7 +297,7 @@ func registerExtensions() {
 			var curves []analysis.Curve
 			var names []string
 			for _, res := range sr.Runs {
-				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				c := s.SingleRun(res.Buckets).Curve()
 				curves = append(curves, c)
 				names = append(names, res.Benchmark)
 				o.Series = append(o.Series, analysis.Series{Label: res.Benchmark, Curve: c})
@@ -393,7 +412,7 @@ func registerExtensions() {
 				}
 			}
 			for i, pol := range policies {
-				c := analysis.BuildCurve(analysis.CompositePooled(perPolicy[i]))
+				c := s.Pooled(perPolicy[i]).Curve()
 				o.Series = append(o.Series, analysis.Series{Label: pol.label, Curve: c})
 				o.Scalars[pol.label+"@20%"] = c.MispredsAt(20)
 			}

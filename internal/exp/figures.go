@@ -15,7 +15,7 @@ func staticCurve(s *Session) (analysis.Curve, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.BuildCurve(analysis.CompositeDistinct(sr.Stats())), nil
+	return s.Distinct(sr.Stats()).Curve(), nil
 }
 
 // oneLevelCurve computes a pooled-composite curve for a one-level CIR
@@ -25,7 +25,7 @@ func oneLevelCurve(s *Session, scheme core.IndexScheme) (analysis.Curve, error) 
 	if err != nil {
 		return nil, err
 	}
-	return analysis.BuildCurve(analysis.CompositePooled(sr.Stats())), nil
+	return s.Pooled(sr.Stats()).Curve(), nil
 }
 
 func init() {
@@ -65,10 +65,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
+			static := s.Distinct(rs[0].Stats()).Curve()
 			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
 			for i, scheme := range schemes {
-				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
+				c := s.Pooled(rs[i+1].Stats()).Curve()
 				o.Series = append(o.Series, analysis.Series{Label: scheme.String(), Curve: c})
 				o.Scalars[scheme.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -108,10 +108,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
+			static := s.Distinct(rs[0].Stats()).Curve()
 			o.Series = append(o.Series, analysis.Series{Label: "static", Curve: static})
 			for i, v := range variants {
-				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
+				c := s.Pooled(rs[i+1].Stats()).Curve()
 				label := fmt.Sprintf("%s-%s", v.s1, v.s2)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -134,9 +134,9 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			static := analysis.BuildCurve(analysis.CompositeDistinct(rs[0].Stats()))
-			one := analysis.BuildCurve(analysis.CompositePooled(rs[1].Stats()))
-			two := analysis.BuildCurve(analysis.CompositePooled(rs[2].Stats()))
+			static := s.Distinct(rs[0].Stats()).Curve()
+			one := s.Pooled(rs[1].Stats()).Curve()
+			two := s.Pooled(rs[2].Stats()).Curve()
 			o.Series = []analysis.Series{
 				{Label: "static", Curve: static},
 				{Label: "BHRxorPC", Curve: one},
@@ -168,18 +168,19 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			// Ideal and ones-count derive from the same full-CIR run.
-			pooled := analysis.CompositePooled(rs[0].Stats())
-			ideal := analysis.BuildCurve(pooled)
-			ones := analysis.BuildCurve(pooled.MergeBuckets(func(b uint64) uint64 {
+			// Ideal and ones-count derive from the same full-CIR run (and, on
+			// a cold build, from one shared pooled composite).
+			cs := s.Pooled(rs[0].Stats())
+			ideal := cs.Curve()
+			ones := cs.Merged("1cnt", func(b uint64) uint64 {
 				return uint64(bits.OnesCount64(b))
-			}))
+			})
 			o.Series = append(o.Series,
 				analysis.Series{Label: "BHRxorPC (ideal)", Curve: ideal},
 				analysis.Series{Label: "BHRxorPC.1Cnt", Curve: ones},
 			)
 			for i, kind := range kinds {
-				c := analysis.BuildCurve(analysis.CompositePooled(rs[i+1].Stats()))
+				c := s.Pooled(rs[i+1].Stats()).Curve()
 				o.Series = append(o.Series, analysis.Series{Label: "BHRxorPC." + kind.String(), Curve: c})
 				o.Scalars[kind.String()+"@20%"] = c.MispredsAt(20)
 			}
@@ -199,7 +200,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			pooled := analysis.CompositePooled(sr.Stats())
+			pooled := s.Pooled(sr.Stats()).Stats()
 			rows := analysis.CounterRows(pooled, 16)
 			o := &Output{
 				ID: "table1", Title: "resetting-counter statistics",
@@ -232,7 +233,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				c := analysis.BuildCurve(analysis.Single(res.Buckets))
+				c := s.SingleRun(res.Buckets).Curve()
 				o.Series = append(o.Series, analysis.Series{Label: name, Curve: c})
 				o.Scalars[name+"@20%"] = c.MispredsAt(20)
 				o.Scalars[name+"-missRate"] = res.MissRate()
@@ -259,7 +260,7 @@ func init() {
 				return nil, err
 			}
 			for i, bitsN := range sizes {
-				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
+				c := s.Pooled(rs[i].Stats()).Curve()
 				label := fmt.Sprintf("%d", 1<<bitsN)
 				o.Series = append(o.Series, analysis.Series{Label: label, Curve: c})
 				o.Scalars[label+"@20%"] = c.MispredsAt(20)
@@ -288,7 +289,7 @@ func init() {
 				return nil, err
 			}
 			for i, pol := range policies {
-				c := analysis.BuildCurve(analysis.CompositePooled(rs[i].Stats()))
+				c := s.Pooled(rs[i].Stats()).Curve()
 				o.Series = append(o.Series, analysis.Series{Label: pol.String(), Curve: c})
 				o.Scalars[pol.String()+"@20%"] = c.MispredsAt(20)
 			}

@@ -24,6 +24,29 @@ func (o oracleSignal) Confident(r trace.Record) bool { return o.pred.Predict(r) 
 // Update is a no-op: oracles need no training.
 func (o oracleSignal) Update(trace.Record, bool) {}
 
+// packPipeStats flattens a pipeline run's counters for the model tier; the
+// unpacker must mirror the order exactly.
+func packPipeStats(st pipeline.Stats) []uint64 {
+	return []uint64{st.Cycles, st.Retired, st.WrongPath, st.GateStalls, st.Branches, st.Misses}
+}
+
+const pipeStatsLen = 6
+
+func unpackPipeStats(c []uint64) pipeline.Stats {
+	return pipeline.Stats{Cycles: c[0], Retired: c[1], WrongPath: c[2], GateStalls: c[3], Branches: c[4], Misses: c[5]}
+}
+
+// packDualStats flattens a dual-path pipeline run's counters.
+func packDualStats(st pipeline.DualPathStats) []uint64 {
+	return append(packPipeStats(st.Stats), st.Forks, st.CoveredMiss, st.ForkSlots)
+}
+
+const dualStatsLen = pipeStatsLen + 3
+
+func unpackDualStats(c []uint64) pipeline.DualPathStats {
+	return pipeline.DualPathStats{Stats: unpackPipeStats(c), Forks: c[6], CoveredMiss: c[7], ForkSlots: c[8]}
+}
+
 func init() {
 	register(Experiment{
 		ID:    "pipeline",
@@ -50,24 +73,38 @@ func init() {
 			for _, pol := range policies {
 				var ipc, waste, stall float64
 				n := 0
+				estLabel := "none"
+				if pol.oracle {
+					estLabel = "oracle"
+				} else if pol.gate > 0 {
+					estLabel = fmt.Sprintf("paper%d", pol.est)
+				}
+				m := mach
+				m.GateThreshold = pol.gate
+				params := fmt.Sprintf("pred=gshare4k|est=%s|fw=%d|depth=%d|gate=%d", estLabel, m.FetchWidth, m.Depth, m.GateThreshold)
 				for _, spec := range workload.Suite() {
-					src, err := s.Source(spec)
+					counts, err := s.modelCounts(modelKey("pipeline", spec.Name, s.Branches(), params), pipeStatsLen, func() ([]uint64, error) {
+						src, err := s.Source(spec)
+						if err != nil {
+							return nil, err
+						}
+						pred := predictor.Gshare4K()
+						var est pipeline.ConfidenceSignal
+						if pol.oracle {
+							est = oracleSignal{pred: pred}
+						} else if pol.gate > 0 {
+							est = core.PaperEstimator(pol.est)
+						}
+						st, err := pipeline.Run(src, pred, est, m)
+						if err != nil {
+							return nil, err
+						}
+						return packPipeStats(st), nil
+					})
 					if err != nil {
 						return nil, err
 					}
-					pred := predictor.Gshare4K()
-					var est pipeline.ConfidenceSignal
-					if pol.oracle {
-						est = oracleSignal{pred: pred}
-					} else if pol.gate > 0 {
-						est = core.PaperEstimator(pol.est)
-					}
-					m := mach
-					m.GateThreshold = pol.gate
-					st, err := pipeline.Run(src, pred, est, m)
-					if err != nil {
-						return nil, err
-					}
+					st := unpackPipeStats(counts)
 					ipc += st.IPC()
 					waste += st.WasteFrac()
 					stall += float64(st.GateStalls) / float64(st.Cycles*uint64(m.FetchWidth))
@@ -107,31 +144,56 @@ func init() {
 			for _, pol := range policies {
 				var ipc, covered, forkSlots float64
 				n := 0
+				estLabel := "none"
+				if pol.oracle {
+					estLabel = "oracle"
+				} else if !pol.off {
+					estLabel = fmt.Sprintf("paper%d", pol.est)
+				}
 				for _, spec := range workload.Suite() {
-					src, err := s.Source(spec)
-					if err != nil {
-						return nil, err
-					}
-					pred := predictor.Gshare4K()
 					if pol.off {
-						st, err := pipeline.Run(src, pred, nil, pipeline.Config{FetchWidth: mach.FetchWidth, Depth: mach.Depth})
+						params := fmt.Sprintf("pred=gshare4k|est=none|fw=%d|depth=%d|gate=0", mach.FetchWidth, mach.Depth)
+						counts, err := s.modelCounts(modelKey("pipeline", spec.Name, s.Branches(), params), pipeStatsLen, func() ([]uint64, error) {
+							src, err := s.Source(spec)
+							if err != nil {
+								return nil, err
+							}
+							st, err := pipeline.Run(src, predictor.Gshare4K(), nil, pipeline.Config{FetchWidth: mach.FetchWidth, Depth: mach.Depth})
+							if err != nil {
+								return nil, err
+							}
+							return packPipeStats(st), nil
+						})
 						if err != nil {
 							return nil, err
 						}
-						ipc += st.IPC()
+						ipc += unpackPipeStats(counts).IPC()
 						n++
 						continue
 					}
-					var est pipeline.ConfidenceSignal
-					if pol.oracle {
-						est = oracleSignal{pred: pred}
-					} else {
-						est = core.PaperEstimator(pol.est)
-					}
-					st, err := pipeline.RunDualPath(src, pred, est, mach)
+					params := fmt.Sprintf("pred=gshare4k|est=%s|fw=%d|depth=%d|forkw=%d", estLabel, mach.FetchWidth, mach.Depth, mach.ForkWidth)
+					counts, err := s.modelCounts(modelKey("pipedual", spec.Name, s.Branches(), params), dualStatsLen, func() ([]uint64, error) {
+						src, err := s.Source(spec)
+						if err != nil {
+							return nil, err
+						}
+						pred := predictor.Gshare4K()
+						var est pipeline.ConfidenceSignal
+						if pol.oracle {
+							est = oracleSignal{pred: pred}
+						} else {
+							est = core.PaperEstimator(pol.est)
+						}
+						st, err := pipeline.RunDualPath(src, pred, est, mach)
+						if err != nil {
+							return nil, err
+						}
+						return packDualStats(st), nil
+					})
 					if err != nil {
 						return nil, err
 					}
+					st := unpackDualStats(counts)
 					ipc += st.IPC()
 					if st.Misses > 0 {
 						covered += float64(st.CoveredMiss) / float64(st.Misses)

@@ -51,11 +51,14 @@ func init() {
 				}
 				evalRuns = append(evalRuns, evalRes.Buckets)
 			}
-			trainWS := analysis.CompositeDistinct(trainRuns)
-			evalWS := analysis.CompositeDistinct(evalRuns)
-			optimistic := analysis.BuildCurve(evalWS) // eval data, eval-sorted
-			order := analysis.BuildCurve(trainWS).Keys()
-			realistic := analysis.BuildCurveOrdered(evalWS, order)
+			trainCS := s.Distinct(trainRuns)
+			evalCS := s.Distinct(evalRuns)
+			optimistic := evalCS.Curve() // eval data, eval-sorted
+			order := trainCS.Curve().Keys()
+			// The ordered accumulation stays on the direct path: its order
+			// input is run-specific, so a cached artifact would never be
+			// shared, and the build is a single pass over the composite.
+			realistic := analysis.BuildCurveOrdered(evalCS.Stats(), order)
 			o.Series = []analysis.Series{
 				{Label: "optimistic (self-profiled)", Curve: optimistic},
 				{Label: "realistic (train/test split)", Curve: realistic},
@@ -80,15 +83,15 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			pooled := analysis.CompositePooled(sr.Stats())
-			ideal := analysis.BuildCurve(pooled)
-			plain := analysis.BuildCurve(pooled.MergeBuckets(func(b uint64) uint64 {
+			cs := s.Pooled(sr.Stats())
+			ideal := cs.Curve()
+			plain := cs.Merged("1cnt", func(b uint64) uint64 {
 				return uint64(bits.OnesCount64(b))
-			}))
+			})
 			weigher := core.WeightedOnesReducer{Width: 16}
-			weighted := analysis.BuildCurve(pooled.MergeBuckets(func(b uint64) uint64 {
+			weighted := cs.Merged("w1cnt-w16", func(b uint64) uint64 {
 				return uint64(weigher.Score(b))
-			}))
+			})
 			o.Series = []analysis.Series{
 				{Label: "ideal", Curve: ideal},
 				{Label: "1Cnt", Curve: plain},

@@ -13,17 +13,21 @@ type CacheTier struct {
 	Stats artifact.TierStats
 }
 
-// CacheTiers snapshots every tier of the four-level cache hierarchy the
+// CacheTiers snapshots every tier of the six-level cache hierarchy the
 // engine runs on — materialize memo, annotated-stream LRU, bucket-stream
-// LRU, and the persistent disk store — under one uniform
+// LRU, model-stats LRU, curve LRU, and the persistent disk store — under one uniform
 // hit/miss/eviction/resident quad (plus the disk tier's health columns:
 // verify failures, op errors, and the degraded flag a tripped breaker
-// raises), so the -cache-stats table renders all tiers identically.
+// raises), so the -cache-stats table renders all tiers identically. The
+// per-session pass cache (Session.Stats) sits above all of these and is
+// reported by the caller that owns the session.
 func CacheTiers() []CacheTier {
 	return []CacheTier{
 		{Name: "trace-memo", Stats: workload.MaterializeReport()},
 		{Name: "annotated-stream", Stats: sim.AnnotatedCacheReport()},
 		{Name: "bucket-stream", Stats: sim.BucketCacheReport()},
+		{Name: "model-stats", Stats: ModelCacheReport()},
+		{Name: "curve", Stats: CurveCacheReport()},
 		{Name: "artifact-disk", Stats: artifact.Report()},
 	}
 }

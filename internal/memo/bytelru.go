@@ -1,13 +1,17 @@
-package sim
+// Package memo provides the process-wide cache shape shared by the
+// engine's memoized artifacts (flat views, annotated streams, bucket
+// streams in internal/sim; confidence curves in internal/exp): a
+// claim-or-wait map with a resident-bytes bound and least-recently-used
+// eviction.
+package memo
 
 import "sync"
 
-// byteLRU is the process-wide cache shape shared by the engine's memoized
-// artifacts (flat views, annotated streams, bucket streams): a claim-or-wait
-// map with a resident-bytes bound and least-recently-used eviction.
+// ByteLRU is a claim-or-wait memo map with a resident-bytes bound and
+// least-recently-used eviction.
 //
 //   - The first claimant of a key owns the build; it must publish the entry
-//     with finish exactly once. Later claimants wait on the entry's done
+//     with Finish exactly once. Later claimants wait on the entry's Done
 //     channel and share the result.
 //   - A resident-bytes bound evicts completed entries least-recently-used
 //     first; in-flight entries are never evicted, and eviction never
@@ -17,40 +21,40 @@ import "sync"
 // Keys may be any comparable type; one cache can hold several key kinds
 // (the annotated cache keeps flat views and annotated streams in one
 // instance so they share a single budget).
-type byteLRU struct {
+type ByteLRU struct {
 	mu        sync.Mutex
-	entries   map[any]*lruEntry
+	entries   map[any]*Entry
 	bound     uint64 // resident-bytes bound; 0 = unbounded
 	clock     uint64
 	resident  uint64
 	evictions uint64
 }
 
-// lruEntry is one cached artifact. done is closed when val/err are final.
-type lruEntry struct {
-	done    chan struct{}
-	key     any // the claim key, so finish can drop an errored entry
-	val     any
-	err     error
-	built   bool   // finish ran with err == nil; false while in flight
+// Entry is one cached artifact. Done is closed when Val/Err are final.
+type Entry struct {
+	Done    chan struct{}
+	Val     any
+	Err     error
+	key     any    // the claim key, so Finish can drop an errored entry
+	built   bool   // Finish ran with Err == nil; false while in flight
 	bytes   uint64 // payload size once built (may legitimately be zero)
 	lastUse uint64 // LRU clock tick of the most recent claim
 }
 
-// setBound bounds the cache's resident payload bytes; 0 removes the bound.
+// SetBound bounds the cache's resident payload bytes; 0 removes the bound.
 // A single entry larger than the bound is still admitted (and becomes the
 // next eviction candidate).
-func (c *byteLRU) setBound(bytes uint64) {
+func (c *ByteLRU) SetBound(bytes uint64) {
 	c.mu.Lock()
 	c.bound = bytes
 	c.evictLocked()
 	c.mu.Unlock()
 }
 
-// claim returns the entry for key and whether the caller became its owner.
-// An owner must build the value and call finish; a non-owner must wait on
-// e.done before reading e.val/e.err.
-func (c *byteLRU) claim(key any) (e *lruEntry, owner bool) {
+// Claim returns the entry for key and whether the caller became its owner.
+// An owner must build the value and call Finish; a non-owner must wait on
+// e.Done before reading e.Val/e.Err.
+func (c *ByteLRU) Claim(key any) (e *Entry, owner bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
@@ -58,24 +62,24 @@ func (c *byteLRU) claim(key any) (e *lruEntry, owner bool) {
 		e.lastUse = c.clock
 		return e, false
 	}
-	e = &lruEntry{done: make(chan struct{}), key: key, lastUse: c.clock}
+	e = &Entry{Done: make(chan struct{}), key: key, lastUse: c.clock}
 	if c.entries == nil {
-		c.entries = make(map[any]*lruEntry)
+		c.entries = make(map[any]*Entry)
 	}
 	c.entries[key] = e
 	return e, true
 }
 
-// finish publishes a built entry: records its payload size, closes the done
-// channel, and applies the bound. The owner sets e.val/e.err before calling.
+// Finish publishes a built entry: records its payload size, closes the Done
+// channel, and applies the bound. The owner sets e.Val/e.Err before calling.
 //
 // An errored entry is dropped from the map instead of published: claimants
 // already parked on it still observe the error through the entry pointer,
 // but the next claim of the key owns a fresh build — a transient failure is
 // never negatively cached for the life of the process.
-func (c *byteLRU) finish(e *lruEntry, bytes uint64) {
+func (c *ByteLRU) Finish(e *Entry, bytes uint64) {
 	c.mu.Lock()
-	if e.err == nil {
+	if e.Err == nil {
 		e.built = true
 		e.bytes = bytes
 		c.resident += bytes
@@ -85,16 +89,16 @@ func (c *byteLRU) finish(e *lruEntry, bytes uint64) {
 		delete(c.entries, e.key)
 	}
 	c.mu.Unlock()
-	close(e.done)
+	close(e.Done)
 	c.mu.Lock()
 	c.evictLocked()
 	c.mu.Unlock()
 }
 
 // evictLocked drops completed entries, least recently used first, until the
-// resident bytes fit the bound. In-flight entries (done not yet closed) are
+// resident bytes fit the bound. In-flight entries (Done not yet closed) are
 // skipped: their size is unknown and a waiter may be parked on them.
-func (c *byteLRU) evictLocked() {
+func (c *ByteLRU) evictLocked() {
 	if c.bound == 0 {
 		return
 	}
@@ -121,9 +125,9 @@ func (c *byteLRU) evictLocked() {
 	}
 }
 
-// reset drops every entry and zeroes the resident and eviction counters,
+// Reset drops every entry and zeroes the resident and eviction counters,
 // retaining the bound. Intended for tests and batch boundaries.
-func (c *byteLRU) reset() {
+func (c *ByteLRU) Reset() {
 	c.mu.Lock()
 	c.entries = nil
 	c.resident = 0
@@ -131,8 +135,8 @@ func (c *byteLRU) reset() {
 	c.mu.Unlock()
 }
 
-// usage reports the cache's resident payload bytes and evictions so far.
-func (c *byteLRU) usage() (resident, evictions uint64) {
+// Usage reports the cache's resident payload bytes and evictions so far.
+func (c *ByteLRU) Usage() (resident, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.resident, c.evictions

@@ -1,4 +1,4 @@
-package sim
+package memo
 
 import (
 	"errors"
@@ -11,36 +11,36 @@ import (
 // the life of the process. Waiters parked on the failing build still see
 // the error; the next claim owns a fresh build.
 func TestByteLRUErroredEntryDropped(t *testing.T) {
-	var c byteLRU
+	var c ByteLRU
 	boom := errors.New("transient build failure")
 
-	e, owner := c.claim("k")
+	e, owner := c.Claim("k")
 	if !owner {
 		t.Fatal("first claim not owner")
 	}
-	waiter, waiterOwner := c.claim("k") // parked before the failure publishes
+	waiter, waiterOwner := c.Claim("k") // parked before the failure publishes
 	if waiterOwner {
 		t.Fatal("second claim stole ownership")
 	}
-	e.err = boom
-	c.finish(e, 0)
-	<-waiter.done
-	if waiter.err != boom {
-		t.Fatalf("parked waiter saw err=%v, want the owner's failure", waiter.err)
+	e.Err = boom
+	c.Finish(e, 0)
+	<-waiter.Done
+	if waiter.Err != boom {
+		t.Fatalf("parked waiter saw err=%v, want the owner's failure", waiter.Err)
 	}
 
-	e2, owner2 := c.claim("k")
+	e2, owner2 := c.Claim("k")
 	if !owner2 {
-		t.Fatalf("claim after failed build not owner: stale err=%v negatively cached", e2.err)
+		t.Fatalf("claim after failed build not owner: stale err=%v negatively cached", e2.Err)
 	}
-	e2.val = "rebuilt"
-	c.finish(e2, 8)
+	e2.Val = "rebuilt"
+	c.Finish(e2, 8)
 
-	e3, owner3 := c.claim("k")
-	if owner3 || e3.err != nil || e3.val != "rebuilt" {
-		t.Fatalf("rebuild not cached: owner=%v err=%v val=%v", owner3, e3.err, e3.val)
+	e3, owner3 := c.Claim("k")
+	if owner3 || e3.Err != nil || e3.Val != "rebuilt" {
+		t.Fatalf("rebuild not cached: owner=%v err=%v val=%v", owner3, e3.Err, e3.Val)
 	}
-	if resident, _ := c.usage(); resident != 8 {
+	if resident, _ := c.Usage(); resident != 8 {
 		t.Fatalf("resident = %d, want 8 (failed build must not count)", resident)
 	}
 }
@@ -50,27 +50,27 @@ func TestByteLRUErroredEntryDropped(t *testing.T) {
 // empty stream is a legitimate artifact) must be evictable like any other
 // completed entry, not mistaken for an in-flight build and pinned forever.
 func TestByteLRUZeroByteEntryEvictable(t *testing.T) {
-	var c byteLRU
-	c.setBound(1)
+	var c ByteLRU
+	c.SetBound(1)
 
-	empty, owner := c.claim("empty")
+	empty, owner := c.Claim("empty")
 	if !owner {
 		t.Fatal("claim not owner")
 	}
-	empty.val = []byte{}
-	c.finish(empty, 0) // built, legitimately zero bytes
+	empty.Val = []byte{}
+	c.Finish(empty, 0) // built, legitimately zero bytes
 
-	big, owner := c.claim("big")
+	big, owner := c.Claim("big")
 	if !owner {
 		t.Fatal("claim not owner")
 	}
-	big.val = "bb"
-	c.finish(big, 2) // resident 2 > bound 1: eviction runs LRU-first
+	big.Val = "bb"
+	c.Finish(big, 2) // resident 2 > bound 1: eviction runs LRU-first
 
-	if _, owner := c.claim("empty"); !owner {
+	if _, owner := c.Claim("empty"); !owner {
 		t.Fatal("zero-byte built entry survived eviction: mistaken for in-flight")
 	}
-	if _, evictions := c.usage(); evictions != 2 {
+	if _, evictions := c.Usage(); evictions != 2 {
 		t.Fatalf("evictions = %d, want 2 (empty then big)", evictions)
 	}
 }
@@ -79,24 +79,24 @@ func TestByteLRUZeroByteEntryEvictable(t *testing.T) {
 // break: an entry whose build is still running is skipped by eviction even
 // when the cache is over budget.
 func TestByteLRUInFlightNeverEvicted(t *testing.T) {
-	var c byteLRU
-	c.setBound(1)
+	var c ByteLRU
+	c.SetBound(1)
 
-	inflight, owner := c.claim("inflight")
+	inflight, owner := c.Claim("inflight")
 	if !owner {
 		t.Fatal("claim not owner")
 	}
 
-	done, owner := c.claim("done")
+	done, owner := c.Claim("done")
 	if !owner {
 		t.Fatal("claim not owner")
 	}
-	done.val = "dd"
-	c.finish(done, 2) // over budget; only "done" is evictable
+	done.Val = "dd"
+	c.Finish(done, 2) // over budget; only "done" is evictable
 
-	if _, owner := c.claim("inflight"); owner {
+	if _, owner := c.Claim("inflight"); owner {
 		t.Fatal("in-flight entry evicted out from under its waiters")
 	}
-	inflight.val = "v"
-	c.finish(inflight, 1)
+	inflight.Val = "v"
+	c.Finish(inflight, 1)
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"branchconf/internal/artifact"
+	"branchconf/internal/memo"
 	"branchconf/internal/predictor"
 	"branchconf/internal/trace"
 	"branchconf/internal/workload"
@@ -19,7 +20,7 @@ import (
 //   - annotated streams (mispredict + state bits, ~3/8 B/branch for gshare)
 //     are keyed by (spec, budget, predictor key).
 //
-// Both kinds live in one byteLRU instance, so they share a single
+// Both kinds live in one memo.ByteLRU instance, so they share a single
 // resident-bytes budget (SetAnnotatedCacheBound); the claim-or-wait and
 // LRU-eviction mechanics are the cache's. The stage-3 bucket-stream cache
 // (tally.go) is a sibling instance over the same machinery.
@@ -35,7 +36,7 @@ type annKey struct {
 	predKey string
 }
 
-var annCache byteLRU
+var annCache memo.ByteLRU
 
 // Cache observability counters. Hits and misses count annotated-stream
 // claims (the expensive artifact); flat views piggyback on the same keys
@@ -54,21 +55,21 @@ type CacheStats = artifact.TierStats
 // least-recently-used first; a single entry larger than the bound is still
 // admitted (and becomes the next eviction candidate).
 func SetAnnotatedCacheBound(bytes uint64) {
-	annCache.setBound(bytes)
+	annCache.SetBound(bytes)
 }
 
 // AnnotatedCacheReport returns the annotated cache's observability quad
 // (claims of annotated streams; resident bytes include the flat views
 // sharing the budget).
 func AnnotatedCacheReport() CacheStats {
-	r, e := annCache.usage()
+	r, e := annCache.Usage()
 	return CacheStats{Hits: annHits.Load(), Misses: annMisses.Load(), Evictions: e, ResidentBytes: r}
 }
 
 // ResetAnnotatedCache drops every cached entry and zeroes the counters. The
 // bound is retained. Intended for tests and batch boundaries.
 func ResetAnnotatedCache() {
-	annCache.reset()
+	annCache.Reset()
 	annHits.Store(0)
 	annMisses.Store(0)
 }
@@ -76,26 +77,26 @@ func ResetAnnotatedCache() {
 // flatFor returns the shared flat view for (spec, budget), building it from
 // the suite's replay buffer on first use.
 func flatFor(cfg SuiteConfig, spec workload.Spec, n uint64) (*trace.FlatView, error) {
-	e, owner := annCache.claim(flatKey{spec: spec, n: n})
+	e, owner := annCache.Claim(flatKey{spec: spec, n: n})
 	if !owner {
-		<-e.done
-		flat, _ := e.val.(*trace.FlatView)
-		return flat, e.err
+		<-e.Done
+		flat, _ := e.Val.(*trace.FlatView)
+		return flat, e.Err
 	}
 	var flat *trace.FlatView
 	buf, err := cfg.buffer(spec)
 	if err != nil {
-		e.err = err
+		e.Err = err
 	} else {
 		flat = buf.Flatten()
-		e.val = flat
+		e.Val = flat
 	}
 	var bytes uint64
 	if flat != nil {
 		bytes = flat.Footprint()
 	}
-	annCache.finish(e, bytes)
-	return flat, e.err
+	annCache.Finish(e, bytes)
+	return flat, e.Err
 }
 
 // annotatedFor returns the (flat view, annotated stream) pair for one
@@ -111,12 +112,12 @@ func annotatedFor(cfg SuiteConfig, spec workload.Spec, predKey string, newPred f
 		return nil, nil, err
 	}
 
-	e, owner := annCache.claim(annKey{spec: spec, n: n, predKey: predKey})
+	e, owner := annCache.Claim(annKey{spec: spec, n: n, predKey: predKey})
 	if !owner {
 		annHits.Add(1)
-		<-e.done
-		ann, _ := e.val.(*AnnotatedStream)
-		return flat, ann, e.err
+		<-e.Done
+		ann, _ := e.Val.(*AnnotatedStream)
+		return flat, ann, e.Err
 	}
 	annMisses.Add(1)
 	ann := annotatedFromDisk(spec, n, predKey, flat)
@@ -124,9 +125,9 @@ func annotatedFor(cfg SuiteConfig, spec workload.Spec, predKey string, newPred f
 		ann = Annotate(flat, newPred())
 		annotatedToDisk(spec, n, predKey, ann)
 	}
-	e.val = ann
-	annCache.finish(e, ann.Footprint())
-	return flat, ann, e.err
+	e.Val = ann
+	annCache.Finish(e, ann.Footprint())
+	return flat, ann, e.Err
 }
 
 // annArtifactKey is the canonical disk-store key for one annotated stream:

@@ -9,6 +9,7 @@ import (
 	"branchconf/internal/artifact"
 	"branchconf/internal/bitvec"
 	"branchconf/internal/core"
+	"branchconf/internal/memo"
 	"branchconf/internal/trace"
 	"branchconf/internal/workload"
 )
@@ -152,10 +153,10 @@ type bucketKey struct {
 }
 
 // bucketCache memoizes bucket streams geometry-keyed, as a sibling
-// instance of the annotated cache's byteLRU. Its resident bound follows
+// instance of the annotated cache's memo.ByteLRU. Its resident bound follows
 // -annotate-cache-mb unless -bucket-cache-mb overrides it
 // (SetBucketCacheBound).
-var bucketCache byteLRU
+var bucketCache memo.ByteLRU
 
 var bucketHits, bucketMisses atomic.Uint64
 
@@ -168,27 +169,27 @@ var bucketBoundOverridden atomic.Bool
 // cache's bound. 0 removes the bound.
 func SetBucketCacheBound(bytes uint64) {
 	bucketBoundOverridden.Store(true)
-	bucketCache.setBound(bytes)
+	bucketCache.SetBound(bytes)
 }
 
 // SetTallyCacheDefaultBound points the bucket-stream cache at the shared
 // -annotate-cache-mb budget figure; an explicit SetBucketCacheBound wins.
 func SetTallyCacheDefaultBound(bytes uint64) {
 	if !bucketBoundOverridden.Load() {
-		bucketCache.setBound(bytes)
+		bucketCache.SetBound(bytes)
 	}
 }
 
 // BucketCacheReport returns the bucket-stream cache's observability quad.
 func BucketCacheReport() CacheStats {
-	r, e := bucketCache.usage()
+	r, e := bucketCache.Usage()
 	return CacheStats{Hits: bucketHits.Load(), Misses: bucketMisses.Load(), Evictions: e, ResidentBytes: r}
 }
 
 // ResetBucketCache drops every cached bucket stream and zeroes the
 // counters. The bound (and whether it was overridden) is retained.
 func ResetBucketCache() {
-	bucketCache.reset()
+	bucketCache.Reset()
 	bucketHits.Store(0)
 	bucketMisses.Store(0)
 }
@@ -206,12 +207,12 @@ func bucketStreamFor(cfg SuiteConfig, spec workload.Spec, predKey string, flat *
 	if n == 0 {
 		n = spec.DefaultBranches
 	}
-	e, owner := bucketCache.claim(bucketKey{spec: spec, n: n, predKey: predKey, geom: fm.GeometryKey()})
+	e, owner := bucketCache.Claim(bucketKey{spec: spec, n: n, predKey: predKey, geom: fm.GeometryKey()})
 	if !owner {
 		bucketHits.Add(1)
-		<-e.done
-		bs, _ := e.val.(*BucketStream)
-		return bs, e.err
+		<-e.Done
+		bs, _ := e.Val.(*BucketStream)
+		return bs, e.Err
 	}
 	bucketMisses.Add(1)
 	bs := bucketStreamFromDisk(spec, n, predKey, fm.GeometryKey(), ann)
@@ -238,8 +239,8 @@ func bucketStreamFor(cfg SuiteConfig, spec workload.Spec, predKey string, flat *
 		}
 		bucketStreamToDisk(spec, n, predKey, fm.GeometryKey(), bs)
 	}
-	e.val = bs
-	bucketCache.finish(e, bs.Footprint())
+	e.Val = bs
+	bucketCache.Finish(e, bs.Footprint())
 	return bs, nil
 }
 

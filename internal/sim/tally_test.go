@@ -11,7 +11,9 @@ import (
 
 // factorablePaperMechs is every factorable mechanism family the paper's
 // figures instantiate: the one-level index-scheme sweep (fig5), the
-// one-level init-policy sweep (fig11), and the two-level variants (fig6).
+// one-level init-policy sweep (fig11), the two-level variants (fig6), and
+// the §5.1 counter tables (fig8, table1) in both kinds plus the §5.3
+// small-table variant.
 func factorablePaperMechs() []func() core.Mechanism {
 	var out []func() core.Mechanism
 	for _, scheme := range []core.IndexScheme{core.IndexPC, core.IndexBHR, core.IndexPCxorBHR,
@@ -38,6 +40,13 @@ func factorablePaperMechs() []func() core.Mechanism {
 			return core.NewTwoLevel(core.TwoLevelConfig{Scheme1: v.s1, Scheme2: v.s2})
 		})
 	}
+	out = append(out,
+		func() core.Mechanism { return core.PaperResetting() },
+		func() core.Mechanism {
+			return core.NewCounterTable(core.CounterConfig{Kind: core.Saturating, Scheme: core.IndexPCxorBHR})
+		},
+		func() core.Mechanism { return core.SmallResetting(10) },
+	)
 	return out
 }
 
@@ -63,7 +72,6 @@ func TestTallyMatchesReplay(t *testing.T) {
 	cfg := SuiteConfig{Branches: 8000, Specs: workload.Suite()[:4]}
 	newPred := func() predictor.Predictor { return predictor.Gshare64K() }
 	newMechs := append(factorablePaperMechs(),
-		func() core.Mechanism { return core.PaperResetting() },
 		func() core.Mechanism { return core.NewStaticProfile() },
 	)
 
@@ -93,11 +101,11 @@ func TestTallyMatchesReplay(t *testing.T) {
 	if misses == 0 || resident == 0 {
 		t.Fatalf("tally run built no bucket streams: %d misses, %d resident bytes", misses, resident)
 	}
-	// 13 factorable mechanisms collapse to 12 distinct geometries (the
+	// 16 factorable mechanisms collapse to 15 distinct geometries (the
 	// IndexPCxorBHR scheme sweep entry and the InitOnes init sweep entry are
 	// the same configuration), so per benchmark the cache must build one
 	// stream per geometry and serve the duplicate from a hit.
-	if wantMisses := uint64(len(cfg.Specs)) * 12; misses != wantMisses {
+	if wantMisses := uint64(len(cfg.Specs)) * 15; misses != wantMisses {
 		t.Errorf("bucket cache built %d streams, want %d (one per benchmark per distinct geometry)", misses, wantMisses)
 	}
 
