@@ -164,3 +164,34 @@ func BenchmarkReportWarmFloor(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReportStreaming runs the figure mix through the segmented
+// streaming engine (segments well below the per-benchmark budget, no
+// store), against BenchmarkEnginesTally's monolithic shape on the same mix
+// and budget: the price of bounded resident memory when the whole trace
+// would in fact have fit. The streaming suite path bypasses the in-memory
+// materialize/annotated caches by construction, so only the curve/model
+// memos need resetting for a cold iteration.
+func BenchmarkReportStreaming(b *testing.B) {
+	cfg := reportConfig{
+		branches:        200000,
+		filter:          figureMix,
+		parallel:        2,
+		segmentBranches: 32768,
+	}
+	resetEngineCaches()
+	if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(resetEngineCaches)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		resetEngineCaches()
+		b.StartTimer()
+		if err := writeReport(io.Discard, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -45,7 +45,22 @@ import (
 	"time"
 
 	"branchconf/internal/exp"
+	"branchconf/internal/workload"
 )
+
+// materializeCeiling is the largest per-benchmark branch budget the engine
+// will hold as a whole materialized trace (~2 bytes/branch in the replay
+// buffer, plus the flattened and annotated forms on top). Budgets above it
+// stream in segments unless -segment-branches overrides the size;
+// -no-stream is rejected outright there, because a monolithic run at such
+// a budget would not fit.
+const materializeCeiling = 8 << 20
+
+// autoSegmentBranches is the segment size auto-streaming picks: large
+// enough that per-segment overhead (checkpoint encode, artifact keys) is
+// noise, small enough that a handful of in-flight segments stay around
+// tens of megabytes.
+const autoSegmentBranches = 1 << 20
 
 func main() {
 	if err := appMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -64,11 +79,13 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		out           = fs.String("o", "", "write the report to this file instead of stdout")
 		skipAblations = fs.Bool("skip-ablations", false, "run only the paper's own artefacts")
 		only          = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
-		parallel      = fs.Int("parallel", runtime.NumCPU(), "max concurrent experiments and per-benchmark simulation units")
+		parallel      = fs.Int("parallel", runtime.NumCPU(), "max concurrent experiments, per-benchmark simulation units, and streaming unit pipelines (each pipeline itself overlaps annotate/tally with a bounded segment queue)")
 		annCacheMB    = fs.Uint64("annotate-cache-mb", 256, "resident bound for the annotated-stream cache in MiB (0 = unbounded)")
 		bucketCacheMB = fs.Int64("bucket-cache-mb", -1, "resident bound for the bucket-stream cache in MiB (0 = unbounded, -1 = follow -annotate-cache-mb)")
 		noAnnotate    = fs.Bool("no-annotate", false, "disable the two-stage annotated engine (byte-identical, for benchmarking)")
 		noTally       = fs.Bool("no-tally", false, "disable the stage-3 tally engine (byte-identical, for benchmarking)")
+		segBranches   = fs.Int64("segment-branches", -1, "stream traces in segments of this many branches with bounded resident memory (byte-identical; -1 = auto: segment only above the materialization ceiling)")
+		noStream      = fs.Bool("no-stream", false, "never stream: materialize whole traces even above the ceiling (rejected for budgets that cannot be materialized)")
 		noCurveArt    = fs.Bool("no-curve-artifact", false, "disable the curve memo/disk tier (byte-identical, for A/B benchmarking)")
 		noModelArt    = fs.Bool("no-model-artifact", false, "disable the cycle-model memo/disk tier (byte-identical, for A/B benchmarking)")
 		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
@@ -84,6 +101,27 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+	}
+	if *segBranches == 0 || *segBranches < -1 {
+		return fmt.Errorf("-segment-branches must be at least 1 (or -1 for auto), got %d", *segBranches)
+	}
+	if *noStream && *segBranches > 0 {
+		return fmt.Errorf("-no-stream conflicts with -segment-branches %d", *segBranches)
+	}
+	effBranches := *branches
+	if effBranches == 0 {
+		effBranches = workload.DefaultBranches
+	}
+	var segment uint64
+	switch {
+	case *noStream:
+		if effBranches > materializeCeiling {
+			return fmt.Errorf("-no-stream: budget %d exceeds the materialization ceiling (%d branches); drop -no-stream or set -segment-branches", effBranches, uint64(materializeCeiling))
+		}
+	case *segBranches > 0:
+		segment = uint64(*segBranches)
+	case effBranches > materializeCeiling:
+		segment = autoSegmentBranches
 	}
 
 	if *cpuProfile != "" {
@@ -147,6 +185,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		bucketCacheBytes: bucketCacheBytes,
 		noAnnotate:       *noAnnotate,
 		noTally:          *noTally,
+		segmentBranches:  segment,
 		noCurveArtifact:  *noCurveArt,
 		noModelArtifact:  *noModelArt,
 		cacheStats:       *cacheStats,

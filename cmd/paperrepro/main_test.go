@@ -85,13 +85,26 @@ func TestCacheStatsFlag(t *testing.T) {
 			lines[strings.Fields(rest)[0]] = line
 		}
 	}
-	for _, tier := range []string{"session-pass", "trace-memo", "annotated-stream", "bucket-stream", "model-stats", "curve", "artifact-disk"} {
+	heapRows := 0
+	for tier := range lines {
+		if strings.HasPrefix(tier, "heap:") {
+			heapRows++
+		}
+	}
+	for _, tier := range []string{"session-pass", "trace-memo", "annotated-stream", "bucket-stream", "model-stats", "curve", "artifact-disk", "stream-segment"} {
 		if lines[tier] == "" {
 			t.Errorf("cache-stats row for %s missing from stderr:\n%s", tier, progress)
 		}
 	}
-	if len(lines) != 7 {
-		t.Errorf("cache-stats printed %d rows, want 7:\n%s", len(lines), progress)
+	if len(lines)-heapRows != 8 {
+		t.Errorf("cache-stats printed %d tier rows, want 8:\n%s", len(lines)-heapRows, progress)
+	}
+	// The peak-memory column: per-stage HeapAlloc high-water rows, present
+	// for every monolithic engine stage this run exercised.
+	for _, stage := range []string{"heap:annotate", "heap:tally", "heap:replay"} {
+		if !strings.Contains(lines[stage], "peak_heap_bytes=") || strings.Contains(lines[stage], "peak_heap_bytes=0") {
+			t.Errorf("heap row for %s missing or zero:\n%s", stage, progress)
+		}
 	}
 	annLine, bucketLine := lines["annotated-stream"], lines["bucket-stream"]
 	for _, line := range []string{annLine, bucketLine} {

@@ -10,6 +10,7 @@ import (
 
 	"branchconf/internal/artifact"
 	"branchconf/internal/exp"
+	"branchconf/internal/heapwatch"
 	"branchconf/internal/sim"
 )
 
@@ -24,6 +25,7 @@ type reportConfig struct {
 	bucketCacheBytes int64           // bucket-cache resident bound (-1 = follow annCacheBytes)
 	noAnnotate       bool            // force the interleaved single-pass engine
 	noTally          bool            // disable the stage-3 tally engine
+	segmentBranches  uint64          // stream traces in segments of this many branches (0 = monolithic)
 	noCurveArtifact  bool            // disable the curve memo/disk tier
 	noModelArtifact  bool            // disable the cycle-model memo/disk tier
 	cacheStats       bool            // print per-cache counters to errW at exit
@@ -60,12 +62,21 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	if cfg.bucketCacheBytes >= 0 {
 		sim.SetBucketCacheBound(uint64(cfg.bucketCacheBytes))
 	}
+	// Stream counters and heap peaks are per-run observability (unlike the
+	// cache tiers, whose contents — and so counters — persist process-wide),
+	// so each report starts them from zero.
+	sim.ResetStreamStats()
+	if cfg.cacheStats {
+		heapwatch.Reset()
+		heapwatch.Enable()
+	}
 	session := exp.NewSession(exp.Config{
 		Branches:        cfg.branches,
 		NoAnnotate:      cfg.noAnnotate,
 		NoTally:         cfg.noTally,
 		NoCurveArtifact: cfg.noCurveArtifact,
 		NoModelArtifact: cfg.noModelArtifact,
+		SegmentBranches: cfg.segmentBranches,
 	})
 	var selected []exp.Experiment
 	for _, e := range exp.All() {
@@ -73,6 +84,11 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 			continue
 		}
 		if cfg.filter != nil && !cfg.filter[e.ID] {
+			continue
+		}
+		// Opt-in experiments (the long-horizon sweep) run only when the
+		// filter names them explicitly.
+		if e.OptIn && (cfg.filter == nil || !cfg.filter[e.ID]) {
 			continue
 		}
 		selected = append(selected, e)
@@ -167,6 +183,13 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		printCacheStats(errW, "session-pass", artifact.TierStats{Hits: pHits, Misses: pMisses})
 		for _, tier := range exp.CacheTiers() {
 			printCacheStats(errW, tier.Name, tier.Stats)
+		}
+		// Peak-heap rows: HeapAlloc high-water per engine stage, sampled at
+		// stage boundaries while -cache-stats had sampling enabled. The
+		// streaming memory claim is checked against these (and the
+		// stream-segment tier's resident_bytes) rather than a profiler.
+		for _, sp := range heapwatch.Report() {
+			fmt.Fprintf(errW, "cache-stats heap:%-11s peak_heap_bytes=%d\n", sp.Stage, sp.Peak)
 		}
 	}
 	return nil

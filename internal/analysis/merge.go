@@ -1,0 +1,44 @@
+package analysis
+
+// TallyMerger folds per-segment bucket statistics into one running
+// BucketStats for the streaming tally engine (internal/sim). Tallies are
+// exact integer sums, so merging segment histograms in stream order yields
+// bit-for-bit the statistics a monolithic walk would have produced — the
+// invariant every downstream artefact (HashRuns-keyed curves, model-stats
+// vectors) rests on.
+type TallyMerger struct {
+	stats BucketStats
+}
+
+// NewTallyMerger returns a merger with empty statistics.
+func NewTallyMerger() *TallyMerger {
+	return &TallyMerger{stats: BucketStats{}}
+}
+
+// Merge folds one segment's statistics into the running totals. The input
+// is read, never retained or mutated, so callers may merge a shared
+// read-only histogram (a cached BucketStream's) directly.
+func (m *TallyMerger) Merge(bs BucketStats) {
+	for b, t := range bs {
+		acc := m.stats[b]
+		if acc == nil {
+			acc = &Tally{}
+			m.stats[b] = acc
+		}
+		acc.Events += t.Events
+		acc.Misses += t.Misses
+	}
+}
+
+// Stats returns the merged statistics. The map is the merger's live
+// accumulator: callers must treat it as read-only once handed out, and
+// Merge must not be called after Stats escapes to a reader.
+func (m *TallyMerger) Stats() BucketStats {
+	return m.stats
+}
+
+// Totals returns the merged totals, for boundary cross-checks against a
+// unit's own running counts.
+func (m *TallyMerger) Totals() (events, misses uint64) {
+	return m.stats.Totals()
+}

@@ -67,6 +67,11 @@ const (
 	// internal/apps machines), keyed by the model's full parameterisation
 	// and version (internal/exp).
 	KindModelStats uint16 = 5
+	// KindCheckpoint is a sim.Checkpoint: the serialized predictor or
+	// factor-walk state at a streaming segment boundary, keyed by the
+	// (spec, budget, predictor[, geometry]) unit and the boundary branch
+	// position (internal/sim).
+	KindCheckpoint uint16 = 6
 )
 
 // TierStats is the uniform observability quad every cache tier reports

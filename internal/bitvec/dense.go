@@ -81,6 +81,15 @@ func DenseFromWords(width uint, words []uint64, n int) (*Dense, error) {
 	}, nil
 }
 
+// Reset truncates the array to empty, keeping its word storage — and its
+// width — for reuse. Like Vector.Reset, it restarts the append-only
+// contract: the array must not be reset while readers hold it.
+func (d *Dense) Reset() {
+	d.words = d.words[:0]
+	d.shift = 0
+	d.n = 0
+}
+
 // Append adds one value at index Len(). Bits above the configured width are
 // discarded, matching the hardware register the lane models.
 func (d *Dense) Append(v uint64) {

@@ -44,6 +44,14 @@ func MakeVector(words []uint64, n int) (Vector, error) {
 	return Vector{words: words, n: n}, nil
 }
 
+// Reset truncates the vector to empty, keeping its word storage for
+// reuse. The append-only concurrency contract restarts: a reset vector is
+// a fresh vector, and must not be reset while readers hold it.
+func (v *Vector) Reset() {
+	v.words = v.words[:0]
+	v.n = 0
+}
+
 // Append adds one bit at index Len().
 func (v *Vector) Append(bit bool) {
 	if v.n&63 == 0 {

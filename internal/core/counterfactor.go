@@ -75,24 +75,17 @@ func (m *CounterTable) BucketWidth() uint { return uint(bits.Len8(m.max)) }
 // monomorphization. Equivalence with the split Bucket/Update protocol is
 // pinned by TestFillBucketLaneMatchesSplit and the tally==replay suite.
 func (m *CounterTable) FillBucketLane(recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
-	if m.kind == Resetting {
-		fillCounter[resettingStep](m, recs, miss, lane, counts)
-		return
-	}
-	fillCounter[saturatingStep](m, recs, miss, lane, counts)
+	m.FillBucketLaneResume(m.NewFactorState(), recs, miss, lane, counts)
 }
 
-// fillCounter is the counter walk, monomorphized per update policy.
-func fillCounter[S counterStep](m *CounterTable, recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
+// fillCounter is the counter walk, monomorphized per update policy. It
+// continues from cs (table in place, histories written back at exit), so
+// segmented walks reuse the same kernel.
+func fillCounter[S counterStep](m *CounterTable, cs *counterState, recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
 	counts, bucketSel := countSlice(counts)
-	table := make([]uint8, 1<<m.tableBits)
-	if m.initVal != 0 {
-		for i := range table {
-			table[i] = m.initVal
-		}
-	}
 	var (
 		st        S
+		table     = cs.table
 		sel       = selectorsFor(m.scheme, m.tableBits)
 		max       = m.max
 		bhrMask   = widthMask(m.bhr.Width())
@@ -100,7 +93,7 @@ func fillCounter[S counterStep](m *CounterTable, recs []trace.Record, miss []uin
 		width     = m.BucketWidth()
 		perWord   = lane.PerWord()
 		buf       = make([]uint64, 0, laneBufWords)
-		bhr, gcir uint64
+		bhr, gcir = cs.bhr, cs.gcir
 		missWd    uint64
 		cur       uint64 // lane word under construction
 		curSh     uint   // bit offset of the next bucket within cur
@@ -135,4 +128,5 @@ func fillCounter[S counterStep](m *CounterTable, recs []trace.Record, miss []uin
 		gcir = (gcir<<1 | inc) & gcirMask
 	}
 	flushLane(lane, buf, perWord, inWord, cur)
+	cs.bhr, cs.gcir = bhr, gcir
 }

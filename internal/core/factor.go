@@ -180,25 +180,20 @@ func (m *OneLevel) BucketWidth() uint { return m.cirBits }
 // dispatch, no per-entry register structs, no record copies, no per-branch
 // scheme switch (selectorsFor), and lane words flushed whole instead of one
 // Append per branch. Equivalence with the split Bucket/Update protocol is
-// pinned by TestFillBucketLane*.
+// pinned by TestFillBucketLane*. The whole-stream walk is a single resumed
+// segment from the initial state.
 func (m *OneLevel) FillBucketLane(recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
-	rng := xrand.New(m.initSeed ^ 0xC12_5EED)
-	if m.cirBits <= 16 {
-		table := make([]uint16, 1<<m.tableBits)
-		initTable(table, m.init, m.cirBits, rng)
-		fillOneLevel(m, table, recs, miss, lane, counts)
-		return
-	}
-	table := make([]uint64, 1<<m.tableBits)
-	initTable(table, m.init, m.cirBits, rng)
-	fillOneLevel(m, table, recs, miss, lane, counts)
+	m.FillBucketLaneResume(m.NewFactorState(), recs, miss, lane, counts)
 }
 
 // fillOneLevel is the one-level walk, monomorphized per table element
-// width.
-func fillOneLevel[T tableWord](m *OneLevel, table []T, recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
+// width. It continues from st — table in place, histories loaded into
+// locals at entry and stored back at exit — so a segment boundary costs two
+// stores, not a kernel change.
+func fillOneLevel[T tableWord](m *OneLevel, st *oneLevelState[T], recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
 	counts, bucketSel := countSlice(counts)
 	var (
+		table     = st.table
 		sel       = selectorsFor(m.scheme, m.tableBits)
 		cirMask   = widthMask(m.cirBits)
 		bhrMask   = widthMask(m.bhr.Width())
@@ -206,7 +201,7 @@ func fillOneLevel[T tableWord](m *OneLevel, table []T, recs []trace.Record, miss
 		width     = m.cirBits
 		perWord   = lane.PerWord()
 		buf       = make([]uint64, 0, laneBufWords)
-		bhr, gcir uint64
+		bhr, gcir = st.bhr, st.gcir
 		missWd    uint64
 		cur       uint64 // lane word under construction
 		curSh     uint   // bit offset of the next bucket within cur
@@ -240,6 +235,7 @@ func fillOneLevel[T tableWord](m *OneLevel, table []T, recs []trace.Record, miss
 		gcir = (gcir<<1 | inc) & gcirMask
 	}
 	flushLane(lane, buf, perWord, inWord, cur)
+	st.bhr, st.gcir = bhr, gcir
 }
 
 // GeometryKey implements Factorable for the two-level mechanism; both
@@ -260,25 +256,13 @@ func (m *TwoLevel) BucketWidth() uint { return m.l2CIRBits }
 // both index schemes are hoisted to selector constants — the second index
 // is (cir ^ pc-part ^ bhr-part) & mask for every L2 scheme.
 func (m *TwoLevel) FillBucketLane(recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
-	rng := xrand.New(m.initSeed ^ 0x2C12_5EED)
-	if m.l1CIRBits <= 16 && m.l2CIRBits <= 16 {
-		t1 := make([]uint16, 1<<m.l1Bits)
-		t2 := make([]uint16, 1<<m.l1CIRBits)
-		initTable(t1, m.init, m.l1CIRBits, rng)
-		initTable(t2, m.init, m.l2CIRBits, rng)
-		fillTwoLevel(m, t1, t2, recs, miss, lane, counts)
-		return
-	}
-	t1 := make([]uint64, 1<<m.l1Bits)
-	t2 := make([]uint64, 1<<m.l1CIRBits)
-	initTable(t1, m.init, m.l1CIRBits, rng)
-	initTable(t2, m.init, m.l2CIRBits, rng)
-	fillTwoLevel(m, t1, t2, recs, miss, lane, counts)
+	m.FillBucketLaneResume(m.NewFactorState(), recs, miss, lane, counts)
 }
 
 // fillTwoLevel is the two-level walk, monomorphized per table element
-// width.
-func fillTwoLevel[T tableWord](m *TwoLevel, t1, t2 []T, recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
+// width. Like fillOneLevel it continues from st and stores the histories
+// back at exit.
+func fillTwoLevel[T tableWord](m *TwoLevel, st *twoLevelState[T], recs []trace.Record, miss []uint64, lane *bitvec.Dense, counts []uint32) {
 	counts, bucketSel := countSlice(counts)
 	var pcSel2, bhrSel2 uint64
 	switch m.scheme2 {
@@ -294,6 +278,7 @@ func fillTwoLevel[T tableWord](m *TwoLevel, t1, t2 []T, recs []trace.Record, mis
 		panic(fmt.Sprintf("core: unknown second index %d", int(m.scheme2)))
 	}
 	var (
+		t1, t2    = st.t1, st.t2
 		sel       = selectorsFor(m.scheme1, m.l1Bits)
 		l1Mask    = widthMask(m.l1CIRBits)
 		l2Mask    = widthMask(m.l2CIRBits)
@@ -303,7 +288,7 @@ func fillTwoLevel[T tableWord](m *TwoLevel, t1, t2 []T, recs []trace.Record, mis
 		width     = m.l2CIRBits
 		perWord   = lane.PerWord()
 		buf       = make([]uint64, 0, laneBufWords)
-		bhr, gcir uint64
+		bhr, gcir = st.bhr, st.gcir
 		missWd    uint64
 		cur       uint64
 		curSh     uint
@@ -341,4 +326,5 @@ func fillTwoLevel[T tableWord](m *TwoLevel, t1, t2 []T, recs []trace.Record, mis
 		gcir = (gcir<<1 | inc) & gcirMask
 	}
 	flushLane(lane, buf, perWord, inWord, cur)
+	st.bhr, st.gcir = bhr, gcir
 }

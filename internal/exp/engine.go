@@ -109,8 +109,18 @@ func (s *Session) Source(spec workload.Spec) (trace.Source, error) {
 // suiteConfig is the session's whole-suite run configuration: the
 // session budget with benchmarks fed from the materialized-trace cache,
 // for both the interleaved engine (Source) and the annotated two-stage
-// engine (Buffer).
+// engine (Buffer). Under Config.SegmentBranches the materialized-trace
+// cache is bypassed entirely — benchmarks stream straight from their
+// generators (the sim default Source), so a long-horizon run never holds
+// a whole trace in memory.
 func (s *Session) suiteConfig() sim.SuiteConfig {
+	if s.cfg.SegmentBranches > 0 {
+		return sim.SuiteConfig{
+			Branches:        s.cfg.Branches,
+			NoTally:         s.cfg.NoTally,
+			SegmentBranches: s.cfg.SegmentBranches,
+		}
+	}
 	return sim.SuiteConfig{
 		Branches: s.cfg.Branches,
 		Source: func(spec workload.Spec, branches uint64) (trace.Source, error) {

@@ -35,6 +35,12 @@ type Config struct {
 	// application model runs live instead of serving its count vector from
 	// the memo and disk artifact. Results are byte-identical either way.
 	NoModelArtifact bool
+	// SegmentBranches, when non-zero, routes suite passes through the
+	// segmented streaming engine: traces are walked in segments of this
+	// many branches with bounded resident memory and checkpointed resume,
+	// instead of being materialized whole. Results are byte-identical; the
+	// switch exists for long-horizon runs no whole-trace buffer can hold.
+	SegmentBranches uint64
 }
 
 // Output is an experiment's regenerated artefact.
@@ -66,6 +72,10 @@ type Experiment struct {
 	// simulation passes are batched and shared; a session may be shared by
 	// many experiments, concurrently.
 	Run func(*Session) (*Output, error)
+	// OptIn marks an experiment a default report run skips: it only
+	// executes when a filter names it explicitly (the long-horizon sweep,
+	// whose interesting budgets dwarf the default report's).
+	OptIn bool
 }
 
 // RunOnce executes the experiment against a fresh private session — the

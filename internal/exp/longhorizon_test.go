@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLongHorizonStreamingMatchesMonolithic: the long-horizon sweep must
+// produce byte-identical text whether its suite passes stream in segments
+// or materialize whole traces, and it must be opt-in so default report
+// runs skip it.
+func TestLongHorizonStreamingMatchesMonolithic(t *testing.T) {
+	e, err := ByID("longhorizon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.OptIn {
+		t.Fatal("longhorizon must be OptIn")
+	}
+	mono, err := e.RunOnce(Config{Branches: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := e.RunOnce(Config{Branches: 20000, SegmentBranches: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Text != stream.Text {
+		t.Fatalf("streaming long-horizon sweep diverges:\nmono:\n%s\nstream:\n%s", mono.Text, stream.Text)
+	}
+	// Three horizons of the budget, each with a miss rate and three
+	// coverage columns.
+	if lines := strings.Count(mono.Text, "\n"); lines != 4 {
+		t.Fatalf("expected header + 3 horizon rows, got %d lines:\n%s", lines, mono.Text)
+	}
+	for _, h := range []string{"1250", "5000", "20000"} {
+		if !strings.Contains(mono.Text, h) {
+			t.Errorf("horizon %s missing from sweep:\n%s", h, mono.Text)
+		}
+	}
+}
+
+// TestSessionStreamingSuiteMatches: a whole session configured to stream
+// produces the same suite results as a monolithic one — the exp-layer
+// wiring of Config.SegmentBranches down to the sim engine.
+func TestSessionStreamingSuiteMatches(t *testing.T) {
+	mono := NewSession(Config{Branches: 15000})
+	stream := NewSession(Config{Branches: 15000, SegmentBranches: 2048})
+	a, err := mono.SuiteOne(predGshare64K, mechResetting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stream.SuiteOne(predGshare64K, mechResetting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("streaming session suite diverges from monolithic")
+	}
+}

@@ -13,9 +13,10 @@ type CacheTier struct {
 	Stats artifact.TierStats
 }
 
-// CacheTiers snapshots every tier of the six-level cache hierarchy the
-// engine runs on — materialize memo, annotated-stream LRU, bucket-stream
-// LRU, model-stats LRU, curve LRU, and the persistent disk store — under one uniform
+// CacheTiers snapshots every tier of the cache hierarchy the engine runs
+// on — materialize memo, annotated-stream LRU, bucket-stream LRU,
+// model-stats LRU, curve LRU, the persistent disk store, and the streaming
+// engine's segment tier — under one uniform
 // hit/miss/eviction/resident quad (plus the disk tier's health columns:
 // verify failures, op errors, and the degraded flag a tripped breaker
 // raises), so the -cache-stats table renders all tiers identically. The
@@ -29,5 +30,11 @@ func CacheTiers() []CacheTier {
 		{Name: "model-stats", Stats: ModelCacheReport()},
 		{Name: "curve", Stats: CurveCacheReport()},
 		{Name: "artifact-disk", Stats: artifact.Report()},
+		// The streaming engine's segment counters ride the same quad: warm
+		// vs live segment payloads as hits/misses, forceLive unit retries as
+		// verify failures, and the in-flight segment-bytes high-water mark
+		// as resident bytes. Appended last so positional consumers of the
+		// original six tiers stay valid.
+		{Name: "stream-segment", Stats: sim.StreamReport()},
 	}
 }

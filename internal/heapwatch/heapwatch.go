@@ -1,0 +1,79 @@
+// Package heapwatch samples the Go heap's high-water mark per engine stage,
+// making the streaming engine's flat-memory claim measurable: -cache-stats
+// reports one peak-HeapAlloc row per stage label, and the bench harness
+// records the peaks in BENCH_streaming.json. Sampling is opt-in and off by
+// default — a disabled Sample is one atomic load, so the engine's hot paths
+// can call it unconditionally.
+package heapwatch
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	peaks   map[string]uint64
+)
+
+// Enable turns sampling on for the process.
+func Enable() { enabled.Store(true) }
+
+// Enabled reports whether sampling is on.
+func Enabled() bool { return enabled.Load() }
+
+// Sample records the current HeapAlloc against the stage label, keeping the
+// maximum seen. It is a no-op (one atomic load) while sampling is disabled.
+// ReadMemStats stops the world briefly, so the engine samples at stage
+// boundaries — once per segment or unit, never per branch.
+func Sample(stage string) {
+	if !enabled.Load() {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mu.Lock()
+	if peaks == nil {
+		peaks = map[string]uint64{}
+	}
+	if ms.HeapAlloc > peaks[stage] {
+		peaks[stage] = ms.HeapAlloc
+	}
+	mu.Unlock()
+}
+
+// StagePeak is one stage's heap high-water mark.
+type StagePeak struct {
+	Stage string
+	Peak  uint64
+}
+
+// Report returns the recorded peaks sorted by stage label.
+func Report() []StagePeak {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]StagePeak, 0, len(peaks))
+	for stage, peak := range peaks {
+		out = append(out, StagePeak{Stage: stage, Peak: peak})
+	}
+	slices.SortFunc(out, func(a, b StagePeak) int {
+		switch {
+		case a.Stage < b.Stage:
+			return -1
+		case a.Stage > b.Stage:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// Reset clears the recorded peaks (sampling stays in its current state).
+func Reset() {
+	mu.Lock()
+	peaks = nil
+	mu.Unlock()
+}

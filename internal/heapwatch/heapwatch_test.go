@@ -1,0 +1,37 @@
+package heapwatch
+
+import "testing"
+
+func TestDisabledSampleRecordsNothing(t *testing.T) {
+	Reset()
+	Sample("idle")
+	if got := Report(); len(got) != 0 {
+		t.Fatalf("disabled sample recorded %v", got)
+	}
+}
+
+func TestSampleTracksMaxPerStage(t *testing.T) {
+	Enable()
+	defer func() { enabled.Store(false); Reset() }()
+	Reset()
+	Sample("annotate")
+	first := Report()
+	if len(first) != 1 || first[0].Stage != "annotate" || first[0].Peak == 0 {
+		t.Fatalf("first sample: %v", first)
+	}
+	// A second sample never lowers the recorded peak, and new stages sort
+	// into place.
+	Sample("annotate")
+	Sample("tally")
+	got := Report()
+	if len(got) != 2 || got[0].Stage != "annotate" || got[1].Stage != "tally" {
+		t.Fatalf("stages: %v", got)
+	}
+	if got[0].Peak < first[0].Peak {
+		t.Fatalf("peak regressed: %d < %d", got[0].Peak, first[0].Peak)
+	}
+	Reset()
+	if len(Report()) != 0 {
+		t.Fatal("Reset left peaks behind")
+	}
+}

@@ -1,0 +1,99 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"branchconf/internal/bitvec"
+)
+
+// Checkpointer marks a predictor whose full training state can be captured
+// and revived at a branch boundary. The streaming engine (internal/sim)
+// checkpoints the predictor at every segment boundary so a warm-started run
+// can annotate segment k without replaying segments 0..k-1.
+//
+// A predictor without this interface still streams — the engine simply
+// annotates every segment live from the start of the trace within one run,
+// and never serves warm per-segment annotations for it.
+type Checkpointer interface {
+	Predictor
+	// MarshalState returns the canonical serialized training state. Equal
+	// states serialize to equal bytes.
+	MarshalState() []byte
+	// RestoreState validates a MarshalState payload against the receiver's
+	// geometry and installs it. Validation completes before any mutation,
+	// so on error the receiver is unchanged.
+	RestoreState(data []byte) error
+}
+
+// gshareStateVersion guards the gshare checkpoint layout: bumping it
+// orphans persisted checkpoints instead of misreading them.
+const gshareStateVersion = 1
+
+// MarshalState implements Checkpointer. Layout: version, tableBits,
+// historyBits (one byte each), the BHR bits as a little-endian uint64, then
+// the 2-bit counters packed four per byte in index order (counter i in bits
+// [2(i%4), 2(i%4)+2) of byte i/4). A 64K-counter gshare checkpoints in
+// 16 KB — two orders of magnitude under one annotated segment.
+func (g *Gshare) MarshalState() []byte {
+	out := make([]byte, 0, 3+8+(len(g.table)+3)/4)
+	out = append(out, gshareStateVersion, byte(g.tableBits), byte(g.historyBits))
+	out = binary.LittleEndian.AppendUint64(out, g.bhr.Bits())
+	var packed byte
+	for i, c := range g.table {
+		packed |= c.Value() << (2 * (uint(i) & 3))
+		if i&3 == 3 {
+			out = append(out, packed)
+			packed = 0
+		}
+	}
+	if len(g.table)&3 != 0 {
+		out = append(out, packed)
+	}
+	return out
+}
+
+// RestoreState implements Checkpointer, rejecting any structural mismatch:
+// version or geometry drift, history bits outside the register window, and
+// truncated or trailing bytes. Packed 2-bit counter values are inherently
+// in range, so the table region needs only its exact length. On success the
+// index memo is dropped — the restored history invalidates it.
+func (g *Gshare) RestoreState(data []byte) error {
+	if len(data) < 11 {
+		return fmt.Errorf("predictor: gshare state truncated at %d bytes", len(data))
+	}
+	if data[0] != gshareStateVersion {
+		return fmt.Errorf("predictor: gshare state version %d, want %d", data[0], gshareStateVersion)
+	}
+	if uint(data[1]) != g.tableBits || uint(data[2]) != g.historyBits {
+		return fmt.Errorf("predictor: gshare state geometry t%d/h%d, want t%d/h%d",
+			data[1], data[2], g.tableBits, g.historyBits)
+	}
+	bhr := binary.LittleEndian.Uint64(data[3:])
+	var window uint64
+	if g.historyBits > 0 {
+		if g.historyBits < 64 {
+			window = uint64(1)<<g.historyBits - 1
+		} else {
+			window = ^uint64(0)
+		}
+	}
+	if bhr&^window != 0 {
+		return fmt.Errorf("predictor: gshare state history %#x exceeds %d-bit window", bhr, g.historyBits)
+	}
+	table := data[11:]
+	if want := (len(g.table) + 3) / 4; len(table) != want {
+		return fmt.Errorf("predictor: gshare state table region %d bytes, want %d", len(table), want)
+	}
+	if pad := len(g.table) & 3; pad != 0 {
+		if table[len(table)-1]>>(2*uint(pad)) != 0 {
+			return fmt.Errorf("predictor: gshare state has bits beyond the final counter")
+		}
+	}
+	for i := range g.table {
+		g.table[i] = bitvec.TwoBit(table[i/4] >> (2 * (uint(i) & 3)) & 3)
+	}
+	g.bhr.Set(bhr)
+	g.cacheOK = false
+	return nil
+}

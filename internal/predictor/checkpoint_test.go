@@ -1,0 +1,117 @@
+package predictor
+
+import (
+	"testing"
+
+	"branchconf/internal/trace"
+	"branchconf/internal/xrand"
+)
+
+// ckptTrace builds a deterministic multi-PC trace that trains counters
+// across the table and fills the history register.
+func ckptTrace(n int) trace.Trace {
+	rng := xrand.New(0xC4E2)
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		pc := 0x4000 + 4*(rng.Uint64()%4096)
+		tr[i] = trace.Record{PC: pc, Target: pc + 64, Taken: rng.Uint64()%3 != 0}
+	}
+	return tr
+}
+
+// TestGshareCheckpointRoundTrip is the streaming-annotation contract: a
+// predictor restored from a mid-trace checkpoint must predict the remainder
+// of the trace exactly like the continuously trained original, and the
+// restored state must re-serialize to the same canonical bytes.
+func TestGshareCheckpointRoundTrip(t *testing.T) {
+	for _, geom := range []struct{ table, hist uint }{{16, 16}, {12, 12}, {10, 0}, {8, 5}} {
+		tr := ckptTrace(30000)
+		for _, cut := range []int{0, 1, 12345, len(tr)} {
+			live := NewGshare(geom.table, geom.hist)
+			run(live, tr[:cut])
+			blob := live.MarshalState()
+
+			revived := NewGshare(geom.table, geom.hist)
+			run(revived, tr[:100]) // arbitrary stale training the restore must erase
+			if err := revived.RestoreState(blob); err != nil {
+				t.Fatalf("t%d/h%d cut %d: restore: %v", geom.table, geom.hist, cut, err)
+			}
+			if got := revived.MarshalState(); string(got) != string(blob) {
+				t.Fatalf("t%d/h%d cut %d: restored state re-serializes differently", geom.table, geom.hist, cut)
+			}
+			for i, r := range tr[cut:] {
+				if live.Predict(r) != revived.Predict(r) {
+					t.Fatalf("t%d/h%d cut %d: branch %d diverged", geom.table, geom.hist, cut, cut+i)
+				}
+				live.Update(r)
+				revived.Update(r)
+			}
+		}
+	}
+}
+
+// TestGshareCheckpointRejects: geometry drift, version drift, history bits
+// outside the window, truncation, and trailing bytes all fail restore, and
+// a failed restore leaves the receiver's state untouched.
+func TestGshareCheckpointRejects(t *testing.T) {
+	g := NewGshare(10, 8)
+	run(g, ckptTrace(5000))
+	blob := g.MarshalState()
+	before := string(g.MarshalState())
+
+	reject := func(what string, data []byte) {
+		t.Helper()
+		if err := g.RestoreState(data); err == nil {
+			t.Errorf("%s: corrupt state accepted", what)
+		}
+		if string(g.MarshalState()) != before {
+			t.Fatalf("%s: failed restore mutated the predictor", what)
+		}
+	}
+	reject("empty", nil)
+	for _, cut := range []int{1, 3, 10, len(blob) - 1} {
+		reject("truncated", blob[:cut])
+	}
+	reject("trailing byte", append(append([]byte{}, blob...), 0))
+	badVer := append([]byte{}, blob...)
+	badVer[0] = gshareStateVersion + 1
+	reject("version", badVer)
+	badTable := append([]byte{}, blob...)
+	badTable[1] = 11
+	reject("table geometry", badTable)
+	badHist := append([]byte{}, blob...)
+	badHist[2] = 9
+	reject("history geometry", badHist)
+	badBHR := append([]byte{}, blob...)
+	badBHR[10] = 0xFF // top byte of the BHR word: ≥ 2^56, far above an 8-bit window
+	reject("history window", badBHR)
+
+	// Cross-geometry: a 12-bit predictor must refuse a 10-bit state.
+	other := NewGshare(12, 8)
+	if err := other.RestoreState(blob); err == nil {
+		t.Fatal("cross-geometry state accepted")
+	}
+	// The zero-history degenerate form rejects any nonzero history bits.
+	flat := NewGshare(10, 0)
+	flatBlob := flat.MarshalState()
+	flatBlob[3] = 1
+	if err := flat.RestoreState(flatBlob); err == nil {
+		t.Fatal("nonzero history accepted by zero-history predictor")
+	}
+}
+
+// TestGshareCheckpointPadding: a table size that is not a multiple of four
+// packs a partial final byte whose unused bits must be zero — and must be
+// rejected when set.
+func TestGshareCheckpointPadding(t *testing.T) {
+	g := NewGshare(1, 2) // 2 counters: one packed byte with 4 unused bits
+	run(g, ckptTrace(200))
+	blob := g.MarshalState()
+	if err := g.RestoreState(blob); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+	blob[len(blob)-1] |= 0xF0
+	if err := g.RestoreState(blob); err == nil {
+		t.Fatal("set padding bits accepted")
+	}
+}

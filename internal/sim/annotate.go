@@ -9,6 +9,7 @@ import (
 
 	"branchconf/internal/bitvec"
 	"branchconf/internal/core"
+	"branchconf/internal/heapwatch"
 	"branchconf/internal/predictor"
 	"branchconf/internal/trace"
 	"branchconf/internal/workload"
@@ -85,6 +86,61 @@ func Annotate(flat *trace.FlatView, pred predictor.Predictor) *AnnotatedStream {
 	n := flat.Len()
 	for i := 0; i < n; i++ {
 		r := flat.Record(i)
+		incorrect := pred.Predict(r) != r.Taken
+		if annPred != nil {
+			a.state.Append(uint64(annPred.AnnotationState(r)))
+		}
+		pred.Update(r)
+		a.miss.Append(incorrect)
+		a.n++
+		if incorrect {
+			a.misses++
+		}
+	}
+	return a
+}
+
+// AnnotateBuffer is Annotate off a replay buffer's varint stream, without
+// flattening it first. The streaming producer uses it so a segment in
+// flight costs the buffer's ~5 bytes per branch rather than a flat view's
+// 24: the predictor walk absorbs the one varint decode, and the consumer
+// flattens into its reusable scratch view only when the tally and replay
+// kernels — which stream the record lane many times — need it.
+func AnnotateBuffer(buf *trace.ReplayBuffer, pred predictor.Predictor) *AnnotatedStream {
+	return annotateBufferInto(buf, pred, nil)
+}
+
+// annotateBufferInto is AnnotateBuffer reusing spare's bit storage (nil for
+// a fresh stream). The streaming producer cycles consumed streams back
+// through here, so a long walk keeps a couple of annotated segments'
+// storage alive instead of allocating one per segment. spare must be dead:
+// reuse restarts the immutable-once-built contract.
+func annotateBufferInto(buf *trace.ReplayBuffer, pred predictor.Predictor, spare *AnnotatedStream) *AnnotatedStream {
+	a := spare
+	annPred, _ := pred.(predictor.StateAnnotator)
+	n := buf.Len()
+	if a == nil {
+		a = &AnnotatedStream{}
+	} else {
+		a.miss.Reset()
+		a.n = 0
+		a.misses = 0
+	}
+	switch {
+	case annPred == nil:
+		a.state = nil
+	case a.state != nil && a.state.Width() == annPred.AnnotationBits():
+		a.state.Reset()
+	default:
+		a.state = bitvec.NewDense(annPred.AnnotationBits(), n)
+	}
+	src := buf.Source()
+	for i := 0; i < n; i++ {
+		r, err := src.Next()
+		if err != nil {
+			// A fully built buffer replays exactly n records (see Flatten).
+			panic("sim: replay buffer shorter than its length")
+		}
 		incorrect := pred.Predict(r) != r.Taken
 		if annPred != nil {
 			a.state.Append(uint64(annPred.AnnotationState(r)))
@@ -193,6 +249,9 @@ func RunSuiteAnnotated(cfg SuiteConfig, predKey string, newPred func() predictor
 	if predKey == "" {
 		return RunSuiteBatch(cfg, newPred, newMechs)
 	}
+	if cfg.SegmentBranches > 0 {
+		return runSuiteStreaming(cfg, predKey, newPred, newMechs)
+	}
 	specs := cfg.specs()
 	perSpec := make([][]Result, len(specs))
 	for i := range perSpec {
@@ -251,6 +310,7 @@ func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPre
 		pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "annotate"), func(context.Context) {
 			flat, ann, err = annotatedFor(cfg, spec, predKey, newPred)
 		})
+		heapwatch.Sample("annotate")
 		if err != nil {
 			return fmt.Errorf("sim: annotating %s: %w", spec.Name, err)
 		}
@@ -310,6 +370,7 @@ func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPre
 					tallied[k] = true
 				}
 			})
+			heapwatch.Sample("tally")
 			if terr != nil {
 				return terr
 			}
@@ -333,6 +394,7 @@ func runMechChunk(cfg SuiteConfig, specs []workload.Spec, predKey string, newPre
 		pprof.Do(context.Background(), pprof.Labels("benchmark", spec.Name, "stage", "replay"), func(context.Context) {
 			replayAnnotated(flat, ann, replayMechs, accums)
 		})
+		heapwatch.Sample("replay")
 		for x, k := range replayAt {
 			perSpec[i][chunk[k]] = Result{
 				Benchmark: spec.Name,

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCheckpointRoundTrip: the codec is exact and the decoded state is a
+// private copy, not an alias of the input buffer.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, ck := range []Checkpoint{
+		{},
+		{Branch: 1, Misses: 1, State: []byte{0xAB}},
+		{Branch: 1 << 40, Misses: 77, State: bytes.Repeat([]byte{0x5A}, 4096)},
+		{Branch: 9, Misses: 0, State: nil},
+	} {
+		blob := MarshalCheckpoint(ck)
+		got, err := UnmarshalCheckpoint(blob)
+		if err != nil {
+			t.Fatalf("%+v: %v", ck, err)
+		}
+		if got.Branch != ck.Branch || got.Misses != ck.Misses || !bytes.Equal(got.State, ck.State) {
+			t.Fatalf("round trip: got %+v, want %+v", got, ck)
+		}
+		if len(got.State) > 0 {
+			blob[24] ^= 0xFF
+			if got.State[0] == blob[24] {
+				t.Fatal("decoded state aliases the input buffer")
+			}
+		}
+	}
+}
+
+// TestCheckpointRejects: the codec fails closed on every structural defect.
+func TestCheckpointRejects(t *testing.T) {
+	blob := MarshalCheckpoint(Checkpoint{Branch: 1000, Misses: 30, State: []byte{1, 2, 3, 4}})
+	cases := map[string][]byte{
+		"empty":         nil,
+		"truncated":     blob[:10],
+		"header only":   blob[:24],
+		"short state":   blob[:len(blob)-1],
+		"trailing byte": append(append([]byte{}, blob...), 0),
+	}
+	// Misses beyond the branch position are structurally impossible.
+	bad := MarshalCheckpoint(Checkpoint{Branch: 10, Misses: 11})
+	cases["misses > branch"] = bad
+	for what, data := range cases {
+		if _, err := UnmarshalCheckpoint(data); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", what)
+		}
+	}
+}
+
+// FuzzUnmarshalCheckpoint: arbitrary bytes either decode to a checkpoint
+// that re-serializes to the identical input, or fail — never panic, never
+// lossy acceptance.
+func FuzzUnmarshalCheckpoint(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(MarshalCheckpoint(Checkpoint{Branch: 5, Misses: 2, State: []byte{9}}))
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(MarshalCheckpoint(ck), data) {
+			t.Fatalf("accepted payload does not re-serialize identically")
+		}
+	})
+}

@@ -179,6 +179,13 @@ type SuiteConfig struct {
 	// geometry-keyed bucket streams. Results are byte-identical either way;
 	// the switch exists for A/B benchmarking and fault isolation.
 	NoTally bool
+	// SegmentBranches, when non-zero, switches RunSuiteAnnotated to the
+	// segmented streaming engine: each benchmark's trace is walked in
+	// segments of this many branches with annotation of the next segment
+	// overlapping tallying of the current one, keeping resident memory flat
+	// at any horizon. Results are byte-identical to the monolithic engine.
+	// Zero (the default) keeps the monolithic materialize-whole path.
+	SegmentBranches uint64
 }
 
 func (c SuiteConfig) specs() []workload.Spec {

@@ -23,8 +23,22 @@ type FlatView struct {
 const flatRecordBytes = 24
 
 // Flatten decodes the buffer's record stream into a flat view.
-func (b *ReplayBuffer) Flatten() *FlatView {
-	v := &FlatView{recs: make([]Record, b.n)}
+func (b *ReplayBuffer) Flatten() *FlatView { return b.FlattenInto(nil) }
+
+// FlattenInto decodes the buffer into v, reusing v's record storage when
+// its capacity suffices; v may be nil for a fresh view. The streaming
+// engine flattens every segment through one scratch view per unit, so the
+// dominant 24-bytes-per-branch decode buffer is allocated once per unit
+// instead of once per segment. The returned view aliases v's storage:
+// records from the previous flatten are overwritten.
+func (b *ReplayBuffer) FlattenInto(v *FlatView) *FlatView {
+	if v == nil {
+		v = &FlatView{}
+	}
+	if cap(v.recs) < b.n {
+		v.recs = make([]Record, b.n)
+	}
+	v.recs = v.recs[:b.n]
 	src := b.Source().(*replaySource)
 	for i := 0; i < b.n; i++ {
 		r, err := src.Next()

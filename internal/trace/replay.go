@@ -32,7 +32,25 @@ type ReplayBuffer struct {
 // unbounded; otherwise at most limit records are read. Like Collect, a
 // clean io.EOF ends materialization without error.
 func Materialize(src Source, limit int) (*ReplayBuffer, error) {
-	b := &ReplayBuffer{}
+	return MaterializeInto(&ReplayBuffer{}, src, limit)
+}
+
+// MaterializeInto is Materialize reusing b's storage: the buffer is reset
+// to empty first and its byte and outcome-bit capacity carried over. The
+// streaming engine recycles consumed segment buffers through here
+// (Segmenter.Recycle), so a long walk allocates a couple of buffers total
+// instead of one per segment. b must not be shared: reuse restarts the
+// read-only contract a fully built buffer otherwise has.
+func MaterializeInto(b *ReplayBuffer, src Source, limit int) (*ReplayBuffer, error) {
+	b.data = b.data[:0]
+	b.taken.Reset()
+	b.n = 0
+	if limit > 0 && cap(b.data) == 0 {
+		// Reserve for typical 3-5 byte records up front: a bounded
+		// materialization otherwise pays a doubling chain of dead arrays
+		// roughly the size of the final buffer.
+		b.data = make([]byte, 0, limit*4)
+	}
 	var prevPC uint64
 	var buf [3 * binary.MaxVarintLen64]byte
 	for limit == 0 || b.n < limit {

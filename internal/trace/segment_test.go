@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// segTestSource deterministically generates n records with irregular PC
+// deltas, targets and gaps, exercising the multi-byte varint paths.
+type segTestSource struct {
+	i, n int
+	pc   uint64
+}
+
+func (s *segTestSource) Next() (Record, error) {
+	if s.i >= s.n {
+		return Record{}, io.EOF
+	}
+	i := uint64(s.i)
+	s.pc += (i*2654435761)%8192 + 4
+	r := Record{
+		PC:     s.pc,
+		Target: s.pc + (i%97)*16 - 400, // mixes forward and backward targets
+		Gap:    uint32(i % 13),
+		Taken:  i*i%3 == 0,
+	}
+	s.i++
+	return r, nil
+}
+
+func collectAll(t *testing.T, src Source) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("collect: %v", err)
+		}
+		out = append(out, r)
+	}
+}
+
+// TestSegmenterReassembles: for a spread of segment sizes — including 1, a
+// prime, the stream length and one past it — the concatenation of every
+// segment's records must equal the monolithic materialization record for
+// record, and the segment lengths must be exact.
+func TestSegmenterReassembles(t *testing.T) {
+	const n = 5000
+	mono, err := Materialize(&segTestSource{n: n}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectAll(t, mono.Source())
+	if len(want) != n {
+		t.Fatalf("monolithic buffer has %d records, want %d", len(want), n)
+	}
+	for _, size := range []int{1, 7, 997, n, n + 1} {
+		seg := NewSegmenter(&segTestSource{n: n}, size)
+		var got []Record
+		segs := 0
+		for {
+			buf, err := seg.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+			if buf.Len() > size {
+				t.Fatalf("size %d: segment %d holds %d records", size, segs, buf.Len())
+			}
+			if buf.Len() < size && (n%size != 0 || buf.Len() != size) {
+				// only the final segment may be short; verified below by totals
+			}
+			got = append(got, collectAll(t, buf.Source())...)
+			segs++
+		}
+		wantSegs := (n + size - 1) / size
+		if segs != wantSegs {
+			t.Errorf("size %d: %d segments, want %d", size, segs, wantSegs)
+		}
+		if len(got) != n {
+			t.Fatalf("size %d: reassembled %d records, want %d", size, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: record %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+		// Exhausted segmenters keep returning io.EOF.
+		if _, err := seg.Next(); err != io.EOF {
+			t.Errorf("size %d: post-exhaustion Next err = %v, want io.EOF", size, err)
+		}
+	}
+}
+
+// TestSegmenterEmptySource: an empty stream yields io.EOF immediately, never
+// a zero-length segment.
+func TestSegmenterEmptySource(t *testing.T) {
+	seg := NewSegmenter(&segTestSource{n: 0}, 64)
+	if _, err := seg.Next(); err != io.EOF {
+		t.Fatalf("Next on empty source err = %v, want io.EOF", err)
+	}
+}
+
+// TestSegmenterPropagatesError: a mid-stream source error surfaces and
+// poisons the segmenter.
+type errorAfterSource struct {
+	inner Source
+	left  int
+}
+
+func (s *errorAfterSource) Next() (Record, error) {
+	if s.left == 0 {
+		return Record{}, fmt.Errorf("synthetic source fault")
+	}
+	s.left--
+	return s.inner.Next()
+}
+
+func TestSegmenterPropagatesError(t *testing.T) {
+	seg := NewSegmenter(&errorAfterSource{inner: &segTestSource{n: 100}, left: 10}, 8)
+	if buf, err := seg.Next(); err != nil || buf.Len() != 8 {
+		t.Fatalf("first segment: len=%v err=%v", buf.Len(), err)
+	}
+	if _, err := seg.Next(); err == nil {
+		t.Fatal("source fault did not surface")
+	}
+	if _, err := seg.Next(); err != io.EOF {
+		t.Fatalf("post-error Next err = %v, want io.EOF", err)
+	}
+}
+
+// TestSegmenterBadSize: a segment size below 1 is a programming error.
+func TestSegmenterBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSegmenter(_, 0) did not panic")
+		}
+	}()
+	NewSegmenter(&segTestSource{n: 1}, 0)
+}
