@@ -1,0 +1,251 @@
+// Command loadgen drives a resident paperrepro daemon with mixed traffic
+// and reports sustained throughput and latency percentiles as JSON — the
+// measurement half of BENCH_service.json.
+//
+// One invocation is one traffic leg: -clients concurrent workers issue
+// report requests round-robin over the -mix request shapes until -requests
+// have completed (or -duration elapses, whichever is configured). Run it
+// twice against the same daemon for the cold-then-warm comparison. Every
+// response for a given shape must be byte-identical to the first response
+// for that shape — the determinism contract — and any divergence is a
+// hard error.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8091 -clients 8 -requests 100 \
+//	        -branches 50000 -mix "fig2,fig5;fig9" [-timings] [-stats]
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"branchconf/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the JSON loadgen emits on stdout.
+type summary struct {
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	DurationSecs float64 `json:"duration_s"`
+	RPS          float64 `json:"rps"`
+	P50Millis    float64 `json:"p50_ms"`
+	P90Millis    float64 `json:"p90_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	MinMillis    float64 `json:"min_ms"`
+	MaxMillis    float64 `json:"max_ms"`
+	// CacheHitResponses counts responses the daemon marked as served from
+	// its rendered-report cache.
+	CacheHitResponses int `json:"report_cache_hit_responses"`
+	// Shapes lists each request shape with the hex digest of its response
+	// bytes (identical across every response, or loadgen fails).
+	Shapes []shapeDigest `json:"shapes"`
+	// Stats is the daemon's post-leg cache-stats snapshot (with -stats).
+	Stats *serve.CacheStatsJSON `json:"stats,omitempty"`
+}
+
+type shapeDigest struct {
+	Only      string `json:"only"`
+	Responses int    `json:"responses"`
+	SHA256    string `json:"sha256"`
+}
+
+func run(args []string, stdout, errW io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8091", "daemon base URL")
+		clients  = fs.Int("clients", 4, "concurrent client workers")
+		requests = fs.Int("requests", 0, "total requests to issue (0 = run for -duration)")
+		duration = fs.Duration("duration", 10*time.Second, "traffic duration when -requests is 0")
+		branches = fs.Uint64("branches", 0, "per-benchmark branch budget for every request (0 = benchmark default)")
+		mix      = fs.String("mix", "", "semicolon-separated request shapes, each a comma-separated -only id list (empty = one full-report shape); workers cycle the mix round-robin")
+		timings  = fs.Bool("timings", false, "request wall-time lines (disables the daemon's report cache and the byte-identity check)")
+		stats    = fs.Bool("stats", false, "fetch the daemon's cache-stats snapshot after the leg and embed it in the summary")
+		timeout  = fs.Duration("timeout", 10*time.Minute, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be at least 1, got %d", *clients)
+	}
+	if *requests < 0 {
+		return fmt.Errorf("-requests must be non-negative, got %d", *requests)
+	}
+
+	shapes := buildShapes(*mix, *branches, !*timings)
+	client := &serve.Client{Base: *addr}
+
+	// Fail fast (and without skewing latencies) if the daemon is away.
+	probeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err := client.Health(probeCtx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+
+	type sample struct {
+		shape  int
+		millis float64
+		cached bool
+		sum    [sha256.Size]byte
+		err    error
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*duration)
+	next := make(chan int) // request tickets carrying the shape index
+	go func() {
+		defer close(next)
+		for i := 0; ; i++ {
+			if *requests > 0 && i >= *requests {
+				return
+			}
+			if *requests == 0 && time.Now().After(deadline) {
+				return
+			}
+			next <- i % len(shapes)
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shape := range next {
+				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+				t0 := time.Now()
+				body, cached, err := client.Report(ctx, shapes[shape])
+				elapsed := time.Since(t0)
+				cancel()
+				s := sample{shape: shape, millis: float64(elapsed.Nanoseconds()) / 1e6, cached: cached, err: err}
+				if err == nil {
+					s.sum = sha256.Sum256(body)
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	out := summary{DurationSecs: wall.Seconds()}
+	var latencies []float64
+	digests := make(map[int][sha256.Size]byte)
+	counts := make(map[int]int)
+	for _, s := range samples {
+		out.Requests++
+		if s.err != nil {
+			out.Errors++
+			fmt.Fprintf(errW, "loadgen: request error: %v\n", s.err)
+			continue
+		}
+		latencies = append(latencies, s.millis)
+		if s.cached {
+			out.CacheHitResponses++
+		}
+		counts[s.shape]++
+		if prev, seen := digests[s.shape]; !seen {
+			digests[s.shape] = s.sum
+		} else if !*timings && prev != s.sum {
+			return fmt.Errorf("shape %q: response bytes diverged across requests — determinism broken", shapeName(shapes[s.shape]))
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		out.MinMillis = latencies[0]
+		out.MaxMillis = latencies[len(latencies)-1]
+		out.P50Millis = percentile(latencies, 50)
+		out.P90Millis = percentile(latencies, 90)
+		out.P99Millis = percentile(latencies, 99)
+		out.RPS = float64(len(latencies)) / wall.Seconds()
+	}
+	for i, shape := range shapes {
+		if counts[i] == 0 {
+			continue
+		}
+		out.Shapes = append(out.Shapes, shapeDigest{
+			Only:      shapeName(shape),
+			Responses: counts[i],
+			SHA256:    fmt.Sprintf("%x", digests[i]),
+		})
+	}
+	if *stats {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		snap, err := client.Stats(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("fetching stats: %w", err)
+		}
+		out.Stats = &snap
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// buildShapes parses the -mix spec into report requests.
+func buildShapes(mix string, branches uint64, noTimings bool) []serve.ReportRequest {
+	var shapes []serve.ReportRequest
+	for _, part := range strings.Split(mix, ";") {
+		part = strings.TrimSpace(part)
+		req := serve.ReportRequest{Branches: branches, NoTimings: noTimings}
+		if part != "" {
+			for _, id := range strings.Split(part, ",") {
+				req.Only = append(req.Only, strings.TrimSpace(id))
+			}
+		}
+		shapes = append(shapes, req)
+	}
+	return shapes
+}
+
+func shapeName(r serve.ReportRequest) string {
+	if len(r.Only) == 0 {
+		return "(all)"
+	}
+	return strings.Join(r.Only, ",")
+}
+
+// percentile returns the p-th percentile of sorted latencies using
+// nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

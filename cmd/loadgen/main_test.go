@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"branchconf/internal/serve"
+)
+
+// TestLoadgenLeg runs one small traffic leg against a real in-process
+// server and checks the summary: every request completes, byte-identity
+// holds per shape, repeats are announced as report-cache hits, and the
+// embedded stats snapshot carries the daemon section.
+func TestLoadgenLeg(t *testing.T) {
+	srv := serve.New(serve.Config{Parallel: 2, MaxInflight: 4, MaxQueue: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	var out, errW strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-clients", "3",
+		"-requests", "9",
+		"-branches", "12000",
+		"-mix", "fig2;table1",
+		"-stats",
+	}, &out, &errW)
+	if err != nil {
+		t.Fatalf("loadgen: %v\nstderr:\n%s", err, errW.String())
+	}
+
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary did not decode: %v\n%s", err, out.String())
+	}
+	if sum.Requests != 9 || sum.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want 9/0", sum.Requests, sum.Errors)
+	}
+	if sum.RPS <= 0 || sum.P50Millis <= 0 || sum.P99Millis < sum.P50Millis {
+		t.Fatalf("latency summary implausible: %+v", sum)
+	}
+	// Two shapes build once each; every other response is a cache (or
+	// coalesced single-flight) hit.
+	if sum.CacheHitResponses != 7 {
+		t.Fatalf("report_cache_hit_responses = %d, want 7", sum.CacheHitResponses)
+	}
+	if len(sum.Shapes) != 2 {
+		t.Fatalf("shapes = %d, want 2", len(sum.Shapes))
+	}
+	for _, s := range sum.Shapes {
+		if s.Responses == 0 || len(s.SHA256) != 64 {
+			t.Fatalf("shape %q summary implausible: %+v", s.Only, s)
+		}
+	}
+	if sum.Shapes[0].SHA256 == sum.Shapes[1].SHA256 {
+		t.Fatal("distinct shapes produced identical digests")
+	}
+	if sum.Stats == nil || sum.Stats.Server == nil {
+		t.Fatal("summary missing the daemon stats snapshot")
+	}
+	if sum.Stats.Server.RequestsOK != 9 {
+		t.Fatalf("daemon saw %d ok requests, want 9", sum.Stats.Server.RequestsOK)
+	}
+}
+
+// TestLoadgenRejectsDeadDaemon: a missing daemon fails fast with a clear
+// probe error, not a pile of per-request timeouts.
+func TestLoadgenRejectsDeadDaemon(t *testing.T) {
+	var out, errW strings.Builder
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-requests", "1"}, &out, &errW)
+	if err == nil || !strings.Contains(err.Error(), "daemon not reachable") {
+		t.Fatalf("err = %v, want a daemon-not-reachable probe failure", err)
+	}
+}
+
+// TestBuildShapes pins the -mix grammar.
+func TestBuildShapes(t *testing.T) {
+	shapes := buildShapes("fig2,fig5; table1", 500, true)
+	if len(shapes) != 2 {
+		t.Fatalf("shapes = %d, want 2", len(shapes))
+	}
+	if got := shapeName(shapes[0]); got != "fig2,fig5" {
+		t.Fatalf("shape 0 = %q", got)
+	}
+	if got := shapeName(shapes[1]); got != "table1" {
+		t.Fatalf("shape 1 = %q", got)
+	}
+	if !shapes[0].NoTimings || shapes[0].Branches != 500 {
+		t.Fatalf("shape fields not threaded: %+v", shapes[0])
+	}
+	if all := buildShapes("", 0, false); len(all) != 1 || shapeName(all[0]) != "(all)" {
+		t.Fatalf("empty mix = %+v", all)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(sorted, 99); p != 10 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("p50 of empty = %v", p)
+	}
+}

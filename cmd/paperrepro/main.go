@@ -12,12 +12,19 @@
 // Usage:
 //
 //	paperrepro [-branches 1000000] [-o report.md] [-skip-ablations]
-//	           [-only fig5,table1] [-parallel N]
+//	           [-only fig5,table1] [-parallel N] [-no-timings]
 //	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
 //	           [-artifact-dir DIR|auto] [-artifact-disk-mb 1024] [-no-artifact]
 //	           [-artifact-strict] [-no-annotate] [-no-tally]
 //	           [-no-curve-artifact] [-no-model-artifact] [-cache-stats]
-//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	           [-cache-stats-json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	paperrepro serve [-listen 127.0.0.1:8091] [engine flags] [service flags]
+//	paperrepro client [-addr http://127.0.0.1:8091] [request flags | -stats]
+//
+// The bare invocation is the one-shot run. "serve" starts the resident
+// confidence daemon — every cache tier stays hot in one process and many
+// concurrent clients are served over HTTP/JSON — and "client" is its thin
+// CLI client; see their -h output and README's service-mode section.
 //
 // With -artifact-dir, the engine's five expensive intermediates —
 // materialized traces, annotated streams, bucket streams, cycle-model
@@ -40,30 +47,29 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
-	"branchconf/internal/exp"
+	"branchconf/internal/serve"
 	"branchconf/internal/workload"
 )
 
-// materializeCeiling is the largest per-benchmark branch budget the engine
-// will hold as a whole materialized trace (~2 bytes/branch in the replay
-// buffer, plus the flattened and annotated forms on top). Budgets above it
-// stream in segments unless -segment-branches overrides the size;
-// -no-stream is rejected outright there, because a monolithic run at such
-// a budget would not fit.
-const materializeCeiling = 8 << 20
-
-// autoSegmentBranches is the segment size auto-streaming picks: large
-// enough that per-segment overhead (checkpoint encode, artifact keys) is
-// noise, small enough that a handful of in-flight segments stay around
-// tens of megabytes.
-const autoSegmentBranches = 1 << 20
+// The materialization ceiling and auto segment size live in
+// internal/serve (shared with the daemon's request validation).
+const materializeCeiling = serve.MaterializeCeiling
 
 func main() {
-	if err := appMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = serveMain(args[1:], os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "client":
+		err = clientMain(args[1:], os.Stdout, os.Stderr)
+	default:
+		err = appMain(args, os.Stdout, os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
 	}
@@ -88,11 +94,13 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		noStream      = fs.Bool("no-stream", false, "never stream: materialize whole traces even above the ceiling (rejected for budgets that cannot be materialized)")
 		noCurveArt    = fs.Bool("no-curve-artifact", false, "disable the curve memo/disk tier (byte-identical, for A/B benchmarking)")
 		noModelArt    = fs.Bool("no-model-artifact", false, "disable the cycle-model memo/disk tier (byte-identical, for A/B benchmarking)")
+		noTimings     = fs.Bool("no-timings", false, "omit the per-experiment wall-time lines, making the report bytes fully deterministic")
 		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
 		strictStore   = fs.Bool("artifact-strict", false, "fail the run on any artifact-store I/O error instead of degrading to in-memory-only")
 		cacheStats    = fs.Bool("cache-stats", false, "print per-cache hit/miss/eviction and resident-bytes counters to stderr at exit")
+		cacheStatsJ   = fs.Bool("cache-stats-json", false, "print the same per-cache counters as machine-readable JSON to stderr at exit (the daemon's stats-endpoint encoding)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -105,8 +113,16 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	if *segBranches == 0 || *segBranches < -1 {
 		return fmt.Errorf("-segment-branches must be at least 1 (or -1 for auto), got %d", *segBranches)
 	}
+	// Mutually exclusive flag combinations fail up front with an error
+	// naming both flags — never silent precedence.
 	if *noStream && *segBranches > 0 {
-		return fmt.Errorf("-no-stream conflicts with -segment-branches %d", *segBranches)
+		return fmt.Errorf("-no-stream conflicts with -segment-branches %d: streaming cannot be both forced off and configured", *segBranches)
+	}
+	if *noArtifact && *strictStore {
+		return fmt.Errorf("-no-artifact conflicts with -artifact-strict: a disabled store cannot fail hard")
+	}
+	if *strictStore && *artifactDir == "" {
+		return fmt.Errorf("-artifact-strict requires -artifact-dir: there is no store to hold to strict errors")
 	}
 	effBranches := *branches
 	if effBranches == 0 {
@@ -121,7 +137,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	case *segBranches > 0:
 		segment = uint64(*segBranches)
 	case effBranches > materializeCeiling:
-		segment = autoSegmentBranches
+		segment = serve.AutoSegmentBranches
 	}
 
 	if *cpuProfile != "" {
@@ -147,16 +163,15 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	}
 	var filter map[string]bool
 	if *only != "" {
-		valid := map[string]bool{}
-		for _, id := range exp.IDs() {
-			valid[id] = true
+		var onlyIDs []string
+		for _, id := range strings.Split(*only, ",") {
+			onlyIDs = append(onlyIDs, strings.TrimSpace(id))
+		}
+		if _, _, err := (serve.ReportRequest{Only: onlyIDs}).Validate(); err != nil {
+			return fmt.Errorf("-only: %w", err)
 		}
 		filter = map[string]bool{}
-		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			if !valid[id] {
-				return fmt.Errorf("-only: unknown experiment id %q (valid ids: %s)", id, strings.Join(exp.IDs(), ", "))
-			}
+		for _, id := range onlyIDs {
 			filter[id] = true
 		}
 	}
@@ -179,6 +194,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		branches:         *branches,
 		skipAblations:    *skipAblations,
 		filter:           filter,
+		noTimings:        *noTimings,
 		progress:         *out != "",
 		parallel:         *parallel,
 		annCacheBytes:    *annCacheMB << 20,
@@ -189,6 +205,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		noCurveArtifact:  *noCurveArt,
 		noModelArtifact:  *noModelArt,
 		cacheStats:       *cacheStats,
+		cacheStatsJSON:   *cacheStatsJ,
 		artifactDir:      dir,
 		artifactBudget:   *artifactMB << 20,
 		artifactStrict:   *strictStore,
@@ -209,30 +226,6 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		}
 	}
 	return nil
-}
-
-func budget(n uint64) string {
-	if n == 0 {
-		return "benchmark default (1,000,000)"
-	}
-	return fmt.Sprintf("%d", n)
-}
-
-func ensureNewline(s string) string {
-	if s == "" || strings.HasSuffix(s, "\n") {
-		return s
-	}
-	return s + "\n"
-}
-
-// sortedKeys returns the map's keys sorted.
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // now is stubbed in tests for stable timing output.

@@ -140,17 +140,53 @@ func TestSkipAblations(t *testing.T) {
 	}
 }
 
-func TestBudgetString(t *testing.T) {
-	if budget(0) != "benchmark default (1,000,000)" {
-		t.Fatalf("budget(0) = %q", budget(0))
+// TestFlagConflictsRejected: mutually exclusive flag combinations fail up
+// front with an error naming both flags — silent precedence (one flag
+// quietly winning) is a bug. Exercised for the one-shot CLI here and for
+// the serve subcommand's shared pairs below.
+func TestFlagConflictsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings the error must contain
+	}{
+		{"no-stream+segment-branches", []string{"-no-stream", "-segment-branches", "4096"},
+			[]string{"-no-stream conflicts", "-segment-branches"}},
+		{"no-artifact+artifact-strict", []string{"-no-artifact", "-artifact-strict", "-artifact-dir", "x"},
+			[]string{"-no-artifact conflicts", "-artifact-strict"}},
+		{"artifact-strict-without-dir", []string{"-artifact-strict"},
+			[]string{"-artifact-strict requires", "-artifact-dir"}},
 	}
-	if budget(42) != "42" {
-		t.Fatalf("budget(42) = %q", budget(42))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errW strings.Builder
+			err := appMain(tc.args, &out, &errW)
+			if err == nil {
+				t.Fatalf("%v accepted", tc.args)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+			if out.Len() != 0 {
+				t.Error("report output produced despite conflicting flags")
+			}
+		})
 	}
 }
 
-func TestEnsureNewline(t *testing.T) {
-	if ensureNewline("x") != "x\n" || ensureNewline("x\n") != "x\n" || ensureNewline("") != "" {
-		t.Fatal("ensureNewline broken")
+// TestServeFlagConflictsRejected: the serve subcommand validates the same
+// store flag pairs before binding a listener.
+func TestServeFlagConflictsRejected(t *testing.T) {
+	cases := [][]string{
+		{"-no-artifact", "-artifact-strict", "-artifact-dir", "x"},
+		{"-artifact-strict"},
+	}
+	for _, args := range cases {
+		var out, errW strings.Builder
+		if err := serveMain(args, &out, &errW); err == nil {
+			t.Fatalf("serve %v accepted", args)
+		}
 	}
 }

@@ -1,16 +1,14 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"io"
-	"runtime/pprof"
-	"strings"
-	"sync"
+	"sort"
 
 	"branchconf/internal/artifact"
 	"branchconf/internal/exp"
 	"branchconf/internal/heapwatch"
+	"branchconf/internal/serve"
 	"branchconf/internal/sim"
 )
 
@@ -18,28 +16,29 @@ import (
 type reportConfig struct {
 	branches         uint64
 	skipAblations    bool
-	filter           map[string]bool // nil = all
-	progress         bool            // emit per-experiment progress to errW
-	parallel         int             // max concurrent experiments (<=1 = serial)
-	annCacheBytes    uint64          // annotated-cache resident bound (0 = unbounded)
-	bucketCacheBytes int64           // bucket-cache resident bound (-1 = follow annCacheBytes)
-	noAnnotate       bool            // force the interleaved single-pass engine
-	noTally          bool            // disable the stage-3 tally engine
-	segmentBranches  uint64          // stream traces in segments of this many branches (0 = monolithic)
-	noCurveArtifact  bool            // disable the curve memo/disk tier
-	noModelArtifact  bool            // disable the cycle-model memo/disk tier
-	cacheStats       bool            // print per-cache counters to errW at exit
-	artifactDir      string          // persistent artifact store directory ("" = disabled)
-	artifactBudget   uint64          // artifact store disk budget in bytes (0 = unbounded)
-	artifactStrict   bool            // fail hard on store I/O errors instead of degrading
-	artifactFS       artifact.FS     // filesystem for the store (nil = real disk; tests inject faults)
+	filter           map[string]bool // experiment id filter (nil = all)
+	noTimings        bool            // omit per-experiment wall-time lines
+	progress         bool     // emit per-experiment progress to errW
+	parallel         int      // max concurrent experiments (<=1 = serial)
+	annCacheBytes    uint64   // annotated-cache resident bound (0 = unbounded)
+	bucketCacheBytes int64    // bucket-cache resident bound (-1 = follow annCacheBytes)
+	noAnnotate       bool     // force the interleaved single-pass engine
+	noTally          bool     // disable the stage-3 tally engine
+	segmentBranches  uint64   // stream traces in segments of this many branches (0 = monolithic)
+	noCurveArtifact  bool     // disable the curve memo/disk tier
+	noModelArtifact  bool     // disable the cycle-model memo/disk tier
+	cacheStats       bool     // print per-cache counters to errW at exit
+	cacheStatsJSON   bool     // print the same counters as JSON to errW at exit
+	artifactDir      string   // persistent artifact store directory ("" = disabled)
+	artifactBudget   uint64   // artifact store disk budget in bytes (0 = unbounded)
+	artifactStrict   bool     // fail hard on store I/O errors instead of degrading
+	artifactFS       artifact.FS // filesystem for the store (nil = real disk; tests inject faults)
 }
 
-// writeReport runs the selected experiments against one shared session and
-// renders the consolidated markdown report. Experiments execute on a
-// bounded worker pool claiming work in registration order; sections are
-// assembled in registration order regardless of completion order, so the
-// report bytes do not depend on the parallelism level.
+// writeReport is the one-shot run: it configures the process-wide engine
+// state (store, cache bounds, parallelism), builds the report through the
+// same serve.BuildReport the daemon renders with — which is what makes a
+// daemon-served report byte-identical to this path — and writes it to w.
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	var store *artifact.Store
 	if cfg.artifactDir != "" {
@@ -66,7 +65,7 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	// cache tiers, whose contents — and so counters — persist process-wide),
 	// so each report starts them from zero.
 	sim.ResetStreamStats()
-	if cfg.cacheStats {
+	if cfg.cacheStats || cfg.cacheStatsJSON {
 		heapwatch.Reset()
 		heapwatch.Enable()
 	}
@@ -78,69 +77,31 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		NoModelArtifact: cfg.noModelArtifact,
 		SegmentBranches: cfg.segmentBranches,
 	})
-	var selected []exp.Experiment
-	for _, e := range exp.All() {
-		if cfg.skipAblations && strings.HasPrefix(e.ID, "ablation-") {
-			continue
+	var only []string
+	if cfg.filter != nil {
+		only = make([]string, 0, len(cfg.filter))
+		for id := range cfg.filter {
+			only = append(only, id)
 		}
-		if cfg.filter != nil && !cfg.filter[e.ID] {
-			continue
+		sort.Strings(only)
+	}
+	req := serve.ReportRequest{
+		Branches:        cfg.branches,
+		Only:            only,
+		SkipAblations:   cfg.skipAblations,
+		NoTimings:       cfg.noTimings,
+		SegmentBranches: cfg.segmentBranches,
+	}
+	opts := serve.BuildOptions{Parallel: cfg.parallel, Now: now}
+	if cfg.progress {
+		opts.Progress = func(id string, elapsed float64) {
+			fmt.Fprintf(errW, "%-20s done in %.1fs\n", id, elapsed)
 		}
-		// Opt-in experiments (the long-horizon sweep) run only when the
-		// filter names them explicitly.
-		if e.OptIn && (cfg.filter == nil || !cfg.filter[e.ID]) {
-			continue
-		}
-		selected = append(selected, e)
 	}
-	if len(selected) == 0 {
-		return fmt.Errorf("no experiments matched the filter")
+	report, err := serve.BuildReport(session, req, opts)
+	if err != nil {
+		return err
 	}
-
-	workers := cfg.parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(selected) {
-		workers = len(selected)
-	}
-	sim.SetParallelism(cfg.parallel)
-
-	type outcome struct {
-		out     *exp.Output
-		err     error
-		elapsed float64
-	}
-	results := make([]outcome, len(selected))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				e := selected[idx]
-				start := now()
-				var o *exp.Output
-				var err error
-				// Label the experiment's goroutine (and, via propagation,
-				// the simulation units it schedules) for CPU profiles.
-				pprof.Do(context.Background(), pprof.Labels("experiment", e.ID), func(context.Context) {
-					o, err = e.Run(session)
-				})
-				elapsed := now().Sub(start).Seconds()
-				results[idx] = outcome{out: o, err: err, elapsed: elapsed}
-				if cfg.progress {
-					fmt.Fprintf(errW, "%-20s done in %.1fs\n", e.ID, elapsed)
-				}
-			}
-		}()
-	}
-	for idx := range selected {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
 
 	// A strict store pins its first classified I/O failure; surface it
 	// before any report bytes are written, so -artifact-strict yields
@@ -150,25 +111,10 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 			return err
 		}
 	}
-
-	fmt.Fprintf(w, "# Paper reproduction report\n\n")
-	fmt.Fprintf(w, "Per-benchmark branch budget: %s\n\n", budget(cfg.branches))
-	for i, e := range selected {
-		r := results[i]
-		if r.err != nil {
-			return fmt.Errorf("%s: %w", e.ID, r.err)
-		}
-		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
-		fmt.Fprintf(w, "Paper: %s\n\n", e.Paper)
-		fmt.Fprintf(w, "```\n%s```\n", ensureNewline(r.out.Text))
-		if len(r.out.Scalars) > 0 {
-			fmt.Fprintf(w, "\n| metric | value |\n|---|---|\n")
-			for _, k := range sortedKeys(r.out.Scalars) {
-				fmt.Fprintf(w, "| %s | %.3f |\n", k, r.out.Scalars[k])
-			}
-		}
-		fmt.Fprintf(w, "\n_(ran in %.1fs)_\n\n", r.elapsed)
+	if _, err := w.Write(report); err != nil {
+		return err
 	}
+
 	if cfg.progress {
 		tiers := exp.CacheTiers()
 		pHits, pMisses := session.Stats()
@@ -190,6 +136,12 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		// stream-segment tier's resident_bytes) rather than a profiler.
 		for _, sp := range heapwatch.Report() {
 			fmt.Fprintf(errW, "cache-stats heap:%-11s peak_heap_bytes=%d\n", sp.Stage, sp.Peak)
+		}
+	}
+	if cfg.cacheStatsJSON {
+		pHits, pMisses := session.Stats()
+		if err := serve.WriteCacheStatsJSON(errW, serve.SnapshotCacheStats(pHits, pMisses, true)); err != nil {
+			return err
 		}
 	}
 	return nil

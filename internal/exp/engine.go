@@ -1,10 +1,10 @@
 package exp
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"branchconf/internal/core"
+	"branchconf/internal/memo"
 	"branchconf/internal/predictor"
 	"branchconf/internal/sim"
 	"branchconf/internal/trace"
@@ -58,29 +58,30 @@ func Mech(new func() core.Mechanism) MechSpec {
 	return MechSpec{Key: new().Name(), New: new}
 }
 
-// passEntry is one memoized (predictor, mechanism) suite pass. done is
-// closed when res/err are final; claimants that find an existing entry
-// wait on it instead of resimulating.
-type passEntry struct {
-	done chan struct{}
-	res  sim.SuiteResult
-	err  error
-}
+// passKey distinguishes session pass entries from other key kinds when a
+// ByteLRU is shared; the string is pred.Key + "\x1f" + mech.Key.
+type passKey string
 
-// Session owns the pass cache for one report run. It is safe for
-// concurrent use by experiments running in parallel.
+// Session owns the pass cache for one run configuration. It is safe for
+// concurrent use by experiments running in parallel, and — unlike the
+// original per-report incarnation — is built to live for the process: the
+// pass cache is a memo.ByteLRU, so completed passes can be evicted under a
+// resident-bytes bound (SetPassBound) and an errored pass is dropped
+// rather than negatively cached, letting a later claimant retry it. A
+// resident daemon shares one Session per Config across every request that
+// names that configuration (see SessionPool), which is what coalesces
+// concurrent identical work onto one computation.
 type Session struct {
 	cfg Config
 
-	mu     sync.Mutex
-	passes map[string]*passEntry
+	passes memo.ByteLRU
 
 	hits, misses atomic.Uint64
 }
 
 // NewSession returns an empty session for the given configuration.
 func NewSession(cfg Config) *Session {
-	return &Session{cfg: cfg, passes: make(map[string]*passEntry)}
+	return &Session{cfg: cfg}
 }
 
 // Config returns the session's run configuration.
@@ -152,17 +153,17 @@ func (s *Session) runSuite(pred PredSpec, newMechs []func() core.Mechanism) ([]s
 //
 // Concurrent callers requesting overlapping sets never duplicate a pass:
 // the first claimant of a (predictor, mechanism) key simulates it, later
-// ones block on the entry.
+// ones block on the entry. Claimants may arrive from distinct requests in
+// a resident process — the contract is the same. A pass whose simulation
+// fails is published as an error to everyone already waiting on it but is
+// dropped from the cache, so the next claimant retries instead of
+// inheriting a possibly transient failure for the life of the process.
 func (s *Session) Suite(pred PredSpec, mechs ...MechSpec) ([]sim.SuiteResult, error) {
-	entries := make([]*passEntry, len(mechs))
+	entries := make([]*memo.Entry, len(mechs))
 	var missing []int // indices whose entries this call must fill
-	s.mu.Lock()
 	for i, m := range mechs {
-		key := pred.Key + "\x1f" + m.Key
-		e := s.passes[key]
-		if e == nil {
-			e = &passEntry{done: make(chan struct{})}
-			s.passes[key] = e
+		e, owner := s.passes.Claim(passKey(pred.Key + "\x1f" + m.Key))
+		if owner {
 			missing = append(missing, i)
 			s.misses.Add(1)
 		} else {
@@ -170,7 +171,6 @@ func (s *Session) Suite(pred PredSpec, mechs ...MechSpec) ([]sim.SuiteResult, er
 		}
 		entries[i] = e
 	}
-	s.mu.Unlock()
 
 	if len(missing) > 0 {
 		newMechs := make([]func() core.Mechanism, len(missing))
@@ -181,24 +181,48 @@ func (s *Session) Suite(pred PredSpec, mechs ...MechSpec) ([]sim.SuiteResult, er
 		for j, i := range missing {
 			e := entries[i]
 			if err != nil {
-				e.err = err
-			} else {
-				e.res = res[j]
+				e.Err = err
+				s.passes.Finish(e, 0)
+				continue
 			}
-			close(e.done)
+			e.Val = res[j]
+			s.passes.Finish(e, passBytes(res[j]))
 		}
 	}
 
 	out := make([]sim.SuiteResult, len(mechs))
 	for i, e := range entries {
-		<-e.done
-		if e.err != nil {
-			return nil, e.err
+		<-e.Done
+		if e.Err != nil {
+			return nil, e.Err
 		}
-		out[i] = e.res
+		out[i] = e.Val.(sim.SuiteResult)
 	}
 	return out, nil
 }
+
+// passBytes approximates a cached pass's resident footprint for the LRU
+// bound: the per-benchmark run headers plus each bucket tally (map slot,
+// key, and tally block).
+func passBytes(res sim.SuiteResult) uint64 {
+	const runHeader = 64  // Result struct + slice slot + name
+	const bucketCost = 48 // map bucket share + uint64 key + *Tally + Tally
+	b := uint64(32)
+	for _, r := range res.Runs {
+		b += runHeader + uint64(len(r.Buckets))*bucketCost
+	}
+	return b
+}
+
+// SetPassBound bounds the session's resident pass-cache bytes; completed
+// passes are evicted least-recently-used first (0 = unbounded, the
+// one-shot default). A resident process sets this so an unbounded request
+// mix cannot grow the pass cache without limit.
+func (s *Session) SetPassBound(bytes uint64) { s.passes.SetBound(bytes) }
+
+// PassUsage reports the pass cache's approximate resident bytes and
+// evictions so far.
+func (s *Session) PassUsage() (resident, evictions uint64) { return s.passes.Usage() }
 
 // SuiteOne is Suite for a single mechanism.
 func (s *Session) SuiteOne(pred PredSpec, mech MechSpec) (sim.SuiteResult, error) {

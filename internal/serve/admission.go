@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors, mapped to HTTP statuses by the server (429 for load
+// shedding, 503 while draining).
+var (
+	ErrQueueFull    = errors.New("serve: admission queue full")
+	ErrQueueTimeout = errors.New("serve: timed out waiting for an execution slot")
+	ErrDraining     = errors.New("serve: server is draining")
+)
+
+// Admission is the daemon's request-level admission controller: the
+// descendant of the one-shot CLI's -parallel slot pool, lifted to a
+// resident process. At most MaxInflight report requests execute at once;
+// up to MaxQueue more wait, each bounded by QueueTimeout; anything beyond
+// that is shed immediately. Draining closes admission to new work and
+// lets Wait observe the last admitted request finish. (Below this layer,
+// per-benchmark simulation units are still bounded by the process-wide
+// sim slot pool — admission bounds how many *requests* contend for it.)
+type Admission struct {
+	slots chan struct{} // execution slots (capacity MaxInflight)
+	queue chan struct{} // waiter tickets (capacity MaxQueue)
+
+	timeout time.Duration
+
+	drainOnce sync.Once
+	draining  chan struct{}
+	inflight  sync.WaitGroup
+
+	inflightN atomic.Int64
+	queuedN   atomic.Int64
+
+	admitted         atomic.Uint64
+	rejectedFull     atomic.Uint64
+	rejectedTimeout  atomic.Uint64
+	rejectedDraining atomic.Uint64
+}
+
+// NewAdmission builds a controller admitting maxInflight concurrent
+// requests (<1 clamps to 1) with a waiting room of maxQueue (<0 clamps to
+// 0) bounded by queueTimeout per waiter (<=0 means waiters hold on until
+// a slot frees or the server drains).
+func NewAdmission(maxInflight, maxQueue int, queueTimeout time.Duration) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		slots:    make(chan struct{}, maxInflight),
+		queue:    make(chan struct{}, maxQueue),
+		timeout:  queueTimeout,
+		draining: make(chan struct{}),
+	}
+}
+
+// Acquire admits the caller or sheds it. On success the returned release
+// must be called exactly once when the request's work is done.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case <-a.draining:
+		a.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	default:
+	}
+
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return a.admit(), nil
+	default:
+	}
+
+	// Claim a waiter ticket or shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejectedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	a.queuedN.Add(1)
+	defer func() {
+		a.queuedN.Add(-1)
+		<-a.queue
+	}()
+
+	var timeoutC <-chan time.Time
+	if a.timeout > 0 {
+		t := time.NewTimer(a.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.admit(), nil
+	case <-timeoutC:
+		a.rejectedTimeout.Add(1)
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		a.rejectedTimeout.Add(1)
+		return nil, ctx.Err()
+	case <-a.draining:
+		a.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+}
+
+func (a *Admission) admit() func() {
+	a.admitted.Add(1)
+	a.inflightN.Add(1)
+	a.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inflightN.Add(-1)
+			a.inflight.Done()
+			<-a.slots
+		})
+	}
+}
+
+// Drain closes admission to new requests (idempotent). Queued waiters are
+// released with ErrDraining; in-flight requests run to completion.
+func (a *Admission) Drain() {
+	a.drainOnce.Do(func() { close(a.draining) })
+}
+
+// Draining reports whether Drain has been called.
+func (a *Admission) Draining() bool {
+	select {
+	case <-a.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until every admitted request has released its slot, or the
+// context expires.
+func (a *Admission) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		a.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Gauges reports the current in-flight and queued request counts.
+func (a *Admission) Gauges() (inflight, queued int64) {
+	return a.inflightN.Load(), a.queuedN.Load()
+}
+
+// Rejections reports the shed counters: queue-full, queue-timeout (which
+// also counts callers whose own context expired while queued), and
+// rejected-while-draining.
+func (a *Admission) Rejections() (full, timeout, draining uint64) {
+	return a.rejectedFull.Load(), a.rejectedTimeout.Load(), a.rejectedDraining.Load()
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflight, queued := a.Gauges(); inflight != 2 || queued != 0 {
+		t.Fatalf("gauges = %d inflight, %d queued; want 2, 0", inflight, queued)
+	}
+	r1()
+	r1() // double release must be a no-op, not a slot leak
+	r2()
+	if inflight, _ := a.Gauges(); inflight != 0 {
+		t.Fatalf("inflight = %d after release, want 0", inflight)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(1, 1, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Fill the single waiter seat.
+	waiterErr := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		waiterErr <- err
+	}()
+	// Wait until the waiter is seated, then the next caller must shed.
+	for {
+		if _, queued := a.Gauges(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: err = %v, want ErrQueueFull", err)
+	}
+	if full, _, _ := a.Rejections(); full != 1 {
+		t.Fatalf("rejectedFull = %d, want 1", full)
+	}
+	release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 5*time.Millisecond)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if _, timeout, _ := a.Rejections(); timeout != 1 {
+		t.Fatalf("rejectedTimeout = %d, want 1", timeout)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for {
+			if _, queued := a.Gauges(); queued == 1 {
+				cancel()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(1, 4, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued waiter must be released with ErrDraining.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background())
+		waiterErr <- err
+	}()
+	for {
+		if _, queued := a.Gauges(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Drain()
+	a.Drain() // idempotent
+	if err := <-waiterErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter on drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new acquire on drain: err = %v, want ErrDraining", err)
+	}
+	if !a.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+
+	// Wait must block on the in-flight request and observe its release.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Wait(ctx); err == nil {
+		t.Fatal("Wait returned before the in-flight request released")
+	}
+	release()
+	if err := a.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait after release: %v", err)
+	}
+	if _, _, draining := a.Rejections(); draining != 2 {
+		t.Fatalf("rejectedDraining = %d, want 2", draining)
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the thin HTTP client the CLI's client subcommand and the load
+// generator drive the daemon through.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8091".
+	Base string
+	// HTTP is the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// Report requests one report, returning its bytes and whether the daemon
+// served it from its rendered-report cache.
+func (c *Client) Report(ctx context.Context, req ReportRequest) (report []byte, cached bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/report"), bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(b))}
+	}
+	return b, resp.Header.Get("X-Report-Cache") == "hit", nil
+}
+
+// Stats fetches the daemon's machine-readable cache-stats snapshot.
+func (c *Client) Stats(ctx context.Context) (CacheStatsJSON, error) {
+	var snap CacheStatsJSON
+	b, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return snap, err
+	}
+	err = json.Unmarshal(b, &snap)
+	return snap, err
+}
+
+// Health probes the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz")
+	return err
+}
+
+// Ready probes the readiness endpoint; a draining daemon returns a
+// StatusError with code 503.
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.get(ctx, "/readyz")
+	return err
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(b))}
+	}
+	return b, nil
+}
+
+// StatusError is a non-200 daemon response.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("daemon returned %d: %s", e.Code, e.Body)
+}

@@ -1,0 +1,141 @@
+// Package serve turns the one-shot report run into a resident confidence
+// service: it owns the report builder both the CLI and the daemon render
+// through (so daemon-served bytes are identical to one-shot bytes by
+// construction), the HTTP server that keeps every cache tier hot in one
+// process, the admission controller bounding concurrent report work, the
+// machine-readable cache-stats encoder, and the thin HTTP client the CLI
+// and the load generator drive requests through.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"branchconf/internal/exp"
+	"branchconf/internal/workload"
+)
+
+// MaterializeCeiling is the largest per-benchmark branch budget the engine
+// will hold as a whole materialized trace (~2 bytes/branch in the replay
+// buffer, plus the flattened and annotated forms on top). Budgets above it
+// stream in segments unless the request overrides the segment size;
+// refusing to stream is rejected there, because a monolithic run at such a
+// budget would not fit.
+const MaterializeCeiling = 8 << 20
+
+// AutoSegmentBranches is the segment size auto-streaming picks: large
+// enough that per-segment overhead (checkpoint encode, artifact keys) is
+// noise, small enough that a handful of in-flight segments stay around
+// tens of megabytes.
+const AutoSegmentBranches = 1 << 20
+
+// ReportRequest selects and parameterises one report: the JSON body of the
+// daemon's report endpoint, and the struct the one-shot CLI's flags decode
+// into. Budgets map onto the familiar -branches/-only semantics.
+type ReportRequest struct {
+	// Branches is the per-benchmark dynamic branch budget (0 = the
+	// benchmark default).
+	Branches uint64 `json:"branches,omitempty"`
+	// Only restricts the run to these experiment ids (empty = all
+	// non-opt-in experiments).
+	Only []string `json:"only,omitempty"`
+	// SkipAblations drops the ablation-* experiments.
+	SkipAblations bool `json:"skip_ablations,omitempty"`
+	// NoTimings omits the per-experiment "_(ran in Xs)_" wall-time lines,
+	// making the report bytes fully deterministic — the form byte-identity
+	// checks compare and the daemon's report cache retains.
+	NoTimings bool `json:"no_timings,omitempty"`
+	// SegmentBranches streams traces in segments of this many branches
+	// (0 = automatic: segment only above the materialization ceiling).
+	SegmentBranches uint64 `json:"segment_branches,omitempty"`
+	// NoStream refuses streaming: traces materialize whole, and budgets
+	// above the materialization ceiling are rejected.
+	NoStream bool `json:"no_stream,omitempty"`
+}
+
+// Validate checks the request against the experiment registry and the
+// streaming rules, returning the experiment filter (nil = all) and the
+// resolved segment size.
+func (r ReportRequest) Validate() (filter map[string]bool, segment uint64, err error) {
+	if len(r.Only) > 0 {
+		valid := map[string]bool{}
+		for _, id := range exp.IDs() {
+			valid[id] = true
+		}
+		filter = map[string]bool{}
+		for _, id := range r.Only {
+			id = strings.TrimSpace(id)
+			if !valid[id] {
+				return nil, 0, fmt.Errorf("unknown experiment id %q (valid ids: %s)", id, strings.Join(exp.IDs(), ", "))
+			}
+			filter[id] = true
+		}
+	}
+	segment, err = ResolveSegment(r.Branches, r.SegmentBranches, r.NoStream)
+	if err != nil {
+		return nil, 0, err
+	}
+	return filter, segment, nil
+}
+
+// ResolveSegment applies the streaming rules shared by the CLI and the
+// daemon: an explicit segment size wins, budgets above the materialization
+// ceiling stream automatically, and refusing to stream above the ceiling
+// is an error (a monolithic run there would not fit).
+func ResolveSegment(branches, segment uint64, noStream bool) (uint64, error) {
+	eff := branches
+	if eff == 0 {
+		eff = workload.DefaultBranches
+	}
+	switch {
+	case noStream && segment > 0:
+		return 0, fmt.Errorf("no-stream conflicts with segment-branches %d", segment)
+	case noStream:
+		if eff > MaterializeCeiling {
+			return 0, fmt.Errorf("no-stream: budget %d exceeds the materialization ceiling (%d branches); allow streaming or set a segment size", eff, uint64(MaterializeCeiling))
+		}
+		return 0, nil
+	case segment > 0:
+		return segment, nil
+	case eff > MaterializeCeiling:
+		return AutoSegmentBranches, nil
+	}
+	return 0, nil
+}
+
+// Key returns the request's canonical identity for coalescing and
+// caching: requests that must produce identical bytes share a key. The
+// Only set is order- and duplicate-insensitive because experiment
+// selection runs in registry order regardless of how the filter was
+// spelled.
+func (r ReportRequest) Key() string {
+	only := append([]string(nil), r.Only...)
+	for i := range only {
+		only[i] = strings.TrimSpace(only[i])
+	}
+	sort.Strings(only)
+	only = uniq(only)
+	return fmt.Sprintf("b=%d|only=%s|ablations=%t|timings=%t|seg=%d|nostream=%t",
+		r.Branches, strings.Join(only, ","), !r.SkipAblations, !r.NoTimings, r.SegmentBranches, r.NoStream)
+}
+
+func uniq(sorted []string) []string {
+	out := sorted[:0]
+	for _, s := range sorted {
+		if len(out) == 0 || out[len(out)-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SessionConfig maps the request onto the session configuration it runs
+// under, overlaying the per-request budget and segmenting onto the
+// process-wide engine defaults (the daemon's startup switches).
+func (r ReportRequest) SessionConfig(defaults exp.Config, segment uint64) exp.Config {
+	cfg := defaults
+	cfg.Branches = r.Branches
+	cfg.SegmentBranches = segment
+	return cfg
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequestKeyNormalization(t *testing.T) {
+	a := ReportRequest{Branches: 1000, Only: []string{"fig5", "fig2"}, NoTimings: true}
+	b := ReportRequest{Branches: 1000, Only: []string{"fig2", "fig5", "fig2"}, NoTimings: true}
+	if a.Key() != b.Key() {
+		t.Fatalf("order/duplicate-insensitive keys differ:\n%s\n%s", a.Key(), b.Key())
+	}
+	distinct := []ReportRequest{
+		{Branches: 2000, Only: []string{"fig5", "fig2"}, NoTimings: true},
+		{Branches: 1000, Only: []string{"fig2"}, NoTimings: true},
+		{Branches: 1000, Only: []string{"fig5", "fig2"}},
+		{Branches: 1000, Only: []string{"fig5", "fig2"}, NoTimings: true, SkipAblations: true},
+		{Branches: 1000, Only: []string{"fig5", "fig2"}, NoTimings: true, SegmentBranches: 4096},
+	}
+	for i, r := range distinct {
+		if r.Key() == a.Key() {
+			t.Errorf("distinct request %d collides: %s", i, r.Key())
+		}
+	}
+}
+
+func TestRequestValidateUnknownID(t *testing.T) {
+	_, _, err := ReportRequest{Only: []string{"fig2", "nope"}}.Validate()
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "valid ids:") {
+		t.Fatalf("error does not name the offender and the valid ids: %v", err)
+	}
+}
+
+func TestResolveSegment(t *testing.T) {
+	cases := []struct {
+		name              string
+		branches, segment uint64
+		noStream          bool
+		want              uint64
+		wantErr           string
+	}{
+		{name: "default-budget-monolithic", branches: 0, want: 0},
+		{name: "explicit-segment", branches: 0, segment: 4096, want: 4096},
+		{name: "auto-above-ceiling", branches: MaterializeCeiling + 1, want: AutoSegmentBranches},
+		{name: "no-stream-small", branches: 10000, noStream: true, want: 0},
+		{name: "no-stream-above-ceiling", branches: MaterializeCeiling + 1, noStream: true, wantErr: "materialization ceiling"},
+		{name: "no-stream-with-segment", segment: 4096, noStream: true, wantErr: "conflicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ResolveSegment(tc.branches, tc.segment, tc.noStream)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("segment = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
