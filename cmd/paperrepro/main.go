@@ -15,16 +15,29 @@
 //	           [-only fig5,table1] [-parallel N] [-no-timings]
 //	           [-annotate-cache-mb 256] [-bucket-cache-mb N]
 //	           [-artifact-dir DIR|auto] [-artifact-disk-mb 1024] [-no-artifact]
-//	           [-artifact-strict] [-no-annotate] [-no-tally]
+//	           [-artifact-strict] [-artifact-remote URL] [-shard i/n]
+//	           [-no-annotate] [-no-tally]
 //	           [-no-curve-artifact] [-no-model-artifact] [-cache-stats]
 //	           [-cache-stats-json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	paperrepro serve [-listen 127.0.0.1:8091] [engine flags] [service flags]
 //	paperrepro client [-addr http://127.0.0.1:8091] [request flags | -stats]
+//	paperrepro artifactd [-listen 127.0.0.1:8092] -dir DIR [-disk-mb 1024]
+//	paperrepro fanout -shards N [engine flags]
+//	paperrepro merge [-o report.md] partial.json... | merge -from-store -shards N [flags]
 //
 // The bare invocation is the one-shot run. "serve" starts the resident
 // confidence daemon — every cache tier stays hot in one process and many
 // concurrent clients are served over HTTP/JSON — and "client" is its thin
 // CLI client; see their -h output and README's service-mode section.
+//
+// "artifactd" serves an artifact directory to a fleet of workers over the
+// remote object protocol; workers layer it under their local stores with
+// -artifact-remote. "-shard i/n" runs one worker's slice of the experiment
+// selection and emits a partial report; "merge" assembles partials —
+// from files or, with -from-store, from the (remote) artifact store — into
+// a report byte-identical to the single-process run; "fanout" does the
+// shard/merge round trip in one coordinating process. See README's
+// fan-out section.
 //
 // With -artifact-dir, the engine's five expensive intermediates —
 // materialized traces, annotated streams, bucket streams, cycle-model
@@ -66,6 +79,12 @@ func main() {
 		err = serveMain(args[1:], os.Stdout, os.Stderr)
 	case len(args) > 0 && args[0] == "client":
 		err = clientMain(args[1:], os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "artifactd":
+		err = artifactdMain(args[1:], os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "fanout":
+		err = fanoutMain(args[1:], os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "merge":
+		err = mergeMain(args[1:], os.Stdout, os.Stderr)
 	default:
 		err = appMain(args, os.Stdout, os.Stderr)
 	}
@@ -99,6 +118,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
 		strictStore   = fs.Bool("artifact-strict", false, "fail the run on any artifact-store I/O error instead of degrading to in-memory-only")
+		remoteURL     = fs.String("artifact-remote", "", "layer a remote artifact store (a paperrepro artifactd base URL) under the local disk store: read-through on local misses, write-behind on publishes")
+		shardSpec     = fs.String("shard", "", "run only shard i of n (\"i/n\") of the experiment selection and emit a partial report (JSON) instead of markdown; merge partials with \"paperrepro merge\"")
 		cacheStats    = fs.Bool("cache-stats", false, "print per-cache hit/miss/eviction and resident-bytes counters to stderr at exit")
 		cacheStatsJ   = fs.Bool("cache-stats-json", false, "print the same per-cache counters as machine-readable JSON to stderr at exit (the daemon's stats-endpoint encoding)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,6 +144,17 @@ func appMain(args []string, stdout, errW io.Writer) error {
 	}
 	if *strictStore && *artifactDir == "" {
 		return fmt.Errorf("-artifact-strict requires -artifact-dir: there is no store to hold to strict errors")
+	}
+	if *remoteURL != "" && *noArtifact {
+		return fmt.Errorf("-artifact-remote conflicts with -no-artifact: a disabled store cannot layer a remote tier")
+	}
+	if *remoteURL != "" && *artifactDir == "" {
+		return fmt.Errorf("-artifact-remote requires -artifact-dir: the remote tier layers under the local disk store")
+	}
+	if *shardSpec != "" {
+		if _, err := serve.ParseShard(*shardSpec); err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
 	}
 	effBranches := *branches
 	if effBranches == 0 {
@@ -209,6 +241,8 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		artifactDir:      dir,
 		artifactBudget:   *artifactMB << 20,
 		artifactStrict:   *strictStore,
+		artifactRemote:   *remoteURL,
+		shard:            *shardSpec,
 	})
 	if err != nil {
 		return err

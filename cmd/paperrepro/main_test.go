@@ -91,13 +91,13 @@ func TestCacheStatsFlag(t *testing.T) {
 			heapRows++
 		}
 	}
-	for _, tier := range []string{"session-pass", "trace-memo", "annotated-stream", "bucket-stream", "model-stats", "curve", "artifact-disk", "stream-segment"} {
+	for _, tier := range []string{"session-pass", "trace-memo", "annotated-stream", "bucket-stream", "model-stats", "curve", "artifact-disk", "stream-segment", "remote-artifact"} {
 		if lines[tier] == "" {
 			t.Errorf("cache-stats row for %s missing from stderr:\n%s", tier, progress)
 		}
 	}
-	if len(lines)-heapRows != 8 {
-		t.Errorf("cache-stats printed %d tier rows, want 8:\n%s", len(lines)-heapRows, progress)
+	if len(lines)-heapRows != 9 {
+		t.Errorf("cache-stats printed %d tier rows, want 9:\n%s", len(lines)-heapRows, progress)
 	}
 	// The peak-memory column: per-stage HeapAlloc high-water rows, present
 	// for every monolithic engine stage this run exercised.

@@ -33,6 +33,9 @@ type reportConfig struct {
 	artifactBudget   uint64   // artifact store disk budget in bytes (0 = unbounded)
 	artifactStrict   bool     // fail hard on store I/O errors instead of degrading
 	artifactFS       artifact.FS // filesystem for the store (nil = real disk; tests inject faults)
+	artifactRemote   string      // remote artifact store base URL ("" = no remote tier)
+	remoteDoer       artifact.Doer // transport for the remote tier (nil = real HTTP; tests inject faults)
+	shard            string        // "i/n": run one shard and emit a partial report ("" = full report)
 }
 
 // writeReport is the one-shot run: it configures the process-wide engine
@@ -42,17 +45,27 @@ type reportConfig struct {
 func writeReport(w, errW io.Writer, cfg reportConfig) error {
 	var store *artifact.Store
 	if cfg.artifactDir != "" {
+		var remote *artifact.Remote
+		if cfg.artifactRemote != "" {
+			remote = artifact.NewRemote(cfg.artifactRemote, cfg.remoteDoer)
+		}
 		var err error
 		store, err = artifact.OpenStore(cfg.artifactDir, artifact.Options{
 			Budget: cfg.artifactBudget,
 			Strict: cfg.artifactStrict,
 			FS:     cfg.artifactFS,
+			Remote: remote,
 		})
 		if err != nil {
+			remote.Close()
 			return err
 		}
 		artifact.SetDefault(store)
 		defer artifact.SetDefault(nil)
+		// Close drains the remote tier's write-behind queue, so artifacts
+		// published near the end of the run (a shard's partial, the last
+		// curves) reach the fleet before the process exits.
+		defer store.Close()
 	}
 	sim.SetAnnotatedCacheBound(cfg.annCacheBytes)
 	sim.SetTallyCacheDefaultBound(cfg.annCacheBytes)
@@ -98,9 +111,27 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 			fmt.Fprintf(errW, "%-20s done in %.1fs\n", id, elapsed)
 		}
 	}
-	report, err := serve.BuildReport(session, req, opts)
-	if err != nil {
-		return err
+	var report []byte
+	if cfg.shard != "" {
+		// Shard mode: run this worker's slice of the selection and emit the
+		// partial report — to w for file-based merges, and into the (possibly
+		// remote) artifact store for store-based merges.
+		sh, err := serve.ParseShard(cfg.shard)
+		if err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
+		p, err := serve.BuildPartial(session, req, opts, sh)
+		if err != nil {
+			return err
+		}
+		serve.PublishPartial(p)
+		report = p.Encode()
+	} else {
+		var err error
+		report, err = serve.BuildReport(session, req, opts)
+		if err != nil {
+			return err
+		}
 	}
 
 	// A strict store pins its first classified I/O failure; surface it

@@ -44,6 +44,7 @@ func serveMain(args []string, stdout, errW io.Writer) error {
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
 		strictStore   = fs.Bool("artifact-strict", false, "fail requests on any artifact-store I/O error instead of degrading to in-memory-only")
+		remoteURL     = fs.String("artifact-remote", "", "layer a remote artifact store (a paperrepro artifactd base URL) under the local disk store: read-through on local misses, write-behind on publishes")
 		cacheStats    = fs.Bool("cache-stats", false, "sample per-stage peak heap and include the rows in stats snapshots")
 		maxInflight   = fs.Int("max-inflight", runtime.NumCPU(), "max report requests executing at once (the admission controller's slot count)")
 		maxQueue      = fs.Int("max-queue", 64, "max report requests waiting for a slot; beyond this requests are shed with 429")
@@ -70,6 +71,12 @@ func serveMain(args []string, stdout, errW io.Writer) error {
 	if *strictStore && *artifactDir == "" {
 		return fmt.Errorf("-artifact-strict requires -artifact-dir: there is no store to hold to strict errors")
 	}
+	if *remoteURL != "" && *noArtifact {
+		return fmt.Errorf("-artifact-remote conflicts with -no-artifact: a disabled store cannot layer a remote tier")
+	}
+	if *remoteURL != "" && *artifactDir == "" {
+		return fmt.Errorf("-artifact-remote requires -artifact-dir: the remote tier layers under the local disk store")
+	}
 
 	dir := *artifactDir
 	if *noArtifact {
@@ -83,12 +90,18 @@ func serveMain(args []string, stdout, errW io.Writer) error {
 		dir = filepath.Join(base, "branchconf", "artifacts")
 	}
 	if dir != "" {
-		store, err := artifact.OpenStore(dir, artifact.Options{Budget: *artifactMB << 20, Strict: *strictStore})
+		var remote *artifact.Remote
+		if *remoteURL != "" {
+			remote = artifact.NewRemote(*remoteURL, nil)
+		}
+		store, err := artifact.OpenStore(dir, artifact.Options{Budget: *artifactMB << 20, Strict: *strictStore, Remote: remote})
 		if err != nil {
+			remote.Close()
 			return err
 		}
 		artifact.SetDefault(store)
 		defer artifact.SetDefault(nil)
+		defer store.Close()
 	}
 	sim.SetAnnotatedCacheBound(*annCacheMB << 20)
 	sim.SetTallyCacheDefaultBound(*annCacheMB << 20)

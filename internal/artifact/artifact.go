@@ -72,6 +72,13 @@ const (
 	// (spec, budget, predictor[, geometry]) unit and the boundary branch
 	// position (internal/sim).
 	KindCheckpoint uint16 = 6
+	// KindPartial is one fan-out shard's partial report — the rendered
+	// sections and scalars for its slice of the (experiment, benchmark)
+	// matrix — keyed by the canonical request, the shard coordinates, and
+	// the partial codec version (internal/serve). Workers publish partials
+	// here (and so into the shared remote tier) for the coordinator's
+	// registry-order merge.
+	KindPartial uint16 = 7
 )
 
 // TierStats is the uniform observability quad every cache tier reports
@@ -108,6 +115,19 @@ func Default() *Store { return defaultStore.Load() }
 func Report() TierStats {
 	if s := Default(); s != nil {
 		return s.Stats()
+	}
+	return TierStats{}
+}
+
+// RemoteReport returns the default store's remote-tier counters, or a zero
+// quad when no remote tier is configured. In this tier's row the uniform
+// quad is remapped where the disk columns have no network meaning:
+// ResidentBytes counts record bytes moved over the wire (both directions)
+// and Evictions counts write-behind Puts shed by a full queue or a
+// degraded tier.
+func RemoteReport() TierStats {
+	if s := Default(); s != nil {
+		return s.RemoteStats()
 	}
 	return TierStats{}
 }

@@ -75,34 +75,56 @@ func DecodeRecord(data []byte, kind uint16, key string) ([]byte, error) {
 // stay fail-closed even on the cheap path. The store uses the cheap path for
 // records it has already verified once this process (see Store.get).
 func decodeRecord(data []byte, kind uint16, key string, checksum bool) ([]byte, error) {
+	gotKind, gotKey, payload, err := decodeRecordAny(data, checksum)
+	if err != nil {
+		return nil, err
+	}
+	if gotKind != kind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrCorrupt, gotKind, kind)
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("%w: key mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// RecordInfo structurally verifies data as a record — including the full
+// checksum sweep — without expecting a particular identity, and returns the
+// embedded kind and key. The remote object server uses it to authenticate a
+// PUT body: the record carries its own identity, so the server can recompute
+// the content address and refuse a record published under the wrong one.
+func RecordInfo(data []byte) (kind uint16, key string, err error) {
+	kind, key, _, err = decodeRecordAny(data, true)
+	return kind, key, err
+}
+
+// decodeRecordAny parses and verifies one record's framing (and, when
+// checksum is set, its CRC), returning the embedded identity and the payload
+// (aliasing data's backing array).
+func decodeRecordAny(data []byte, checksum bool) (kind uint16, key string, payload []byte, err error) {
 	if len(data) < recordOverhead(0) {
-		return nil, fmt.Errorf("%w: %d bytes, below minimum record size", ErrCorrupt, len(data))
+		return 0, "", nil, fmt.Errorf("%w: %d bytes, below minimum record size", ErrCorrupt, len(data))
 	}
 	if [4]byte(data[0:4]) != recordMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+		return 0, "", nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
 	}
 	if v := binary.LittleEndian.Uint16(data[4:6]); v != FormatVersion {
-		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, FormatVersion)
+		return 0, "", nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, FormatVersion)
 	}
-	if k := binary.LittleEndian.Uint16(data[6:8]); k != kind {
-		return nil, fmt.Errorf("%w: kind %d, want %d", ErrCorrupt, k, kind)
-	}
+	kind = binary.LittleEndian.Uint16(data[6:8])
 	keyLen := int(binary.LittleEndian.Uint32(data[8:12]))
 	payLen := binary.LittleEndian.Uint64(data[12:20])
 	// Check the total length with overflow-safe arithmetic: payLen is
 	// attacker- (well, bit-flip-) controlled and must not wrap the sum.
 	rest := uint64(len(data) - recordHeaderLen - 8)
 	if uint64(keyLen) > rest || payLen != rest-uint64(keyLen) {
-		return nil, fmt.Errorf("%w: lengths (key %d, payload %d) disagree with record size %d", ErrCorrupt, keyLen, payLen, len(data))
-	}
-	if string(data[recordHeaderLen:recordHeaderLen+keyLen]) != key {
-		return nil, fmt.Errorf("%w: key mismatch", ErrCorrupt)
+		return 0, "", nil, fmt.Errorf("%w: lengths (key %d, payload %d) disagree with record size %d", ErrCorrupt, keyLen, payLen, len(data))
 	}
 	if checksum {
 		body := data[:len(data)-8]
 		if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(data[len(data)-8:]); got != want {
-			return nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+			return 0, "", nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
 		}
 	}
-	return data[recordHeaderLen+keyLen : len(data)-8], nil
+	return kind, string(data[recordHeaderLen : recordHeaderLen+keyLen]), data[recordHeaderLen+keyLen : len(data)-8], nil
 }

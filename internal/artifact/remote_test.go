@@ -1,0 +1,322 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// newRemoteFixture boots an in-process remote store (RemoteServer over a
+// fresh disk store) and returns its base URL plus the server for stats.
+func newRemoteFixture(t *testing.T) (string, *RemoteServer) {
+	t.Helper()
+	backing, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRemoteServer(backing)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, srv
+}
+
+// openRemoteStore opens a worker store with the remote tier layered under
+// a fresh local directory.
+func openRemoteStore(t *testing.T, base string) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), Options{Remote: NewRemote(base, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRemoteWriteBehindThenWarmStart: worker A publishes through the
+// write-behind queue; worker B (empty local tier, different machine in
+// spirit) warm-starts purely from A's remote artifacts, and the read-through
+// populates B's local tier so its second Get never touches the network.
+func TestRemoteWriteBehindThenWarmStart(t *testing.T) {
+	base, srv := newRemoteFixture(t)
+
+	a := openRemoteStore(t, base)
+	if err := a.Put(KindCurve, "shared-key", []byte("curve payload")); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if got := srv.Stats(); got.Puts != 1 {
+		t.Fatalf("server saw %d puts, want 1", got.Puts)
+	}
+
+	b := openRemoteStore(t, base)
+	got, ok := b.Get(KindCurve, "shared-key")
+	if !ok || !bytes.Equal(got, []byte("curve payload")) {
+		t.Fatalf("warm start from remote: ok=%v payload=%q", ok, got)
+	}
+	rs := b.RemoteStats()
+	if rs.Hits != 1 || rs.ResidentBytes == 0 {
+		t.Fatalf("remote stats after warm start = %+v, want 1 hit and wire bytes", rs)
+	}
+	// The read-through populated B's local tier: the next Get is a local
+	// hit, no new remote traffic.
+	if _, ok := b.Get(KindCurve, "shared-key"); !ok {
+		t.Fatal("adopted record not readable locally")
+	}
+	if rs2 := b.RemoteStats(); rs2.Hits != rs.Hits || rs2.Misses != rs.Misses {
+		t.Fatalf("second Get went to the network: %+v -> %+v", rs, rs2)
+	}
+	// And the local miss that preceded the remote hit is visible in the
+	// local tier's counters.
+	if st := b.Stats(); st.Misses == 0 {
+		t.Fatalf("local stats = %+v, want the initial local miss counted", st)
+	}
+}
+
+// TestRemoteHead: HEAD answers existence without moving the record.
+func TestRemoteHead(t *testing.T) {
+	base, _ := newRemoteFixture(t)
+	a := openRemoteStore(t, base)
+	if a.Remote().Head(KindCurve, "k") {
+		t.Fatal("HEAD hit on an empty remote store")
+	}
+	if err := a.Put(KindCurve, "k", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if !a.Remote().Head(KindCurve, "k") {
+		t.Fatal("HEAD miss after a flushed Put")
+	}
+}
+
+// TestRemoteServerProtocolEdges: the server fails closed on everything that
+// is not a well-formed, self-consistent record at its own address.
+func TestRemoteServerProtocolEdges(t *testing.T) {
+	base, srv := newRemoteFixture(t)
+	client := &http.Client{}
+	do := func(method, path string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	record := EncodeRecord(KindCurve, "k", []byte("payload"))
+	addr := Address(KindCurve, "k")
+	wrongAddr := Address(KindCurve, "other")
+
+	if resp := do(http.MethodGet, remotePathPrefix+"not-an-address", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed address GET: %s", resp.Status)
+	}
+	if resp := do(http.MethodGet, remotePathPrefix+addr, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing record GET: %s", resp.Status)
+	}
+	if resp := do(http.MethodPut, remotePathPrefix+wrongAddr, record); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-address PUT: %s", resp.Status)
+	}
+	corrupt := append([]byte(nil), record...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if resp := do(http.MethodPut, remotePathPrefix+addr, corrupt); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT: %s", resp.Status)
+	}
+	if resp := do(http.MethodPut, remotePathPrefix+addr, record); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("good PUT: %s", resp.Status)
+	}
+	if resp := do(http.MethodHead, remotePathPrefix+addr, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD after PUT: %s", resp.Status)
+	}
+	if resp := do(http.MethodGet, remotePathPrefix+addr, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT: %s", resp.Status)
+	}
+	if resp := do(http.MethodDelete, remotePathPrefix+addr, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: %s", resp.Status)
+	}
+	st := srv.Stats()
+	if st.PutRejects != 2 || st.Puts != 3 || st.GetMisses != 1 {
+		t.Fatalf("server stats = %+v, want 2 rejects / 3 puts / 1 get miss", st)
+	}
+}
+
+// failDoer fails every request with a transport error.
+type failDoer struct{ calls int }
+
+func (d *failDoer) Do(*http.Request) (*http.Response, error) {
+	d.calls++
+	return nil, errors.New("stub: connection refused")
+}
+
+// TestRemoteBreakerTripsToLocalOnly: consecutive transport failures trip
+// the remote tier into degraded mode; the local tier keeps working and the
+// network is never touched again.
+func TestRemoteBreakerTripsToLocalOnly(t *testing.T) {
+	d := &failDoer{}
+	s, err := OpenStore(t.TempDir(), Options{Remote: NewRemote("http://remote.invalid", d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < breakerTrip; i++ {
+		if _, ok := s.Get(KindCurve, fmt.Sprintf("k%d", i)); ok {
+			t.Fatal("hit against a dead remote")
+		}
+	}
+	rs := s.RemoteStats()
+	if !rs.Degraded {
+		t.Fatalf("remote stats after %d failed ops = %+v, want degraded", breakerTrip, rs)
+	}
+	// Each failed logical Get retried the transport.
+	if d.calls != breakerTrip*retryAttempts {
+		t.Fatalf("transport calls = %d, want %d (retry inside each op)", d.calls, breakerTrip*retryAttempts)
+	}
+	// Degraded remote, healthy local: the store still round-trips.
+	if err := s.Put(KindCurve, "local", []byte("pl")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(KindCurve, "local"); !ok || !bytes.Equal(got, []byte("pl")) {
+		t.Fatalf("local tier after remote degradation: ok=%v %q", ok, got)
+	}
+	calls := d.calls
+	s.Flush()
+	if d.calls != calls {
+		t.Fatalf("degraded tier touched the network: %d -> %d calls", calls, d.calls)
+	}
+	if rs := s.RemoteStats(); rs.Evictions == 0 {
+		t.Fatalf("remote stats = %+v, want the shed write-behind counted", rs)
+	}
+}
+
+// tamperDoer serves a different valid record than the one addressed — the
+// split-brain store.
+type tamperDoer struct {
+	inner Doer
+	body  []byte
+}
+
+func (d *tamperDoer) Do(req *http.Request) (*http.Response, error) {
+	resp, err := d.inner.Do(req)
+	if err != nil || req.Method != http.MethodGet || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(d.body))
+	resp.ContentLength = int64(len(d.body))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// TestRemoteGetFailsClosedOnWrongRecord: a structurally valid record for a
+// different key never reaches the caller — the embedded-identity check
+// fails closed and the caller regenerates.
+func TestRemoteGetFailsClosedOnWrongRecord(t *testing.T) {
+	base, _ := newRemoteFixture(t)
+	seed := openRemoteStore(t, base)
+	if err := seed.Put(KindCurve, "victim", []byte("victim payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put(KindCurve, "other", []byte("other payload")); err != nil {
+		t.Fatal(err)
+	}
+	seed.Flush()
+
+	wrong := EncodeRecord(KindCurve, "other", []byte("other payload"))
+	s, err := OpenStore(t.TempDir(), Options{
+		Remote: NewRemote(base, &tamperDoer{inner: &http.Client{}, body: wrong}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.Get(KindCurve, "victim"); ok {
+		t.Fatal("a record for another key was served as a hit")
+	}
+	rs := s.RemoteStats()
+	if rs.VerifyFails != 1 || rs.Hits != 0 {
+		t.Fatalf("remote stats = %+v, want 1 verify fail, 0 hits", rs)
+	}
+	// The poisoned bytes must not have been adopted locally.
+	if _, ok := s.Get(KindCurve, "victim"); ok {
+		t.Fatal("poisoned record adopted into the local tier")
+	}
+}
+
+// TestRemoteCrossWorkerContention: two workers, one remote store, racing
+// Put/Get/Head on the same addresses. Last writer wins with byte-identical
+// records (payloads are pure functions of the key), nothing corrupts, and
+// every landed record round-trips. Run under -race.
+func TestRemoteCrossWorkerContention(t *testing.T) {
+	base, _ := newRemoteFixture(t)
+	a := openRemoteStore(t, base)
+	b := openRemoteStore(t, base)
+
+	const keys = 16
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("payload-for-%d", i)) }
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("key-%d", i)
+				if got, ok := s.Get(KindCurve, key); ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("%s: wrong payload %q", key, got)
+				}
+				_ = s.Put(KindCurve, key, payload(i))
+				s.Remote().Head(KindCurve, key)
+				if got, ok := s.Get(KindCurve, key); ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("%s: wrong payload after put %q", key, got)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	a.Flush()
+	b.Flush()
+
+	// A third worker with an empty local tier sees every key remotely.
+	c := openRemoteStore(t, base)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, ok := c.Get(KindCurve, key)
+		if !ok || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("%s after contention: ok=%v payload=%q", key, ok, got)
+		}
+	}
+	if rs := c.RemoteStats(); rs.Hits != keys || rs.VerifyFails != 0 {
+		t.Fatalf("third worker remote stats = %+v, want %d clean hits", rs, keys)
+	}
+}
+
+// TestRemoteNilIsNoop: a store without a remote tier keeps its old
+// behavior, and the nil *Remote methods are all safe.
+func TestRemoteNilIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	s.Close()
+	if rs := s.RemoteStats(); rs != (TierStats{}) {
+		t.Fatalf("nil remote stats = %+v, want zero", rs)
+	}
+	var r *Remote
+	r.PutAsync([]byte("x"))
+	r.Flush()
+	r.Close()
+	if r.Stats() != (TierStats{}) {
+		t.Fatal("nil Remote stats not zero")
+	}
+	if RemoteReport() != (TierStats{}) && Default() == nil {
+		t.Fatal("RemoteReport without a default store not zero")
+	}
+}

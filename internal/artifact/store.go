@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
@@ -36,6 +37,12 @@ type Store struct {
 	budget uint64 // resident-bytes bound; 0 = unbounded
 	fs     FS
 	strict bool
+	// remote, when non-nil, layers a shared network store under the local
+	// disk tier: Gets read through it on a local miss (populating the local
+	// tier), Puts publish to it write-behind. Always fail-soft — remote
+	// outages degrade this store to local-only, never fail a run — so the
+	// strict flag governs the local disk alone.
+	remote *Remote
 
 	mu       sync.Mutex
 	index    map[string]*storeEntry // file name -> size and last use
@@ -75,6 +82,10 @@ type Options struct {
 	Strict bool
 	// FS is the filesystem the store runs on; nil selects OSFS().
 	FS FS
+	// Remote layers a shared remote store under the local disk tier
+	// (read-through on miss, write-behind on Put); nil disables it. The
+	// store owns the Remote from here on: Close releases its worker.
+	Remote *Remote
 }
 
 // Open opens (creating if necessary) the artifact directory on the real
@@ -101,7 +112,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	if fsys == nil {
 		fsys = OSFS()
 	}
-	s := &Store{dir: dir, budget: opts.Budget, fs: fsys, strict: opts.Strict, index: make(map[string]*storeEntry)}
+	s := &Store{dir: dir, budget: opts.Budget, fs: fsys, strict: opts.Strict, remote: opts.Remote, index: make(map[string]*storeEntry)}
 	if err := s.do("mkdir", func() error { return fsys.MkdirAll(dir, 0o777) }); err != nil {
 		return s.openFailed()
 	}
@@ -253,14 +264,40 @@ func (s *Store) Err() error {
 	return s.fatal
 }
 
-// fileName derives the content address for (kind, key).
-func fileName(kind uint16, key string) string {
+// Address derives the content address for (kind, key): the lowercase hex
+// SHA-256 of the kind (little-endian) followed by the key bytes. It names
+// the record on disk (plus the .art extension) and in the remote object
+// protocol's URL path.
+func Address(kind uint16, key string) string {
 	h := sha256.New()
 	var k [2]byte
 	binary.LittleEndian.PutUint16(k[:], kind)
 	h.Write(k[:])
 	h.Write([]byte(key))
-	return hex.EncodeToString(h.Sum(nil)) + artExt
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// addressLen is the length of a hex content address.
+const addressLen = sha256.Size * 2
+
+// validAddress reports whether addr is a well-formed content address (the
+// remote server must never touch paths it did not derive itself).
+func validAddress(addr string) bool {
+	if len(addr) != addressLen {
+		return false
+	}
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// fileName derives the record file name for (kind, key).
+func fileName(kind uint16, key string) string {
+	return Address(kind, key) + artExt
 }
 
 // Get returns the payload stored for (kind, key), or ok == false on a miss.
@@ -275,8 +312,27 @@ func (s *Store) Get(kind uint16, key string) (payload []byte, ok bool) {
 	return payload, ok
 }
 
+// get serves (kind, key) from the local disk tier, falling back to the
+// remote tier on a local miss (or a degraded local disk). A remote hit
+// populates the local tier with the verified record — read-through — so
+// the next process run on this machine hits disk without the network.
 func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 	name := fileName(kind, key)
+	if payload, ok := s.getLocal(name, kind, key); ok {
+		return payload, true
+	}
+	if s.remote == nil {
+		return nil, false
+	}
+	payload, record, ok := s.remote.Get(kind, key)
+	if !ok {
+		return nil, false
+	}
+	s.adopt(name, record)
+	return payload, true
+}
+
+func (s *Store) getLocal(name string, kind uint16, key string) ([]byte, bool) {
 	path := filepath.Join(s.dir, name)
 	// Decide up front whether this read owes a checksum sweep. The sweep runs
 	// on the first read of each record per process (the index entry is absent
@@ -315,24 +371,7 @@ func (s *Store) get(kind uint16, key string) ([]byte, bool) {
 		s.remove(name)
 		return nil, false
 	}
-	now := time.Now()
-	s.mu.Lock()
-	s.hits++
-	if e := s.index[name]; e != nil {
-		e.lastUse = now
-		if checksum {
-			e.verified = true
-		}
-	} else {
-		// Another process wrote the record after our Open scan; adopt it.
-		s.index[name] = &storeEntry{size: uint64(len(data)), lastUse: now, verified: checksum}
-		s.resident += uint64(len(data))
-	}
-	s.mu.Unlock()
-	// Persist the access time as the file mtime so a future process's index
-	// scan sees today's recency. Best effort: a failure only ages the entry
-	// (but still counts against the breaker — the disk is misbehaving).
-	_ = s.do("touch", func() error { return s.fs.Chtimes(path, now, now) })
+	s.touch(name, path, uint64(len(data)), checksum)
 	return payload, true
 }
 
@@ -353,6 +392,26 @@ func (s *Store) Put(kind uint16, key string, payload []byte) (err error) {
 
 func (s *Store) put(kind uint16, key string, payload []byte) error {
 	record := EncodeRecord(kind, key, payload)
+	// Write-behind to the remote tier first: the fleet-shared store gets
+	// the record even when the local disk is failing, and the bounded
+	// asynchronous queue keeps the hot path off the network.
+	if s.remote != nil {
+		s.remote.PutAsync(record)
+	}
+	return s.publish(fileName(kind, key), record)
+}
+
+// adopt is the read-through half of the remote tier: a record fetched (and
+// verified) from the remote store is published into the local disk tier,
+// best effort, so the next run on this machine needs no network.
+func (s *Store) adopt(name string, record []byte) {
+	_ = s.publish(name, record)
+}
+
+// publish stages record through a temp file, atomically renames it to
+// name, and indexes it (shared by local Puts, remote read-through
+// adoption, and the remote object server's PutRecord).
+func (s *Store) publish(name string, record []byte) error {
 	var tmp File
 	if err := s.do("stage", func() error {
 		var terr error
@@ -373,7 +432,6 @@ func (s *Store) put(kind uint16, key string, payload []byte) error {
 		s.cleanTemp(tmp.Name())
 		return fmt.Errorf("artifact: staging record: %w", joinErr(werr, cerr))
 	}
-	name := fileName(kind, key)
 	if err := s.do("publish", func() error {
 		return s.fs.Rename(tmp.Name(), filepath.Join(s.dir, name))
 	}); err != nil {
@@ -469,6 +527,177 @@ func (s *Store) Drop(kind uint16, key string) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Remote returns the store's remote tier, or nil.
+func (s *Store) Remote() *Remote { return s.remote }
+
+// Flush blocks until every write-behind queued against the remote tier has
+// been attempted. Sharded workers call it before exiting so the artifacts
+// they produced are actually visible to the rest of the fleet.
+func (s *Store) Flush() { s.remote.Flush() }
+
+// Close flushes and releases the remote tier's write-behind worker. The
+// local disk tier needs no teardown; a Store without a remote tier has a
+// no-op Close.
+func (s *Store) Close() { s.remote.Close() }
+
+// RemoteStats returns the remote tier's counters (the zero quad when the
+// store has no remote tier). See Remote.Stats for the column remappings.
+func (s *Store) RemoteStats() TierStats { return s.remote.Stats() }
+
+// GetRecord returns the raw record bytes stored at a content address — the
+// remote object server's GET path, which never learns (kind, key) and so
+// cannot decode payloads. The record's framing and embedded identity are
+// verified against the address (CRC-swept on the first read per process,
+// like Get), so a corrupt or misfiled record is deleted and reported as a
+// miss rather than served.
+func (s *Store) GetRecord(addr string) ([]byte, bool) {
+	if !validAddress(addr) {
+		s.bump(&s.misses)
+		return nil, false
+	}
+	name := addr + artExt
+	path := filepath.Join(s.dir, name)
+	s.mu.Lock()
+	checksum := s.strict || s.opErrors > 0 || s.verifyFails > 0
+	if e := s.index[name]; e == nil || !e.verified {
+		checksum = true
+	}
+	s.mu.Unlock()
+	var data []byte
+	if err := s.do("read", func() error {
+		var rerr error
+		data, rerr = s.fs.ReadFile(path)
+		return rerr
+	}); err != nil {
+		s.bump(&s.misses)
+		return nil, false
+	}
+	s.noteSuccess()
+	kind, key, _, err := decodeRecordAny(data, checksum)
+	if err == nil && fileName(kind, key) != name {
+		err = fmt.Errorf("%w: record identity does not match address %s", ErrCorrupt, addr)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.verifyFails++
+		s.misses++
+		s.mu.Unlock()
+		s.remove(name)
+		return nil, false
+	}
+	s.touch(name, path, uint64(len(data)), checksum)
+	return data, true
+}
+
+// OpenRecord returns an open handle on the record file at addr, the
+// object server's zero-copy GET path: the handler streams it straight to
+// the socket (sendfile on the OS filesystem), never pulling the record
+// through user space. It answers only for records this process has already
+// served through a verifying read, and only while the store is healthy,
+// unstrict, and running directly on the real filesystem — everything else
+// reports ok == false and the caller falls back to GetRecord's verifying
+// path. Concurrent eviction is benign: an unlinked file stays readable
+// until closed.
+func (s *Store) OpenRecord(addr string) (f *os.File, size int64, ok bool) {
+	if !validAddress(addr) {
+		return nil, 0, false
+	}
+	if _, osfs := s.fs.(osFS); !osfs {
+		return nil, 0, false
+	}
+	name := addr + artExt
+	path := filepath.Join(s.dir, name)
+	s.mu.Lock()
+	e := s.index[name]
+	streamable := e != nil && e.verified && !s.strict && s.opErrors == 0 && s.verifyFails == 0
+	var indexed uint64
+	if e != nil {
+		indexed = e.size
+	}
+	s.mu.Unlock()
+	if !streamable || s.diskOff() {
+		return nil, 0, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != int64(indexed) {
+		// Raced a rewrite (or the index is stale): let the verifying path
+		// decide what the file now holds.
+		f.Close()
+		return nil, 0, false
+	}
+	s.touch(name, path, indexed, false)
+	return f, st.Size(), true
+}
+
+// StatRecord reports whether the store holds a record at addr (the remote
+// object server's HEAD path). It trusts the index plus a directory probe
+// and performs no verification; a corrupt record answers true here and
+// fails closed on the GET that follows.
+func (s *Store) StatRecord(addr string) bool {
+	if !validAddress(addr) {
+		return false
+	}
+	name := addr + artExt
+	s.mu.Lock()
+	_, known := s.index[name]
+	s.mu.Unlock()
+	if known {
+		return true
+	}
+	// Another process may have written it after our Open scan.
+	err := s.do("read", func() error {
+		_, rerr := s.fs.ReadFile(filepath.Join(s.dir, name))
+		return rerr
+	})
+	return err == nil
+}
+
+// PutRecord verifies an already-encoded record — full framing and checksum
+// sweep, since the bytes crossed a network — and publishes it atomically
+// under its own content address, which must match wantAddr when non-empty.
+// This is the remote object server's PUT path: the record authenticates
+// itself, so a server can accept writes without ever learning the keyspace.
+func (s *Store) PutRecord(record []byte, wantAddr string) (addr string, err error) {
+	kind, key, err := RecordInfo(record)
+	if err != nil {
+		s.bump(&s.verifyFails)
+		return "", err
+	}
+	addr = Address(kind, key)
+	if wantAddr != "" && addr != wantAddr {
+		s.bump(&s.verifyFails)
+		return "", fmt.Errorf("%w: record addresses %s, published as %s", ErrCorrupt, addr, wantAddr)
+	}
+	return addr, s.publish(addr+artExt, record)
+}
+
+// touch refreshes one verified record's index entry and on-disk recency
+// after a successful read (shared by Get and GetRecord).
+func (s *Store) touch(name, path string, size uint64, checksummed bool) {
+	now := time.Now()
+	s.mu.Lock()
+	s.hits++
+	if e := s.index[name]; e != nil {
+		e.lastUse = now
+		if checksummed {
+			e.verified = true
+		}
+	} else {
+		// Another process wrote the record after our Open scan; adopt it.
+		s.index[name] = &storeEntry{size: size, lastUse: now, verified: checksummed}
+		s.resident += size
+	}
+	s.mu.Unlock()
+	// Persist the access time as the file mtime so a future process's index
+	// scan sees today's recency. Best effort: a failure only ages the entry
+	// (but still counts against the breaker — the disk is misbehaving).
+	_ = s.do("touch", func() error { return s.fs.Chtimes(path, now, now) })
+}
 
 // Stats returns the store's observability counters. ResidentBytes counts
 // whole record files (payload plus framing), matching what the disk budget

@@ -15,8 +15,8 @@ type CacheTier struct {
 
 // CacheTiers snapshots every tier of the cache hierarchy the engine runs
 // on — materialize memo, annotated-stream LRU, bucket-stream LRU,
-// model-stats LRU, curve LRU, the persistent disk store, and the streaming
-// engine's segment tier — under one uniform
+// model-stats LRU, curve LRU, the persistent disk store, the streaming
+// engine's segment tier, and the disk store's remote tier — under one uniform
 // hit/miss/eviction/resident quad (plus the disk tier's health columns:
 // verify failures, op errors, and the degraded flag a tripped breaker
 // raises), so the -cache-stats table renders all tiers identically. The
@@ -36,5 +36,11 @@ func CacheTiers() []CacheTier {
 		// as resident bytes. Appended last so positional consumers of the
 		// original six tiers stay valid.
 		{Name: "stream-segment", Stats: sim.StreamReport()},
+		// The remote artifact tier layered under the disk store. Its quad is
+		// remapped where disk columns have no network meaning: resident_bytes
+		// counts record bytes moved over the wire (both directions) and
+		// evictions counts write-behind Puts shed by a full queue or a
+		// degraded tier. Appended last, as above.
+		{Name: "remote-artifact", Stats: artifact.RemoteReport()},
 	}
 }

@@ -1,0 +1,334 @@
+// Package faultnet is a deterministic fault-injecting implementation of
+// the remote artifact tier's transport seam (artifact.Doer), the network
+// sibling of internal/faultfs: it exercises the remote tier's degradation
+// paths — retry, the health breaker, fail-closed record verification,
+// local-only fallback — without a real failing network.
+//
+// A Transport wraps an inner Doer (normally an *http.Client aimed at a
+// test server) and consults a fault plan before delegating each request.
+// Two plan styles compose, exactly as in faultfs:
+//
+//   - explicit schedules: Inject(Fault{Op, Nth, From, Mode, ...}) fails the
+//     Nth invocation of one operation, every invocation from the From-th
+//     onward (a mid-run outage), or every invocation (both zero);
+//   - seeded storms: SeedRandom(seed, rate, modes...) fails each request
+//     with probability rate, drawing the fault mode from the pool via a
+//     private PRNG — deterministic for a fixed seed and call sequence.
+//
+// Beyond clean connection failures, the modes model the messier realities
+// of a distributed store: Timeout returns a net.Error with Timeout() true,
+// as a deadlined round trip would; StatusCode answers with a synthesized
+// HTTP error status (5xx storms, 4xx rejections) without touching the
+// inner transport; TruncateBody performs the real request but delivers
+// only the first half of the response body (a torn response — the client's
+// CRC verification must fail closed); CrossWire replays the body of the
+// last successful GET for a different address (a split-brain store serving
+// desynced replica bytes — the client's embedded-key check must fail
+// closed). Clear ends the simulated outage.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"branchconf/internal/artifact"
+)
+
+// Op identifies one operation of the remote object protocol, by method.
+type Op uint8
+
+const (
+	OpGet Op = iota
+	OpPut
+	OpHead
+	// OpAny matches every operation (outage faults).
+	OpAny
+	numOps = int(OpAny)
+)
+
+// opNames is indexed by Op.
+var opNames = [...]string{"get", "put", "head", "any"}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// opOf maps an HTTP method onto its protocol op.
+func opOf(method string) Op {
+	switch method {
+	case http.MethodPut:
+		return OpPut
+	case http.MethodHead:
+		return OpHead
+	default:
+		return OpGet
+	}
+}
+
+// Mode selects what an injected fault does.
+type Mode uint8
+
+const (
+	// FailConn returns a connection-level error: the request never reaches
+	// the inner transport.
+	FailConn Mode = iota
+	// Timeout returns an error whose net.Error Timeout() is true, as a
+	// deadlined or hung round trip surfaces through http.Client.
+	Timeout
+	// StatusCode answers with the fault's Status (503 storms, 500s) and a
+	// short body, without touching the inner transport.
+	StatusCode
+	// TruncateBody performs the real request but returns only the first
+	// half of the response body — a torn response the client's record
+	// verification must fail closed on.
+	TruncateBody
+	// CrossWire replays the body of the last successful (untampered) GET
+	// in place of this response — a split-brain store serving another
+	// address's bytes. Before any GET has succeeded it degrades to
+	// TruncateBody.
+	CrossWire
+)
+
+// Fault schedules one injection.
+type Fault struct {
+	// Op is the operation to fault (OpAny = all).
+	Op Op
+	// Nth faults only the Nth invocation of Op (1-based, counted from the
+	// fault's installation). Zero with From zero faults every invocation.
+	Nth uint64
+	// From faults every invocation from the From-th onward (1-based,
+	// counted from installation) — a mid-run outage that starts and never
+	// ends until Clear.
+	From uint64
+	// Mode is the fault's shape.
+	Mode Mode
+	// Status is the synthesized response status for StatusCode mode.
+	Status int
+	// Err overrides the injected error for FailConn (nil = a generic
+	// connection-refused error).
+	Err error
+}
+
+// timeoutError satisfies net.Error with Timeout() true.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrInjected is the default connection-level error FailConn returns.
+var ErrInjected = errors.New("faultnet: injected connection failure")
+
+// Transport is a fault-injecting artifact.Doer. The zero value is not
+// usable; wrap an inner transport with New.
+type Transport struct {
+	inner artifact.Doer
+
+	mu       sync.Mutex
+	calls    [numOps]uint64
+	injected uint64
+	faults   []fault
+	rng      *rand.Rand
+	rate     float64
+	pool     []Mode
+	lastBody []byte // last clean GET body, for CrossWire
+}
+
+type fault struct {
+	Fault
+	base  uint64
+	spent bool
+}
+
+// New wraps inner with an initially fault-free injector.
+func New(inner artifact.Doer) *Transport {
+	return &Transport{inner: inner}
+}
+
+// Inject installs explicit fault schedules. Faults accumulate; each
+// Nth-scheduled fault fires once, From- and every-call faults fire until
+// Clear.
+func (t *Transport) Inject(faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, fl := range faults {
+		base := uint64(0)
+		if fl.Op != OpAny {
+			base = t.calls[fl.Op]
+		} else {
+			base = t.totalLocked()
+		}
+		t.faults = append(t.faults, fault{Fault: fl, base: base})
+	}
+}
+
+// SeedRandom arms probabilistic injection: every request fails with
+// probability rate, with the mode drawn from pool. Deterministic for a
+// fixed seed and request sequence. Explicit faults are consulted first.
+func (t *Transport) SeedRandom(seed int64, rate float64, pool ...Mode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = rand.New(rand.NewSource(seed))
+	t.rate = rate
+	t.pool = pool
+}
+
+// Clear ends the outage: schedules, the random plan, and the cross-wire
+// capture are dropped. Call counters are retained.
+func (t *Transport) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = nil
+	t.rng = nil
+	t.rate = 0
+	t.pool = nil
+	t.lastBody = nil
+}
+
+// Calls reports how many times op has been invoked (faulted or not).
+func (t *Transport) Calls(op Op) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if op == OpAny {
+		return t.totalLocked()
+	}
+	return t.calls[op]
+}
+
+func (t *Transport) totalLocked() uint64 {
+	var n uint64
+	for _, c := range t.calls {
+		n += c
+	}
+	return n
+}
+
+// Injected reports how many faults have fired.
+func (t *Transport) Injected() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// check advances op's call counter and returns the fault to fire, if any.
+func (t *Transport) check(op Op) (Mode, int, error, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls[op]++
+	for i := range t.faults {
+		fl := &t.faults[i]
+		if fl.spent || (fl.Op != OpAny && fl.Op != op) {
+			continue
+		}
+		var n uint64
+		if fl.Op == OpAny {
+			n = t.totalLocked() - fl.base
+		} else {
+			n = t.calls[op] - fl.base
+		}
+		switch {
+		case fl.Nth != 0:
+			if n != fl.Nth {
+				continue
+			}
+			fl.spent = true
+		case fl.From != 0:
+			if n < fl.From {
+				continue
+			}
+		}
+		t.injected++
+		return fl.Mode, fl.Status, fl.Err, true
+	}
+	if t.rng != nil && len(t.pool) > 0 && t.rng.Float64() < t.rate {
+		t.injected++
+		return t.pool[t.rng.Intn(len(t.pool))], http.StatusInternalServerError, nil, true
+	}
+	return FailConn, 0, nil, false
+}
+
+// Do implements artifact.Doer.
+func (t *Transport) Do(req *http.Request) (*http.Response, error) {
+	op := opOf(req.Method)
+	mode, status, errOverride, fire := t.check(op)
+	if !fire {
+		resp, err := t.inner.Do(req)
+		if err == nil && op == OpGet && resp.StatusCode == http.StatusOK {
+			// Capture a clean GET body for later CrossWire replay, leaving
+			// the response readable by the caller.
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			t.mu.Lock()
+			t.lastBody = append([]byte(nil), body...)
+			t.mu.Unlock()
+			resp.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		return resp, err
+	}
+	switch mode {
+	case Timeout:
+		return nil, timeoutError{}
+	case StatusCode:
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		return synthesized(req, status, []byte(fmt.Sprintf("faultnet: injected %d\n", status))), nil
+	case TruncateBody, CrossWire:
+		resp, err := t.inner.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if mode == CrossWire {
+			t.mu.Lock()
+			if t.lastBody != nil {
+				body = append([]byte(nil), t.lastBody...)
+			} else {
+				body = body[:len(body)/2]
+			}
+			t.mu.Unlock()
+		} else {
+			body = body[:len(body)/2]
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default: // FailConn
+		if errOverride != nil {
+			return nil, errOverride
+		}
+		return nil, ErrInjected
+	}
+}
+
+// synthesized builds an in-memory HTTP response for StatusCode faults.
+func synthesized(req *http.Request, status int, body []byte) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

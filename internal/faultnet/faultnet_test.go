@@ -1,0 +1,212 @@
+package faultnet
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"branchconf/internal/artifact"
+)
+
+// fixture boots an in-process remote store and a worker store whose remote
+// tier runs through a fault-injecting transport.
+func fixture(t *testing.T) (*Transport, *artifact.Store, string) {
+	t.Helper()
+	backing, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(artifact.NewRemoteServer(backing).Handler())
+	t.Cleanup(ts.Close)
+	tr := New(&http.Client{})
+	s, err := artifact.OpenStore(t.TempDir(), artifact.Options{Remote: artifact.NewRemote(ts.URL, tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return tr, s, ts.URL
+}
+
+// seed publishes one record through a clean store and returns its payload.
+func seed(t *testing.T, base, key string) []byte {
+	t.Helper()
+	payload := []byte("payload for " + key)
+	s, err := artifact.OpenStore(t.TempDir(), artifact.Options{Remote: artifact.NewRemote(base, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(artifact.KindCurve, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return payload
+}
+
+// TestTransientFaultRetriedWithinOp: a single connection failure or timeout
+// is absorbed by the remote tier's retry — the logical Get still hits.
+func TestTransientFaultRetriedWithinOp(t *testing.T) {
+	for _, mode := range []Mode{FailConn, Timeout} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			tr, s, base := fixture(t)
+			want := seed(t, base, "k")
+			tr.Inject(Fault{Op: OpGet, Nth: 1, Mode: mode})
+			got, ok := s.Get(artifact.KindCurve, "k")
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get through one transient fault: ok=%v %q", ok, got)
+			}
+			if tr.Injected() != 1 {
+				t.Fatalf("injected = %d, want 1", tr.Injected())
+			}
+			if rs := s.RemoteStats(); rs.Hits != 1 || rs.Degraded {
+				t.Fatalf("remote stats = %+v, want a clean retried hit", rs)
+			}
+		})
+	}
+}
+
+// TestServerErrorStormRetriedThenCounted: 5xx responses are transient and
+// retried; a storm that outlasts the retry budget fails the op.
+func TestServerErrorStormRetriedThenCounted(t *testing.T) {
+	tr, s, base := fixture(t)
+	seed(t, base, "k")
+	tr.Inject(Fault{Op: OpGet, From: 1, Mode: StatusCode, Status: http.StatusServiceUnavailable})
+	if _, ok := s.Get(artifact.KindCurve, "k"); ok {
+		t.Fatal("hit through a 503 storm")
+	}
+	rs := s.RemoteStats()
+	if rs.OpErrors != 1 || rs.Hits != 0 {
+		t.Fatalf("remote stats = %+v, want 1 failed op", rs)
+	}
+	if tr.Calls(OpGet) < 2 {
+		t.Fatalf("get calls = %d, want retries within the op", tr.Calls(OpGet))
+	}
+	tr.Clear()
+	if got, ok := s.Get(artifact.KindCurve, "k"); !ok || got == nil {
+		t.Fatal("Get after the storm cleared")
+	}
+}
+
+// TestTruncatedResponseFailsClosed: a torn response body fails record
+// verification; the caller sees a miss and regenerates, never bad bytes.
+func TestTruncatedResponseFailsClosed(t *testing.T) {
+	tr, s, base := fixture(t)
+	seed(t, base, "k")
+	tr.Inject(Fault{Op: OpGet, From: 1, Mode: TruncateBody})
+	if _, ok := s.Get(artifact.KindCurve, "k"); ok {
+		t.Fatal("a truncated record was served as a hit")
+	}
+	if rs := s.RemoteStats(); rs.VerifyFails != 1 {
+		t.Fatalf("remote stats = %+v, want 1 verify fail", rs)
+	}
+}
+
+// TestCrossWiredResponseFailsClosed: a split-brain store replaying another
+// address's (valid!) record is caught by the embedded-identity check.
+func TestCrossWiredResponseFailsClosed(t *testing.T) {
+	tr, s, base := fixture(t)
+	wantA := seed(t, base, "a")
+	seed(t, base, "b")
+	// A clean GET of "a" arms the capture...
+	if got, ok := s.Get(artifact.KindCurve, "a"); !ok || !bytes.Equal(got, wantA) {
+		t.Fatalf("clean get: ok=%v %q", ok, got)
+	}
+	// ...then "b"'s response carries "a"'s bytes.
+	tr.Inject(Fault{Op: OpGet, From: 1, Mode: CrossWire})
+	if _, ok := s.Get(artifact.KindCurve, "b"); ok {
+		t.Fatal("a cross-wired record was served as a hit")
+	}
+	if rs := s.RemoteStats(); rs.VerifyFails == 0 {
+		t.Fatalf("remote stats = %+v, want the verify fail counted", rs)
+	}
+}
+
+// TestMidRunOutageDegradesToLocalOnly: the remote goes dark mid-run (From
+// fault on every op); the breaker trips and the store keeps serving from
+// its local tier — the run continues.
+func TestMidRunOutageDegradesToLocalOnly(t *testing.T) {
+	tr, s, _ := fixture(t)
+	if err := s.Put(artifact.KindCurve, "warm", []byte("local copy")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	tr.Inject(Fault{Op: OpAny, From: 1, Mode: FailConn})
+	// Remote misses on cold keys now fail; after enough consecutive failed
+	// logical ops the breaker trips.
+	for i := 0; i < 10 && !s.RemoteStats().Degraded; i++ {
+		s.Get(artifact.KindCurve, fmt.Sprintf("cold-%d", i))
+	}
+	rs := s.RemoteStats()
+	if !rs.Degraded {
+		t.Fatalf("remote stats = %+v, want degraded after the outage", rs)
+	}
+	// Local tier unaffected: the warm record still serves, and no further
+	// network calls happen.
+	calls := tr.Calls(OpAny)
+	if got, ok := s.Get(artifact.KindCurve, "warm"); !ok || !bytes.Equal(got, []byte("local copy")) {
+		t.Fatalf("local get during outage: ok=%v %q", ok, got)
+	}
+	if _, ok := s.Get(artifact.KindCurve, "still-cold"); ok {
+		t.Fatal("phantom hit during outage")
+	}
+	if tr.Calls(OpAny) != calls {
+		t.Fatal("degraded remote tier still touching the network")
+	}
+	if st := s.Stats(); st.Degraded {
+		t.Fatalf("local stats = %+v: remote outage must not degrade the disk tier", st)
+	}
+}
+
+// TestSeededStormIsDeterministic: the same seed over the same request
+// sequence injects the same faults.
+func TestSeededStormIsDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		tr, s, base := fixture(t)
+		seed(t, base, "k")
+		tr.SeedRandom(42, 0.5, FailConn, Timeout, StatusCode)
+		for i := 0; i < 20; i++ {
+			s.Get(artifact.KindCurve, "k")
+			s.Get(artifact.KindCurve, fmt.Sprintf("miss-%d", i))
+		}
+		return tr.Injected(), tr.Calls(OpAny)
+	}
+	i1, c1 := run()
+	i2, c2 := run()
+	if i1 != i2 || c1 != c2 {
+		t.Fatalf("storm not deterministic: (%d/%d) vs (%d/%d)", i1, c1, i2, c2)
+	}
+	if i1 == 0 {
+		t.Fatal("storm injected nothing at rate 0.5")
+	}
+}
+
+// TestNthFaultCountsPerOp: Nth schedules count per operation from
+// installation time, so a fault armed late still lands on the right call.
+func TestNthFaultCountsPerOp(t *testing.T) {
+	tr, s, base := fixture(t)
+	seed(t, base, "k")
+	if _, ok := s.Get(artifact.KindCurve, "k"); !ok {
+		t.Fatal("clean get")
+	}
+	tr.Inject(Fault{Op: OpHead, Nth: 1, Mode: FailConn})
+	// The GET fault space is untouched; the scheduled fault waits for the
+	// next HEAD.
+	if got, ok := s.Get(artifact.KindCurve, "k"); !ok || got == nil {
+		t.Fatal("get perturbed by a head fault")
+	}
+	if tr.Injected() != 0 {
+		t.Fatalf("injected = %d before any head", tr.Injected())
+	}
+	// One-shot: the faulted attempt is absorbed by the op-level retry, so
+	// the logical HEAD still answers — and exactly one fault fired.
+	if !s.Remote().Head(artifact.KindCurve, "k") {
+		t.Fatal("head not retried through its one-shot fault")
+	}
+	if tr.Injected() != 1 {
+		t.Fatalf("injected = %d, want exactly the one-shot fault", tr.Injected())
+	}
+	if tr.Calls(OpHead) != 2 {
+		t.Fatalf("head calls = %d, want 2 (fault + retry)", tr.Calls(OpHead))
+	}
+}

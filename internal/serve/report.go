@@ -53,9 +53,10 @@ func SelectExperiments(filter map[string]bool, skipAblations bool) ([]exp.Experi
 // bounded worker pool claiming work in registration order; sections are
 // assembled in registration order regardless of completion order, so the
 // report bytes do not depend on the parallelism level. Both the one-shot
-// CLI and the daemon render through this function, which is what makes a
-// daemon-served report byte-identical to the one-shot CLI's output for
-// the same request.
+// CLI and the daemon render through this function — and the fan-out
+// coordinator's merge renders shard partials through the same renderer —
+// which is what makes daemon-served and shard-merged reports
+// byte-identical to the one-shot CLI's output for the same request.
 func BuildReport(session *exp.Session, req ReportRequest, opts BuildOptions) ([]byte, error) {
 	filter, _, err := req.Validate()
 	if err != nil {
@@ -65,6 +66,28 @@ func BuildReport(session *exp.Session, req ReportRequest, opts BuildOptions) ([]
 	if err != nil {
 		return nil, err
 	}
+	indices := make([]int, len(selected))
+	for i := range indices {
+		indices[i] = i
+	}
+	results := runSelected(session, selected, indices, opts)
+	return renderReport(req, selected, results)
+}
+
+// sectionResult is one experiment's outcome within a report build, indexed
+// like the selection it came from.
+type sectionResult struct {
+	out     *exp.Output
+	err     error
+	elapsed float64
+}
+
+// runSelected executes the experiments at the given selection indices on a
+// bounded worker pool claiming work in selection (= registration) order,
+// returning a results slice indexed like selected (entries outside indices
+// stay zero). The shard fan-out path runs strided subsets through the same
+// runner the full build uses.
+func runSelected(session *exp.Session, selected []exp.Experiment, indices []int, opts BuildOptions) []sectionResult {
 	now := opts.Now
 	if now == nil {
 		now = time.Now
@@ -73,16 +96,10 @@ func BuildReport(session *exp.Session, req ReportRequest, opts BuildOptions) ([]
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(selected) {
-		workers = len(selected)
+	if workers > len(indices) {
+		workers = len(indices)
 	}
-
-	type outcome struct {
-		out     *exp.Output
-		err     error
-		elapsed float64
-	}
-	results := make([]outcome, len(selected))
+	results := make([]sectionResult, len(selected))
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -100,19 +117,25 @@ func BuildReport(session *exp.Session, req ReportRequest, opts BuildOptions) ([]
 					o, err = e.Run(session)
 				})
 				elapsed := now().Sub(start).Seconds()
-				results[idx] = outcome{out: o, err: err, elapsed: elapsed}
+				results[idx] = sectionResult{out: o, err: err, elapsed: elapsed}
 				if opts.Progress != nil {
 					opts.Progress(e.ID, elapsed)
 				}
 			}
 		}()
 	}
-	for idx := range selected {
+	for _, idx := range indices {
 		work <- idx
 	}
 	close(work)
 	wg.Wait()
+	return results
+}
 
+// renderReport assembles the final markdown from per-experiment results in
+// registration order — the single renderer behind one-shot, daemon, and
+// shard-merged reports.
+func renderReport(req ReportRequest, selected []exp.Experiment, results []sectionResult) ([]byte, error) {
 	var w bytes.Buffer
 	fmt.Fprintf(&w, "# Paper reproduction report\n\n")
 	fmt.Fprintf(&w, "Per-benchmark branch budget: %s\n\n", budgetString(req.Branches))

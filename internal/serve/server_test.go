@@ -311,8 +311,11 @@ func TestServerStatsJSONShape(t *testing.T) {
 	if snap.SessionPass.Hits != 3 || snap.SessionPass.Misses != 4 {
 		t.Fatalf("session-pass = %+v", snap.SessionPass)
 	}
-	if len(snap.Tiers) != 7 {
-		t.Fatalf("tiers = %d, want 7", len(snap.Tiers))
+	if len(snap.Tiers) != 8 {
+		t.Fatalf("tiers = %d, want 8", len(snap.Tiers))
+	}
+	if snap.Tiers[7].Name != "remote-artifact" {
+		t.Fatalf("tier 8 = %q, want remote-artifact (tiers append, never reorder)", snap.Tiers[7].Name)
 	}
 	if snap.Server != nil {
 		t.Fatal("one-shot snapshot grew a server section")

@@ -43,7 +43,7 @@ type HeapStageJSON struct {
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
-// CacheStatsJSON is the machine-readable seven-tier stats snapshot: the
+// CacheStatsJSON is the machine-readable eight-tier stats snapshot: the
 // session-pass tier on top, the engine tiers beneath it in consultation
 // order, and optional per-stage peak-heap rows. The one-shot CLI's
 // -cache-stats-json flag and the daemon's stats endpoint emit the same
