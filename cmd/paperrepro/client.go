@@ -26,6 +26,7 @@ func clientMain(args []string, stdout, errW io.Writer) error {
 		noTimings     = fs.Bool("no-timings", false, "omit per-experiment wall-time lines (deterministic bytes; served from the daemon's report cache when warm)")
 		segBranches   = fs.Int64("segment-branches", -1, "stream traces in segments of this many branches (-1 = auto)")
 		noStream      = fs.Bool("no-stream", false, "never stream: reject budgets above the materialization ceiling")
+		traceFile     = fs.String("trace", "", "recorded ChampSim trace for the realtrace experiment — a path on the daemon's machine; the daemon resolves its content identity")
 		out           = fs.String("o", "", "write the report to this file instead of stdout")
 		stats         = fs.Bool("stats", false, "fetch the daemon's cache-stats JSON instead of a report")
 		ready         = fs.Bool("ready", false, "probe the daemon's readiness endpoint instead of a report")
@@ -68,6 +69,7 @@ func clientMain(args []string, stdout, errW io.Writer) error {
 		SkipAblations: *skipAblations,
 		NoTimings:     *noTimings,
 		NoStream:      *noStream,
+		TraceFile:     *traceFile,
 	}
 	if *segBranches > 0 {
 		req.SegmentBranches = uint64(*segBranches)

@@ -114,6 +114,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		noCurveArt    = fs.Bool("no-curve-artifact", false, "disable the curve memo/disk tier (byte-identical, for A/B benchmarking)")
 		noModelArt    = fs.Bool("no-model-artifact", false, "disable the cycle-model memo/disk tier (byte-identical, for A/B benchmarking)")
 		noTimings     = fs.Bool("no-timings", false, "omit the per-experiment wall-time lines, making the report bytes fully deterministic")
+		traceFile     = fs.String("trace", "", "recorded ChampSim trace for the realtrace experiment (generate one with tracegen -format champsim)")
 		artifactDir   = fs.String("artifact-dir", "", "persist engine artifacts in this directory for warm starts across runs (\"auto\" = user cache dir; empty = disabled)")
 		artifactMB    = fs.Uint64("artifact-disk-mb", 1024, "disk budget for -artifact-dir in MiB, LRU-evicted by access time (0 = unbounded)")
 		noArtifact    = fs.Bool("no-artifact", false, "ignore -artifact-dir (byte-identical, for A/B benchmarking)")
@@ -227,6 +228,7 @@ func appMain(args []string, stdout, errW io.Writer) error {
 		skipAblations:    *skipAblations,
 		filter:           filter,
 		noTimings:        *noTimings,
+		traceFile:        *traceFile,
 		progress:         *out != "",
 		parallel:         *parallel,
 		annCacheBytes:    *annCacheMB << 20,

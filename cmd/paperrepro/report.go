@@ -18,24 +18,25 @@ type reportConfig struct {
 	skipAblations    bool
 	filter           map[string]bool // experiment id filter (nil = all)
 	noTimings        bool            // omit per-experiment wall-time lines
-	progress         bool     // emit per-experiment progress to errW
-	parallel         int      // max concurrent experiments (<=1 = serial)
-	annCacheBytes    uint64   // annotated-cache resident bound (0 = unbounded)
-	bucketCacheBytes int64    // bucket-cache resident bound (-1 = follow annCacheBytes)
-	noAnnotate       bool     // force the interleaved single-pass engine
-	noTally          bool     // disable the stage-3 tally engine
-	segmentBranches  uint64   // stream traces in segments of this many branches (0 = monolithic)
-	noCurveArtifact  bool     // disable the curve memo/disk tier
-	noModelArtifact  bool     // disable the cycle-model memo/disk tier
-	cacheStats       bool     // print per-cache counters to errW at exit
-	cacheStatsJSON   bool     // print the same counters as JSON to errW at exit
-	artifactDir      string   // persistent artifact store directory ("" = disabled)
-	artifactBudget   uint64   // artifact store disk budget in bytes (0 = unbounded)
-	artifactStrict   bool     // fail hard on store I/O errors instead of degrading
-	artifactFS       artifact.FS // filesystem for the store (nil = real disk; tests inject faults)
-	artifactRemote   string      // remote artifact store base URL ("" = no remote tier)
-	remoteDoer       artifact.Doer // transport for the remote tier (nil = real HTTP; tests inject faults)
-	shard            string        // "i/n": run one shard and emit a partial report ("" = full report)
+	traceFile        string          // recorded ChampSim trace for realtrace ("" = none)
+	progress         bool            // emit per-experiment progress to errW
+	parallel         int             // max concurrent experiments (<=1 = serial)
+	annCacheBytes    uint64          // annotated-cache resident bound (0 = unbounded)
+	bucketCacheBytes int64           // bucket-cache resident bound (-1 = follow annCacheBytes)
+	noAnnotate       bool            // force the interleaved single-pass engine
+	noTally          bool            // disable the stage-3 tally engine
+	segmentBranches  uint64          // stream traces in segments of this many branches (0 = monolithic)
+	noCurveArtifact  bool            // disable the curve memo/disk tier
+	noModelArtifact  bool            // disable the cycle-model memo/disk tier
+	cacheStats       bool            // print per-cache counters to errW at exit
+	cacheStatsJSON   bool            // print the same counters as JSON to errW at exit
+	artifactDir      string          // persistent artifact store directory ("" = disabled)
+	artifactBudget   uint64          // artifact store disk budget in bytes (0 = unbounded)
+	artifactStrict   bool            // fail hard on store I/O errors instead of degrading
+	artifactFS       artifact.FS     // filesystem for the store (nil = real disk; tests inject faults)
+	artifactRemote   string          // remote artifact store base URL ("" = no remote tier)
+	remoteDoer       artifact.Doer   // transport for the remote tier (nil = real HTTP; tests inject faults)
+	shard            string          // "i/n": run one shard and emit a partial report ("" = full report)
 }
 
 // writeReport is the one-shot run: it configures the process-wide engine
@@ -89,6 +90,7 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		NoCurveArtifact: cfg.noCurveArtifact,
 		NoModelArtifact: cfg.noModelArtifact,
 		SegmentBranches: cfg.segmentBranches,
+		TraceFile:       cfg.traceFile,
 	})
 	var only []string
 	if cfg.filter != nil {
@@ -104,6 +106,13 @@ func writeReport(w, errW io.Writer, cfg reportConfig) error {
 		SkipAblations:   cfg.skipAblations,
 		NoTimings:       cfg.noTimings,
 		SegmentBranches: cfg.segmentBranches,
+		TraceFile:       cfg.traceFile,
+	}
+	// Pin the trace's content identity before any keying (partial-report
+	// artifact keys include the request key), failing up front on an
+	// unreadable or malformed trace file.
+	if err := req.ResolveTrace(); err != nil {
+		return fmt.Errorf("-trace: %w", err)
 	}
 	opts := serve.BuildOptions{Parallel: cfg.parallel, Now: now}
 	if cfg.progress {

@@ -1,10 +1,14 @@
-// Command tracegen writes synthetic benchmark traces to disk in the BCT1
-// binary format, so experiments can be replayed from files instead of
-// regenerating workloads on the fly.
+// Command tracegen writes synthetic benchmark traces to disk, so
+// experiments can be replayed from files instead of regenerating workloads
+// on the fly. Two formats are supported: the repo's compact BCT1 binary
+// format (the default) and the ChampSim instruction-trace format, which
+// the realtrace experiment ingests and which interoperates with external
+// ChampSim tooling.
 //
 // Usage:
 //
 //	tracegen -bench real_gcc -n 1000000 -o real_gcc.bct
+//	tracegen -bench real_gcc -format champsim -o real_gcc.champsim
 //	tracegen -all -n 1000000 -dir traces/
 //	tracegen -describe
 package main
@@ -38,9 +42,18 @@ func appMain(args []string, w io.Writer) error {
 		out      = fs.String("o", "", "output file (single benchmark)")
 		dir      = fs.String("dir", ".", "output directory (with -all)")
 		describe = fs.Bool("describe", false, "print per-benchmark structure and exit")
+		format   = fs.String("format", "bct1", "trace file format: bct1 (compact) or champsim (64-byte instruction records)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ext := ".bct"
+	switch *format {
+	case "bct1":
+	case "champsim":
+		ext = ".champsim"
+	default:
+		return fmt.Errorf("-format must be bct1 or champsim, got %q", *format)
 	}
 
 	switch {
@@ -51,8 +64,8 @@ func appMain(args []string, w io.Writer) error {
 			return err
 		}
 		for _, spec := range workload.Suite() {
-			path := filepath.Join(*dir, spec.Name+".bct")
-			if err := writeTrace(spec, *n, path, w); err != nil {
+			path := filepath.Join(*dir, spec.Name+ext)
+			if err := writeTrace(spec, *n, path, *format, w); err != nil {
 				return err
 			}
 		}
@@ -64,9 +77,9 @@ func appMain(args []string, w io.Writer) error {
 		}
 		path := *out
 		if path == "" {
-			path = spec.Name + ".bct"
+			path = spec.Name + ext
 		}
-		return writeTrace(spec, *n, path, w)
+		return writeTrace(spec, *n, path, *format, w)
 	default:
 		return fmt.Errorf("select -bench <name>, -all or -describe (benchmarks: %v)", workload.Names())
 	}
@@ -99,7 +112,7 @@ func describeSuite(w io.Writer) error {
 	return nil
 }
 
-func writeTrace(spec workload.Spec, n uint64, path string, w io.Writer) error {
+func writeTrace(spec workload.Spec, n uint64, path, format string, w io.Writer) error {
 	src, err := spec.FiniteSource(n)
 	if err != nil {
 		return err
@@ -108,12 +121,18 @@ func writeTrace(spec workload.Spec, n uint64, path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tw, err := trace.NewWriter(f)
-	if err != nil {
-		f.Close()
-		return err
+	var count uint64
+	if format == "champsim" {
+		count, err = trace.NewChampSimWriter(f).WriteAll(src)
+	} else {
+		var tw *trace.Writer
+		tw, err = trace.NewWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		count, err = tw.WriteAll(src)
 	}
-	count, err := tw.WriteAll(src)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -37,6 +37,41 @@ func TestWriteSingleTrace(t *testing.T) {
 	}
 }
 
+// TestWriteChampSimTrace: -format champsim emits a file the ChampSim
+// reader (and so workload.TraceSpec) ingests with every branch intact.
+func TestWriteChampSimTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.champsim")
+	var sb strings.Builder
+	if err := appMain([]string{"-bench", "groff", "-n", "3000", "-format", "champsim", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd := trace.NewChampSimReader(f)
+	tr, err := trace.Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3000 {
+		t.Fatalf("trace has %d conditional branches, want 3000", len(tr))
+	}
+	if !strings.Contains(sb.String(), "3000 branches") {
+		t.Fatalf("summary missing: %s", sb.String())
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var sb strings.Builder
+	err := appMain([]string{"-bench", "groff", "-format", "nonesuch"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "champsim") {
+		t.Fatalf("unknown format accepted: %v", err)
+	}
+}
+
 func TestWriteAll(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder

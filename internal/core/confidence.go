@@ -1,0 +1,75 @@
+package core
+
+import (
+	"branchconf/internal/trace"
+)
+
+// Confidencer is implemented by predictors that carry a native confidence
+// estimate for each prediction — TAGE's provider-counter strength, the
+// perceptron's output margin. The value is the same few-bit level the
+// predictor exposes through its annotation hook
+// (predictor.StateAnnotator), so the mechanism below works identically
+// live and from annotated streams.
+type Confidencer interface {
+	// Confidence returns the pre-update confidence level (0 = none) the
+	// prediction for this PC carries.
+	Confidence(pc uint64) uint8
+}
+
+// NativeConfidence surfaces a modern predictor's own confidence estimate
+// as a confidence mechanism, for head-to-head comparison against the
+// paper's CIR tables on the same trace (the realtrace experiment). The
+// bucket is the predictor's confidence level itself, so CounterReducer
+// thresholds and per-bucket analysis apply unchanged.
+//
+// Like CounterStrength, the mechanism holds no tables of its own — the
+// signal lives entirely in the predictor — so it cannot be factored into
+// geometry-keyed bucket lanes (core.Factorable): its buckets depend on
+// predictor internals, not on an index scheme. It implements StateCoupled
+// instead and rides the annotated path, where the engine has already
+// captured the confidence level next to each mispredict bit; the CIR
+// mechanisms it is compared against remain factorable and keep their
+// stage-3 counter-factoring kernels.
+type NativeConfidence struct {
+	pred Confidencer
+}
+
+// NewNativeConfidence wraps the live predictor whose native estimate
+// supplies the signal. The wrapped predictor must be the one making the
+// predictions and is trained by the caller as usual.
+func NewNativeConfidence(pred Confidencer) *NativeConfidence {
+	return &NativeConfidence{pred: pred}
+}
+
+// NewAnnotatedConfidence returns a native-confidence mechanism with no
+// live predictor reference, usable only through BucketWithState — i.e.
+// under the batched engine with a state-annotating predictor, or
+// annotated replay.
+func NewAnnotatedConfidence() *NativeConfidence {
+	return &NativeConfidence{}
+}
+
+// Bucket returns the predictor's confidence level for this branch. It
+// requires a live predictor reference; the annotated form answers only
+// through BucketWithState.
+func (c *NativeConfidence) Bucket(r trace.Record) uint64 {
+	if c.pred == nil {
+		panic("core: annotated NativeConfidence has no live predictor; run it under the batched or annotated engine")
+	}
+	return uint64(c.pred.Confidence(r.PC))
+}
+
+// BucketWithState implements StateCoupled from the captured confidence
+// level.
+func (c *NativeConfidence) BucketWithState(_ trace.Record, state uint8) uint64 {
+	return uint64(state)
+}
+
+// Update is a no-op: the signal lives entirely in the predictor.
+func (c *NativeConfidence) Update(trace.Record, bool) {}
+
+// Reset is a no-op for the same reason (reset the predictor instead).
+func (c *NativeConfidence) Reset() {}
+
+// Name implements Mechanism.
+func (c *NativeConfidence) Name() string { return "native-confidence" }

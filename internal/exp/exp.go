@@ -41,6 +41,11 @@ type Config struct {
 	// instead of being materialized whole. Results are byte-identical; the
 	// switch exists for long-horizon runs no whole-trace buffer can hold.
 	SegmentBranches uint64
+	// TraceFile points the realtrace experiment at a recorded ChampSim
+	// trace on disk (empty = the experiment reports how to record one).
+	// The file's identity is content-addressed — artifacts and report
+	// caches key on its digest and branch count, never on the path.
+	TraceFile string
 }
 
 // Output is an experiment's regenerated artefact.

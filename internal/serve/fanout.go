@@ -30,7 +30,11 @@ type Shard struct {
 }
 
 // ParseShard parses the CLI's "i/n" shard syntax, strictly: two bare
-// decimal integers with 0 <= i < n, nothing else.
+// decimal integers with 0 <= i < n, nothing else. Partial-report
+// artifacts key on the shard's canonical rendering, so any spelling that
+// does not round-trip through Shard.String() — "+0/2", "00/2", " 1/2" —
+// is rejected outright: accepting it would let two spellings of the same
+// shard miss each other in the store.
 func ParseShard(s string) (Shard, error) {
 	bad := func() (Shard, error) {
 		return Shard{}, fmt.Errorf("shard must have the form \"i/n\" with 0 <= i < n, got %q", s)
@@ -50,7 +54,11 @@ func ParseShard(s string) (Shard, error) {
 	if n < 1 || i < 0 || i >= n {
 		return bad()
 	}
-	return Shard{Index: i, Count: n}, nil
+	sh := Shard{Index: i, Count: n}
+	if sh.String() != s {
+		return bad()
+	}
+	return sh, nil
 }
 
 // String renders the shard in its CLI form.

@@ -35,6 +35,32 @@ func TestParseShard(t *testing.T) {
 	}
 }
 
+// TestParseShardCanonicalOnly is the regression test for the
+// non-canonical-spelling bug: strconv.Atoi tolerates signs and leading
+// zeros, so "+0/2" and "00/2" used to parse to the same Shard as "0/2"
+// while keying partial-report artifacts differently at publish time
+// (the raw string travels in PartialReport.Shard). Every accepted
+// spelling must round-trip through Shard.String() unchanged.
+func TestParseShardCanonicalOnly(t *testing.T) {
+	for _, in := range []string{
+		"+0/2", "00/2", "0/02", "0/+2", "01/2", " 0/2", "0/2 ", "0x0/2",
+	} {
+		if sh, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) = %v, want error (non-canonical spelling)", in, sh)
+		}
+	}
+	// The canonical spellings still parse, and parse to themselves.
+	for _, in := range []string{"0/2", "1/2", "12/34"} {
+		sh, err := ParseShard(in)
+		if err != nil {
+			t.Fatalf("ParseShard(%q): %v", in, err)
+		}
+		if sh.String() != in {
+			t.Errorf("ParseShard(%q).String() = %q, want input back", in, sh.String())
+		}
+	}
+}
+
 // TestFanoutMergeByteIdentity pins the tentpole contract: for every shard
 // count, building each shard's partial and merging them reproduces
 // BuildReport's bytes exactly — sharding changes where a section is

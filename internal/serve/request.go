@@ -52,12 +52,44 @@ type ReportRequest struct {
 	// NoStream refuses streaming: traces materialize whole, and budgets
 	// above the materialization ceiling are rejected.
 	NoStream bool `json:"no_stream,omitempty"`
+	// TraceFile points the realtrace experiment at a recorded ChampSim
+	// trace on the serving machine (empty = no recorded trace). The path
+	// never enters the request's cache identity — see ResolveTrace.
+	TraceFile string `json:"trace_file,omitempty"`
+	// TraceDigest and TraceCount are TraceFile's resolved content
+	// identity, filled by ResolveTrace. Cache keys use them instead of the
+	// path, so identical trace bytes share cached reports wherever the
+	// file lives, and a file that changed under the same path misses
+	// instead of serving stale bytes. The daemon re-resolves on decode:
+	// a client-claimed digest is never trusted for the server's cache.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	TraceCount  uint64 `json:"trace_count,omitempty"`
+}
+
+// ResolveTrace scans TraceFile and pins its content identity into the
+// request (a no-op without a trace file). Both report entry points call it
+// before keying: the one-shot CLI after flag parsing, the daemon after
+// decoding the request body.
+func (r *ReportRequest) ResolveTrace() error {
+	if r.TraceFile == "" {
+		r.TraceDigest, r.TraceCount = "", 0
+		return nil
+	}
+	spec, err := workload.TraceSpec("", r.TraceFile)
+	if err != nil {
+		return err
+	}
+	r.TraceDigest, r.TraceCount = spec.TraceDigest, spec.TraceCount
+	return nil
 }
 
 // Validate checks the request against the experiment registry and the
 // streaming rules, returning the experiment filter (nil = all) and the
 // resolved segment size.
 func (r ReportRequest) Validate() (filter map[string]bool, segment uint64, err error) {
+	if r.TraceFile != "" && r.TraceDigest == "" {
+		return nil, 0, fmt.Errorf("trace file %q is unresolved: call ResolveTrace before keying or building", r.TraceFile)
+	}
 	if len(r.Only) > 0 {
 		valid := map[string]bool{}
 		for _, id := range exp.IDs() {
@@ -116,8 +148,9 @@ func (r ReportRequest) Key() string {
 	}
 	sort.Strings(only)
 	only = uniq(only)
-	return fmt.Sprintf("b=%d|only=%s|ablations=%t|timings=%t|seg=%d|nostream=%t",
-		r.Branches, strings.Join(only, ","), !r.SkipAblations, !r.NoTimings, r.SegmentBranches, r.NoStream)
+	return fmt.Sprintf("b=%d|only=%s|ablations=%t|timings=%t|seg=%d|nostream=%t|trace=%s:%d",
+		r.Branches, strings.Join(only, ","), !r.SkipAblations, !r.NoTimings, r.SegmentBranches, r.NoStream,
+		r.TraceDigest, r.TraceCount)
 }
 
 func uniq(sorted []string) []string {
@@ -137,5 +170,6 @@ func (r ReportRequest) SessionConfig(defaults exp.Config, segment uint64) exp.Co
 	cfg := defaults
 	cfg.Branches = r.Branches
 	cfg.SegmentBranches = segment
+	cfg.TraceFile = r.TraceFile
 	return cfg
 }

@@ -25,6 +25,31 @@ func TestRequestKeyNormalization(t *testing.T) {
 	}
 }
 
+// TestRequestTraceIdentity: a trace-bearing request keys on the file's
+// resolved content digest, never on the path, and an unresolved trace is
+// rejected before it can be keyed or built.
+func TestRequestTraceIdentity(t *testing.T) {
+	unresolved := ReportRequest{TraceFile: "/tmp/some.champsim"}
+	if _, _, err := unresolved.Validate(); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("unresolved trace accepted: %v", err)
+	}
+	a := ReportRequest{TraceFile: "/a/t.champsim", TraceDigest: "d1", TraceCount: 42}
+	b := ReportRequest{TraceFile: "/elsewhere/copy.champsim", TraceDigest: "d1", TraceCount: 42}
+	if a.Key() != b.Key() {
+		t.Fatalf("same trace content at different paths keys differently:\n%s\n%s", a.Key(), b.Key())
+	}
+	if strings.Contains(a.Key(), "t.champsim") {
+		t.Fatalf("trace path leaked into the request key: %s", a.Key())
+	}
+	c := ReportRequest{TraceFile: "/a/t.champsim", TraceDigest: "d2", TraceCount: 42}
+	if c.Key() == a.Key() {
+		t.Fatal("changed trace content collides with the old key")
+	}
+	if (ReportRequest{}).Key() == a.Key() {
+		t.Fatal("trace-bearing request collides with the trace-free key")
+	}
+}
+
 func TestRequestValidateUnknownID(t *testing.T) {
 	_, _, err := ReportRequest{Only: []string{"fig2", "nope"}}.Validate()
 	if err == nil {

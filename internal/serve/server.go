@@ -184,6 +184,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	// The trace identity in report-cache keys is whatever is on the
+	// server's disk right now, never a digest the client claims.
+	if err := req.ResolveTrace(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	if _, _, err := req.Validate(); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return

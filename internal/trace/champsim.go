@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ChampSim-compatible trace codec.
+//
+// A ChampSim trace is a headerless stream of fixed 64-byte instruction
+// records (the ecosystem's input_instr layout, little-endian):
+//
+//	ip          u64      instruction pointer
+//	is_branch   u8       1 if the instruction is any branch
+//	taken       u8       1 if the branch was taken
+//	dest_regs   [2]u8    architectural destination registers
+//	src_regs    [4]u8    architectural source registers
+//	dest_mem    [2]u64   memory write addresses
+//	src_mem     [4]u64   memory read addresses
+//
+// Conditional branches are identified the way the ChampSim frontend does:
+// is_branch set, the instruction pointer among the destinations, and the
+// flags register among the sources. Everything else — plain instructions,
+// unconditional jumps, calls, returns — contributes to the Gap between
+// conditional branches.
+//
+// The format does not carry branch targets. A taken branch's target is the
+// ip of the instruction that follows it in the stream; for a not-taken
+// branch the reader reuses the last taken target observed at the same PC,
+// falling back to the fall-through ip (PC+4) for branches never yet seen
+// taken. Both rules are deterministic, so reruns of the same bytes produce
+// the same Record stream.
+
+const (
+	// champSimRecordSize is the fixed on-disk record size.
+	champSimRecordSize = 64
+
+	// Architectural register numbers ChampSim's classification keys on.
+	champSimRegFlags = 25
+	champSimRegIP    = 26
+)
+
+// champSimInstr is one decoded on-disk record (memory operands are not
+// needed for branch studies and stay unparsed).
+type champSimInstr struct {
+	ip       uint64
+	isBranch byte
+	taken    byte
+	destRegs [2]byte
+	srcRegs  [4]byte
+}
+
+func (in champSimInstr) writesIP() bool {
+	return in.destRegs[0] == champSimRegIP || in.destRegs[1] == champSimRegIP
+}
+
+func (in champSimInstr) readsFlags() bool {
+	for _, r := range in.srcRegs {
+		if r == champSimRegFlags {
+			return true
+		}
+	}
+	return false
+}
+
+// conditional reports whether the instruction is a conditional branch.
+func (in champSimInstr) conditional() bool {
+	return in.isBranch == 1 && in.writesIP() && in.readsFlags()
+}
+
+// ChampSimReader decodes conditional-branch Records from a ChampSim
+// instruction trace. It implements Source.
+//
+// The reader fails closed: any malformed record — a truncated tail, flag
+// bytes outside {0,1}, a taken mark on a non-branch — aborts the stream
+// with an error rather than yielding a partial or guessed Record, so a
+// corrupt trace can never leak a half-decoded view into annotation.
+type ChampSimReader struct {
+	r          *bufio.Reader
+	buf        [champSimRecordSize]byte
+	instrs     uint64 // instructions consumed
+	count      uint64 // conditional branches emitted
+	gap        uint64 // non-conditional instructions since the last branch
+	pending    bool   // a branch is awaiting target resolution
+	pendingRec Record
+	lastTarget map[uint64]uint64 // PC -> last observed taken target
+	err        error             // sticky decode failure
+}
+
+// NewChampSimReader returns a reader over a raw (uncompressed) ChampSim
+// instruction stream. The format has no magic header, so validation is
+// per-record.
+func NewChampSimReader(r io.Reader) *ChampSimReader {
+	return &ChampSimReader{
+		r:          bufio.NewReaderSize(r, 1<<16),
+		lastTarget: make(map[uint64]uint64),
+	}
+}
+
+// readInstr decodes the next 64-byte record, validating the fields the
+// branch pipeline depends on. io.EOF is clean only on a record boundary.
+func (r *ChampSimReader) readInstr() (champSimInstr, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return champSimInstr{}, io.EOF
+		}
+		return champSimInstr{}, fmt.Errorf("trace: champsim instr %d: truncated record: %w", r.instrs, err)
+	}
+	in := champSimInstr{
+		ip:       binary.LittleEndian.Uint64(r.buf[0:8]),
+		isBranch: r.buf[8],
+		taken:    r.buf[9],
+	}
+	copy(in.destRegs[:], r.buf[10:12])
+	copy(in.srcRegs[:], r.buf[12:16])
+	if in.isBranch > 1 {
+		return champSimInstr{}, fmt.Errorf("trace: champsim instr %d: is_branch byte %d, want 0 or 1", r.instrs, in.isBranch)
+	}
+	if in.taken > 1 {
+		return champSimInstr{}, fmt.Errorf("trace: champsim instr %d: taken byte %d, want 0 or 1", r.instrs, in.taken)
+	}
+	if in.taken == 1 && in.isBranch == 0 {
+		return champSimInstr{}, fmt.Errorf("trace: champsim instr %d: taken set on a non-branch", r.instrs)
+	}
+	r.instrs++
+	return in, nil
+}
+
+// resolve fills the pending branch's target from the successor ip (nextIP
+// valid when haveNext), or from per-PC taken-target memory with a
+// fall-through fallback.
+func (r *ChampSimReader) resolve(nextIP uint64, haveNext bool) Record {
+	rec := r.pendingRec
+	r.pending = false
+	switch {
+	case rec.Taken && haveNext:
+		rec.Target = nextIP
+		r.lastTarget[rec.PC] = nextIP
+	default:
+		if t, ok := r.lastTarget[rec.PC]; ok {
+			rec.Target = t
+		} else {
+			rec.Target = rec.PC + 4
+		}
+	}
+	r.count++
+	return rec
+}
+
+// stash parks a conditional branch until the next instruction reveals its
+// taken target, banking the accumulated gap.
+func (r *ChampSimReader) stash(in champSimInstr) error {
+	if r.gap > math.MaxUint32 {
+		return fmt.Errorf("trace: champsim instr %d: gap %d overflows uint32", r.instrs-1, r.gap)
+	}
+	r.pendingRec = Record{PC: in.ip, Taken: in.taken == 1, Gap: uint32(r.gap)}
+	r.pending = true
+	r.gap = 0
+	return nil
+}
+
+// Next decodes the next conditional branch, returning io.EOF cleanly at
+// end of stream. Decode failures are sticky: once the stream is found
+// malformed, every subsequent call returns the same error — a pending
+// branch is never flushed past a failure.
+func (r *ChampSimReader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	for {
+		in, err := r.readInstr()
+		if err == io.EOF {
+			if r.pending {
+				// The trace ended on a branch; no successor ip exists, so
+				// the deterministic memory/fall-through rule applies even
+				// if it was taken.
+				return r.resolve(0, false), nil
+			}
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			r.err = err
+			return Record{}, err
+		}
+		if r.pending {
+			rec := r.resolve(in.ip, true)
+			// Account for the instruction that resolved the target before
+			// handing the record out, so no state is owed across calls.
+			if in.conditional() {
+				if err := r.stash(in); err != nil {
+					r.err = err
+					return Record{}, err
+				}
+			} else {
+				r.gap++
+			}
+			return rec, nil
+		}
+		if in.conditional() {
+			if err := r.stash(in); err != nil {
+				r.err = err
+				return Record{}, err
+			}
+			continue
+		}
+		r.gap++
+	}
+}
+
+// Count returns the number of conditional branches decoded so far.
+func (r *ChampSimReader) Count() uint64 { return r.count }
+
+// Instructions returns the number of instructions consumed so far.
+func (r *ChampSimReader) Instructions() uint64 { return r.instrs }
+
+// ChampSimWriter encodes a Record stream as a ChampSim instruction trace,
+// for tracegen and self-contained CI. Each Record becomes Gap non-branch
+// filler instructions followed by one conditional-branch instruction; the
+// filler after a taken branch carries the branch's target as its ip, which
+// is exactly where ChampSimReader recovers it from.
+//
+// The format constrains what round-trips: a taken branch's target is
+// preserved only if an instruction follows it (Flush appends a final
+// filler to guarantee that for the last record), and a not-taken branch's
+// target only if that PC was taken earlier with the same target — the same
+// information loss real ChampSim traces have.
+type ChampSimWriter struct {
+	w             *bufio.Writer
+	buf           [champSimRecordSize]byte
+	count         uint64 // records (conditional branches) written
+	instrs        uint64 // instructions written
+	pendingTaken  bool   // last instruction was a taken branch
+	pendingTarget uint64
+	fillPC        uint64 // ip for the next filler when no target is owed
+}
+
+// NewChampSimWriter returns a ready writer; the format has no header.
+func NewChampSimWriter(w io.Writer) *ChampSimWriter {
+	return &ChampSimWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// writeInstr emits one 64-byte record. Conditional branches carry the
+// register sets ChampSim's own tracer gives them (writes IP, reads
+// IP+FLAGS), so any ecosystem consumer classifies them the same way.
+func (w *ChampSimWriter) writeInstr(ip uint64, cond, taken bool) error {
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(w.buf[0:8], ip)
+	if cond {
+		w.buf[8] = 1
+		if taken {
+			w.buf[9] = 1
+		}
+		w.buf[10] = champSimRegIP    // dest_regs[0]
+		w.buf[12] = champSimRegFlags // src_regs[0]
+		w.buf[13] = champSimRegIP    // src_regs[1]
+	}
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("trace: champsim instr %d: %w", w.instrs, err)
+	}
+	w.instrs++
+	return nil
+}
+
+// Write appends one record (its gap fillers, then the branch itself).
+func (w *ChampSimWriter) Write(r Record) error {
+	for i := uint32(0); i < r.Gap; i++ {
+		ip := w.fillPC
+		if w.pendingTaken {
+			ip = w.pendingTarget
+			w.pendingTaken = false
+		}
+		if err := w.writeInstr(ip, false, false); err != nil {
+			return err
+		}
+		w.fillPC = ip + 4
+	}
+	if err := w.writeInstr(r.PC, true, r.Taken); err != nil {
+		return err
+	}
+	w.pendingTaken = r.Taken
+	w.pendingTarget = r.Target
+	w.fillPC = r.PC + 4
+	w.count++
+	return nil
+}
+
+// Count returns the number of records (conditional branches) written.
+func (w *ChampSimWriter) Count() uint64 { return w.count }
+
+// Flush terminates the stream: if the last instruction was a taken branch
+// it appends one filler at the branch's target so the target survives the
+// round trip, then drains buffered output. Call once, at end of stream.
+func (w *ChampSimWriter) Flush() error {
+	if w.pendingTaken {
+		w.pendingTaken = false
+		if err := w.writeInstr(w.pendingTarget, false, false); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// WriteAll streams every record from src, returning the record count.
+func (w *ChampSimWriter) WriteAll(src Source) (uint64, error) {
+	start := w.count
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return w.count - start, w.Flush()
+		}
+		if err != nil {
+			return w.count - start, err
+		}
+		if err := w.Write(r); err != nil {
+			return w.count - start, err
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// champSimExpected applies the reader's documented target-recovery rule to
+// a record stream the writer will emit: a taken branch's target is the ip
+// of its successor instruction (the next record's branch when its Gap is
+// 0, otherwise the filler carrying the written target), a not-taken
+// branch reuses the last taken target at its PC, falling back to PC+4.
+func champSimExpected(recs []Record) []Record {
+	last := make(map[uint64]uint64)
+	exp := make([]Record, len(recs))
+	for i, r := range recs {
+		e := r
+		if r.Taken {
+			t := r.Target
+			if i+1 < len(recs) && recs[i+1].Gap == 0 {
+				t = recs[i+1].PC
+			}
+			e.Target = t
+			last[r.PC] = t
+		} else if t, ok := last[r.PC]; ok {
+			e.Target = t
+		} else {
+			e.Target = r.PC + 4
+		}
+		exp[i] = e
+	}
+	return exp
+}
+
+func champSimRoundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewChampSimWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()%champSimRecordSize != 0 {
+		t.Fatalf("writer emitted %d bytes, not a multiple of %d", buf.Len(), champSimRecordSize)
+	}
+	r := NewChampSimReader(&buf)
+	var got []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", len(got), err)
+		}
+		got = append(got, rec)
+	}
+	if r.Count() != uint64(len(got)) {
+		t.Fatalf("Count() = %d, emitted %d", r.Count(), len(got))
+	}
+	return got
+}
+
+func TestChampSimRoundTrip(t *testing.T) {
+	recs := []Record{
+		{PC: 0x401000, Target: 0x401080, Taken: true, Gap: 3},
+		{PC: 0x401084, Target: 0x401000, Taken: true, Gap: 0}, // back-to-back after taken
+		{PC: 0x401000, Target: 0x401084, Taken: false, Gap: 2},
+		{PC: 0x402000, Target: 0x402abc, Taken: false, Gap: 0}, // never-taken PC: fall-through rule
+		{PC: 0x401000, Target: 0x401084, Taken: true, Gap: 7},
+		{PC: 0x403000, Target: 0x400000, Taken: true, Gap: 1}, // final taken: Flush filler preserves target
+	}
+	got := champSimRoundTrip(t, recs)
+	want := champSimExpected(recs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Spot-check the interesting recoveries directly.
+	if got[1].Gap != 0 || !got[1].Taken {
+		t.Errorf("record 1 shape changed: %+v", got[1])
+	}
+	if got[3].Target != 0x402000+4 {
+		t.Errorf("never-taken PC target = %#x, want fall-through %#x", got[3].Target, 0x402000+4)
+	}
+	if got[5].Target != 0x400000 {
+		t.Errorf("final taken target = %#x, want %#x preserved via Flush filler", got[5].Target, 0x400000)
+	}
+}
+
+// TestChampSimNonCondBranchesAreGap pins classification: unconditional
+// jumps (is_branch set, no flags read) count toward Gap, never emit
+// Records.
+func TestChampSimNonCondBranchesAreGap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewChampSimWriter(&buf)
+	// Hand-assemble: filler, uncond jump, cond branch, filler.
+	if err := w.writeInstr(0x1000, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Unconditional jump: is_branch=1, writes IP, reads IP only.
+	jmp := [champSimRecordSize]byte{}
+	binary.LittleEndian.PutUint64(jmp[0:8], 0x1004)
+	jmp[8] = 1 // is_branch
+	jmp[9] = 1 // taken
+	jmp[10] = champSimRegIP
+	jmp[13] = champSimRegIP // src: IP, no FLAGS
+	if _, err := w.w.Write(jmp[:]); err != nil {
+		t.Fatal(err)
+	}
+	w.instrs++
+	if err := w.writeInstr(0x2000, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.writeInstr(0x2100, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewChampSimReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{PC: 0x2000, Target: 0x2100, Taken: true, Gap: 2}
+	if rec != want {
+		t.Errorf("got %+v want %+v", rec, want)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r.Instructions() != 4 {
+		t.Errorf("Instructions() = %d, want 4", r.Instructions())
+	}
+}
+
+// TestChampSimFailClosed pins the malformed-input contract: truncated
+// records and impossible flag bytes abort with an error — the reader never
+// invents a Record from garbage.
+func TestChampSimFailClosed(t *testing.T) {
+	branch := func(ip uint64, taken bool) []byte {
+		b := make([]byte, champSimRecordSize)
+		binary.LittleEndian.PutUint64(b[0:8], ip)
+		b[8] = 1
+		if taken {
+			b[9] = 1
+		}
+		b[10] = champSimRegIP
+		b[12] = champSimRegFlags
+		b[13] = champSimRegIP
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"truncated mid-record", branch(0x1000, true)[:champSimRecordSize-1], "truncated record"},
+		{"truncated second record", append(branch(0x1000, true), branch(0x2000, false)[:13]...), "truncated record"},
+		{"is_branch out of range", func() []byte { b := branch(0x1000, false); b[8] = 7; return b }(), "is_branch byte 7"},
+		{"taken out of range", func() []byte { b := branch(0x1000, false); b[9] = 200; return b }(), "taken byte 200"},
+		{"taken on non-branch", func() []byte { b := branch(0x1000, true); b[8] = 0; return b }(), "taken set on a non-branch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewChampSimReader(bytes.NewReader(tc.data))
+			for i := 0; i < 10; i++ {
+				_, err := r.Next()
+				if err == io.EOF {
+					t.Fatalf("reader reached clean EOF on malformed input")
+				}
+				if err != nil {
+					if !strings.Contains(err.Error(), tc.want) {
+						t.Fatalf("error %q, want substring %q", err, tc.want)
+					}
+					return
+				}
+			}
+			t.Fatal("reader never surfaced an error")
+		})
+	}
+}
+
+// FuzzChampSimRoundTrip drives arbitrary record tuples through the
+// ChampSim codec and requires the reader to reproduce them under the
+// documented target-recovery rule.
+func FuzzChampSimRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x1040), true, uint32(3), uint64(0x2000), uint64(0x1000), false, uint32(0))
+	f.Add(uint64(0), uint64(0), false, uint32(0), uint64(0), uint64(0), true, uint32(1))
+	f.Add(^uint64(0), uint64(1), true, uint32(5), uint64(1<<63), ^uint64(0), true, uint32(0))
+	f.Fuzz(func(t *testing.T, pc1, tgt1 uint64, tk1 bool, gap1 uint32, pc2, tgt2 uint64, tk2 bool, gap2 uint32) {
+		// Cap gaps: each gap unit is a 64-byte filler record.
+		recs := []Record{
+			{PC: pc1, Target: tgt1, Taken: tk1, Gap: gap1 % 64},
+			{PC: pc2, Target: tgt2, Taken: tk2, Gap: gap2 % 64},
+			{PC: pc1, Target: tgt1, Taken: !tk1, Gap: gap1 % 7},
+		}
+		got := champSimRoundTrip(t, recs)
+		want := champSimExpected(recs)
+		if len(got) != len(want) {
+			t.Fatalf("got %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzChampSimReaderRobustness feeds arbitrary bytes — truncated records,
+// absurd lengths, non-monotonic PCs — to the ChampSim reader and requires
+// it to terminate with a clean error or EOF, never panic or loop, and
+// never emit a record after failing.
+func FuzzChampSimReaderRobustness(f *testing.F) {
+	instr := func(ip uint64, isBranch, taken byte, dst0, src0, src1 byte) []byte {
+		b := make([]byte, champSimRecordSize)
+		binary.LittleEndian.PutUint64(b[0:8], ip)
+		b[8], b[9], b[10], b[12], b[13] = isBranch, taken, dst0, src0, src1
+		return b
+	}
+	f.Add([]byte{})
+	f.Add(instr(0x1000, 1, 1, champSimRegIP, champSimRegFlags, champSimRegIP)[:champSimRecordSize-1]) // truncated
+	f.Add(bytes.Repeat([]byte{0xff}, 3*champSimRecordSize))                                           // absurd field values
+	// Non-monotonic PCs: branches walking backwards through the image.
+	nonMono := append(instr(0x9000, 1, 1, champSimRegIP, champSimRegFlags, champSimRegIP),
+		instr(0x100, 1, 0, champSimRegIP, champSimRegFlags, champSimRegIP)...)
+	nonMono = append(nonMono, instr(0x50, 0, 0, 0, 0, 0)...)
+	f.Add(nonMono)
+	f.Add(append(instr(0x1000, 0, 1, 0, 0, 0), 0x41)) // taken non-branch, then a stray byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewChampSimReader(bytes.NewReader(data))
+		// An n-byte input holds at most n/64 instructions, so at most that
+		// many records plus one pending flush; 2+len(data)/64 iterations
+		// must reach EOF or an error.
+		for i := 0; i <= 2+len(data)/champSimRecordSize; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// Failure must be sticky: no record ever follows an error.
+				if _, again := r.Next(); again == nil || again == io.EOF {
+					t.Fatalf("reader yielded %v after error %v", again, err)
+				}
+				return
+			}
+		}
+		t.Fatalf("reader did not terminate within the instruction budget (%d bytes)", len(data))
+	})
+}

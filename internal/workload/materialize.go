@@ -49,6 +49,12 @@ func Materialize(spec Spec, n uint64) (*trace.ReplayBuffer, error) {
 	if n == 0 {
 		n = spec.DefaultBranches
 	}
+	if spec.IsTrace() && n > spec.TraceCount {
+		// The file holds what it holds; resolving the budget here keeps
+		// the memo key, the artifact key, and the buffer's record count
+		// agreeing with what the source can actually emit.
+		n = spec.TraceCount
+	}
 	key := memoKey{spec: spec, n: n}
 	memo.mu.Lock()
 	e := memo.m[key]

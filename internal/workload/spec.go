@@ -59,22 +59,51 @@ type Spec struct {
 	// DefaultBranches is the dynamic branch budget experiments use for
 	// this benchmark unless overridden.
 	DefaultBranches uint64
+	// TraceFile, when set, makes the benchmark trace-backed: records come
+	// from this ChampSim instruction trace instead of a synthetic walk.
+	// Construct trace-backed specs with TraceSpec, which fills the
+	// companion identity fields from a validating scan of the file.
+	TraceFile string
+	// TraceDigest is the SHA-256 (hex) of the trace file's stored bytes;
+	// with TraceCount it forms the spec's content-addressed cache
+	// identity, replays re-verify against it.
+	TraceDigest string
+	// TraceCount is the trace's conditional-branch count; budgets clamp
+	// to it.
+	TraceCount uint64
 }
 
-// Build constructs the benchmark's program.
-func (s Spec) Build() (*Program, error) { return build(s) }
+// Build constructs the benchmark's program. Trace-backed specs have no
+// synthetic program to build.
+func (s Spec) Build() (*Program, error) {
+	if s.IsTrace() {
+		return nil, fmt.Errorf("workload: %s is trace-backed (%s); it has no synthetic program", s.Name, s.TraceFile)
+	}
+	return build(s)
+}
 
 // CacheKey returns a canonical string identity for the spec, covering every
 // field (traces are pure functions of the Spec, so equal keys guarantee
 // byte-identical traces). It keys the persistent artifact store
 // (internal/artifact); a Spec shape change alters the key and simply
-// cold-starts affected entries.
-func (s Spec) CacheKey() string { return fmt.Sprintf("%+v", s) }
+// cold-starts affected entries. Trace-backed specs key on their scanned
+// content digest, not their path, so the same trace bytes warm-start from
+// any location.
+func (s Spec) CacheKey() string {
+	if s.IsTrace() {
+		return s.traceCacheKey()
+	}
+	return fmt.Sprintf("%+v", s)
+}
 
 // NewSource builds the program and returns an unbounded trace source
 // walking it. The walk seed is derived from the Spec seed, so the full
-// trace is reproducible from the Spec alone.
+// trace is reproducible from the Spec alone. For a trace-backed spec the
+// source replays the file, bounded by its record count.
 func (s Spec) NewSource() (trace.Source, error) {
+	if s.IsTrace() {
+		return s.newTraceSource(s.TraceCount)
+	}
 	p, err := s.Build()
 	if err != nil {
 		return nil, err
@@ -85,7 +114,12 @@ func (s Spec) NewSource() (trace.Source, error) {
 // NewSourceSeeded returns an unbounded source over the same program but
 // with an explicit walk seed, so train/test splits can exercise one
 // program along disjoint dynamic paths (out-of-sample profile evaluation).
+// Trace-backed specs have exactly one dynamic path — the recorded one —
+// so reseeding them is an error, not a silently identical replay.
 func (s Spec) NewSourceSeeded(walkSeed uint64) (trace.Source, error) {
+	if s.IsTrace() {
+		return nil, fmt.Errorf("workload: %s is trace-backed; its recorded path cannot be reseeded", s.Name)
+	}
 	p, err := s.Build()
 	if err != nil {
 		return nil, err
@@ -107,14 +141,22 @@ func (s Spec) FiniteSourceSeeded(n, walkSeed uint64) (trace.Source, error) {
 }
 
 // FiniteSource returns a source limited to n records (DefaultBranches when
-// n == 0).
+// n == 0). Trace-backed budgets additionally clamp to the trace's record
+// count: the file holds what it holds, and a budget the file cannot fill
+// would otherwise poison count-validated artifacts.
 func (s Spec) FiniteSource(n uint64) (trace.Source, error) {
+	if n == 0 {
+		n = s.DefaultBranches
+	}
+	if s.IsTrace() {
+		if n > s.TraceCount {
+			n = s.TraceCount
+		}
+		return s.newTraceSource(n)
+	}
 	src, err := s.NewSource()
 	if err != nil {
 		return nil, err
-	}
-	if n == 0 {
-		n = s.DefaultBranches
 	}
 	return trace.Limit(src, n), nil
 }

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchconf/internal/trace"
+)
+
+// Trace-backed benchmarks. A Spec whose TraceFile is set draws its records
+// from a ChampSim instruction trace on disk instead of a synthetic program
+// walk: TraceSpec scans the file once — validating every record the way
+// the codec demands, counting conditional branches, and hashing the file
+// bytes — and the resulting Spec routes NewSource/FiniteSource through a
+// ChampSimReader. The scan's digest and count, not the path, form the
+// spec's cache identity, so artifacts warm across machines and temp
+// directories that hold the same trace bytes under different names.
+
+// IsTrace reports whether the spec is trace-backed.
+func (s Spec) IsTrace() bool { return s.TraceFile != "" }
+
+// traceCacheKey is the canonical identity of a trace-backed spec: the
+// benchmark name and the scanned content digest and branch count. The
+// on-disk path is deliberately excluded — identity is the bytes.
+func (s Spec) traceCacheKey() string {
+	return fmt.Sprintf("trace{Name:%s Sha256:%s Count:%d}", s.Name, s.TraceDigest, s.TraceCount)
+}
+
+// openTrace opens the trace file, hashing the raw stored bytes as they are
+// read and transparently decompressing a ".gz" payload.
+func openTrace(path string) (f *os.File, h hash.Hash, in io.Reader, err error) {
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("workload: opening trace: %w", err)
+	}
+	h = sha256.New()
+	in = io.TeeReader(f, h)
+	if strings.HasSuffix(path, ".gz") {
+		zr, zerr := gzip.NewReader(in)
+		if zerr != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("workload: opening trace %s: %w", path, zerr)
+		}
+		in = zr
+	}
+	return f, h, in, nil
+}
+
+// TraceSpec scans a ChampSim instruction trace and returns a Spec backed
+// by it. The scan is fail-closed: any malformed record rejects the whole
+// file here, before a spec exists that could reach materialization. The
+// spec's DefaultBranches is the trace's conditional-branch count, and its
+// cache identity is content-addressed (digest + count), never the path.
+// An empty name defaults to the file's base name without extensions.
+func TraceSpec(name, path string) (Spec, error) {
+	if name == "" {
+		name = filepath.Base(path)
+		for {
+			ext := filepath.Ext(name)
+			if ext == "" || ext == name {
+				break
+			}
+			name = strings.TrimSuffix(name, ext)
+		}
+	}
+	f, h, in, err := openTrace(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	r := trace.NewChampSimReader(in)
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			return Spec{}, fmt.Errorf("workload: scanning trace %s: %w", path, err)
+		}
+	}
+	if r.Count() == 0 {
+		return Spec{}, fmt.Errorf("workload: trace %s holds no conditional branches (%d instructions)", path, r.Instructions())
+	}
+	return Spec{
+		Name:            name,
+		TraceFile:       path,
+		TraceDigest:     hex.EncodeToString(h.Sum(nil)),
+		TraceCount:      r.Count(),
+		DefaultBranches: r.Count(),
+	}, nil
+}
+
+// traceFileSource replays up to n records from the spec's trace file. It
+// owns the file handle, closing it at the limit, at end of stream, or on
+// the first error; when the whole file is consumed, the stored bytes are
+// re-verified against the spec's scan digest, so a trace that changed on
+// disk since TraceSpec ran fails closed instead of silently feeding a
+// different workload under the old cache identity.
+type traceFileSource struct {
+	spec      Spec
+	f         *os.File
+	hash      hash.Hash
+	src       *trace.ChampSimReader
+	remaining uint64
+	err       error // sticky terminal state (io.EOF or a failure)
+}
+
+func (s Spec) newTraceSource(n uint64) (trace.Source, error) {
+	f, h, in, err := openTrace(s.TraceFile)
+	if err != nil {
+		return nil, err
+	}
+	return &traceFileSource{
+		spec:      s,
+		f:         f,
+		hash:      h,
+		src:       trace.NewChampSimReader(in),
+		remaining: n,
+	}, nil
+}
+
+// finish records the terminal state and releases the file.
+func (t *traceFileSource) finish(err error) error {
+	t.err = err
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+	return err
+}
+
+// verifyDigest compares the bytes read so far against the scan digest.
+// Only meaningful once the underlying reader has reached end of stream.
+func (t *traceFileSource) verifyDigest() error {
+	if got := hex.EncodeToString(t.hash.Sum(nil)); got != t.spec.TraceDigest {
+		return fmt.Errorf("workload: trace %s changed since its scan: digest %s, spec pins %s",
+			t.spec.TraceFile, got, t.spec.TraceDigest)
+	}
+	return nil
+}
+
+func (t *traceFileSource) Next() (trace.Record, error) {
+	if t.err != nil {
+		return trace.Record{}, t.err
+	}
+	if t.remaining == 0 {
+		// Limit reached. If the file is in fact exhausted too, drain the
+		// reader's clean EOF so the digest can be verified; a genuine
+		// early stop (budget below the trace's count) skips verification.
+		if _, err := t.src.Next(); err == io.EOF {
+			if verr := t.verifyDigest(); verr != nil {
+				return trace.Record{}, t.finish(verr)
+			}
+		}
+		return trace.Record{}, t.finish(io.EOF)
+	}
+	rec, err := t.src.Next()
+	if err == io.EOF {
+		// FiniteSource clamps the budget to the scanned count, so running
+		// dry early means the file shrank or changed since the scan.
+		return trace.Record{}, t.finish(fmt.Errorf(
+			"workload: trace %s ended after %d records, spec pins %d (file changed since its scan?)",
+			t.spec.TraceFile, t.src.Count(), t.spec.TraceCount))
+	}
+	if err != nil {
+		return trace.Record{}, t.finish(err)
+	}
+	t.remaining--
+	return rec, nil
+}

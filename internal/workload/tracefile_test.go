@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchconf/internal/trace"
+)
+
+// writeTestTrace converts a synthetic benchmark's first n records to a
+// ChampSim trace on disk and returns the path plus the records the
+// ChampSim target-recovery rule will reproduce.
+func writeTestTrace(t *testing.T, dir string, n uint64) string {
+	t.Helper()
+	spec, err := ByName("groff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.FiniteSource(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "groff.champsim.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewChampSimWriter(f)
+	if _, err := w.WriteAll(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceSpecRoundTrip(t *testing.T) {
+	const n = 5000
+	path := writeTestTrace(t, t.TempDir(), n)
+	spec, err := TraceSpec("groff-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsTrace() {
+		t.Fatal("TraceSpec did not mark the spec trace-backed")
+	}
+	if spec.TraceCount != n {
+		t.Fatalf("TraceCount = %d, want %d", spec.TraceCount, n)
+	}
+	if spec.DefaultBranches != n {
+		t.Fatalf("DefaultBranches = %d, want %d", spec.DefaultBranches, n)
+	}
+	// The full replay must emit exactly the scanned records, twice over
+	// (replays are deterministic).
+	var first []trace.Record
+	for replay := 0; replay < 2; replay++ {
+		src, err := spec.FiniteSource(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []trace.Record
+		for {
+			r, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, r)
+		}
+		if len(got) != n {
+			t.Fatalf("replay %d emitted %d records, want %d", replay, len(got), n)
+		}
+		if replay == 0 {
+			first = got
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("replay divergence at record %d: %+v vs %+v", i, got[i], first[i])
+				}
+			}
+		}
+	}
+	// Budgets above the trace's count clamp instead of starving artifact
+	// validation.
+	buf, err := Materialize(spec, n*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(buf.Len()) != n {
+		t.Fatalf("Materialize over-budget: %d records, want clamp to %d", buf.Len(), n)
+	}
+	// Synthetic-only affordances reject trace specs loudly.
+	if _, err := spec.Build(); err == nil {
+		t.Error("Build on a trace-backed spec should fail")
+	}
+	if _, err := spec.NewSourceSeeded(1); err == nil {
+		t.Error("NewSourceSeeded on a trace-backed spec should fail")
+	}
+}
+
+// TestTraceSpecCacheKeyIsContentAddressed pins the identity rule: same
+// bytes under a different path share a key; different bytes differ; the
+// path never appears in the key.
+func TestTraceSpecCacheKeyIsContentAddressed(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, 1000)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "renamed.trace")
+	if err := os.WriteFile(other, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := TraceSpec("bench", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceSpec("bench", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("same bytes, different keys:\n%s\n%s", a.CacheKey(), b.CacheKey())
+	}
+	if strings.Contains(a.CacheKey(), path) || strings.Contains(a.CacheKey(), dir) {
+		t.Errorf("cache key leaks the path: %s", a.CacheKey())
+	}
+	smaller := writeTestTrace(t, t.TempDir(), 900)
+	c, err := TraceSpec("bench", smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey() == c.CacheKey() {
+		t.Error("different trace bytes share a cache key")
+	}
+}
+
+// TestTraceSpecFailClosed pins the hardening contract end to end: corrupt
+// files never become specs, and a file changed after its scan fails its
+// replay rather than feeding a different workload under the old identity.
+func TestTraceSpecFailClosed(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, 500)
+
+	// Truncated mid-record: rejected at scan time.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.trace")
+	if err := os.WriteFile(trunc, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceSpec("x", trunc); err == nil || !strings.Contains(err.Error(), "truncated record") {
+		t.Errorf("truncated trace: err = %v, want truncated-record scan failure", err)
+	}
+
+	// No conditional branches at all: rejected.
+	empty := filepath.Join(dir, "empty.trace")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceSpec("x", empty); err == nil || !strings.Contains(err.Error(), "no conditional branches") {
+		t.Errorf("empty trace: err = %v, want no-branches failure", err)
+	}
+
+	// File shrinks after the scan: the replay fails, not silently shortens.
+	spec, err := TraceSpec("x", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/128*64], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.FiniteSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = src.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "file changed since its scan") {
+		t.Errorf("shrunken trace replay: err = %v, want changed-since-scan failure", err)
+	}
+
+	// Same length, different bytes: caught by the digest on a full read.
+	mut := append([]byte(nil), data...)
+	mut[0] ^= 0x10 // perturb the first ip byte; still a valid record
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err = spec.FiniteSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = src.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "changed since its scan") {
+		t.Errorf("mutated trace replay: err = %v, want digest failure", err)
+	}
+}
